@@ -1,0 +1,53 @@
+// Command mocbench regenerates every table and figure of the MoC-System
+// paper's evaluation in one run, printing EXPERIMENTS.md-style sections:
+// the efficiency simulations (Figures 10–13, §6.2.5) followed by the
+// real-trainer accuracy experiments (Figure 5, 14, 15; Tables 3, 4).
+//
+// Usage:
+//
+//	mocbench          # full horizons (minutes)
+//	mocbench -quick   # shrunken horizons (tens of seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"moc/internal/experiments"
+)
+
+func section(name string, f func() string) {
+	start := time.Now()
+	out := f()
+	fmt.Println(out)
+	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink training horizons")
+	flag.Parse()
+	q := *quick
+
+	fmt.Println("MoC-System reproduction — full experiment sweep")
+	fmt.Println()
+
+	section("Figure 10(a)", experiments.Fig10a)
+	section("Figure 10(b-d)", func() string { _, o := experiments.Fig10bcd(); return o })
+	section("Figure 11", func() string { _, o := experiments.Fig11(); return o })
+	section("Figure 12", func() string { _, o := experiments.Fig12(); return o })
+	for _, p := range experiments.Fig13Panels() {
+		p := p
+		section("Figure 13("+p+")", func() string { _, o := experiments.Fig13(p); return o })
+	}
+	section("§6.2.5 overhead model", experiments.OverheadModel)
+	section("§6.2.5 end-to-end fault simulation", experiments.FaultEndToEnd)
+	section("Figure 5", func() string { _, o := experiments.Fig05PLTGrid(q); return o })
+	section("Figure 14(a)", func() string { _, o := experiments.Fig14a(q); return o })
+	section("Figure 14(b)", func() string { _, o := experiments.Fig14b(q); return o })
+	section("Figure 15(a)", func() string { _, o := experiments.Fig15a(q); return o })
+	section("Figure 15(b)", func() string { _, o := experiments.Fig15b(); return o })
+	section("Table 3", func() string { _, o := experiments.Table3(q); return o })
+	section("Table 4", func() string { _, o := experiments.Table4(q); return o })
+	section("Selection ablation", func() string { return experiments.SelectionAblation(q) })
+}

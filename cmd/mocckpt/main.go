@@ -1,0 +1,137 @@
+// Command mocckpt inspects, verifies, and compacts MoC checkpoint
+// directories (the FSStore layout written by moc.NewFSStore + System):
+//
+//	mocckpt -dir /path/to/ckpts list     # rounds and per-round volumes
+//	mocckpt -dir /path/to/ckpts verify   # checksum every recoverable blob
+//	mocckpt -dir /path/to/ckpts compact  # drop superseded PEC blobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"moc/internal/core"
+	"moc/internal/storage"
+)
+
+func main() {
+	dir := flag.String("dir", "", "checkpoint directory (FSStore root)")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if *dir == "" || cmd == "" {
+		fmt.Fprintln(os.Stderr, "usage: mocckpt -dir <path> {list|verify|compact}")
+		os.Exit(2)
+	}
+	store, err := storage.NewFSStore(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	switch cmd {
+	case "list":
+		if err := list(store); err != nil {
+			fatal(err)
+		}
+	case "verify":
+		agent := openAgent(store)
+		defer agent.Close()
+		n, err := agent.Verify()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OK: %d recoverable blobs verified (latest complete round %d)\n",
+			n, agent.LatestCompleteRound())
+	case "compact":
+		agent := openAgent(store)
+		defer agent.Close()
+		before, err := agent.PersistedBytes()
+		if err != nil {
+			fatal(err)
+		}
+		deleted, err := agent.Compact()
+		if err != nil {
+			fatal(err)
+		}
+		after, err := agent.PersistedBytes()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compacted: %d blobs deleted, %d -> %d bytes\n", deleted, before, after)
+	default:
+		fmt.Fprintf(os.Stderr, "mocckpt: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func openAgent(store storage.PersistStore) *core.Agent {
+	agent, err := core.NewAgent(storage.NewSnapshotStore(), store, 2)
+	if err != nil {
+		fatal(err)
+	}
+	return agent
+}
+
+func list(store storage.PersistStore) error {
+	keys, err := store.Keys("ckpt/")
+	if err != nil {
+		return err
+	}
+	type roundInfo struct {
+		blobs    int
+		bytes    int64
+		complete bool
+	}
+	rounds := map[int]*roundInfo{}
+	for _, k := range keys {
+		parts := strings.SplitN(k, "/", 3)
+		if len(parts) < 3 {
+			continue
+		}
+		r, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		info := rounds[r]
+		if info == nil {
+			info = &roundInfo{}
+			rounds[r] = info
+		}
+		if parts[2] == "_complete" {
+			info.complete = true
+			continue
+		}
+		blob, err := store.Get(k)
+		if err != nil {
+			return err
+		}
+		info.blobs++
+		info.bytes += int64(len(blob))
+	}
+	var order []int
+	for r := range rounds {
+		order = append(order, r)
+	}
+	sort.Ints(order)
+	if len(order) == 0 {
+		fmt.Println("no checkpoints")
+		return nil
+	}
+	fmt.Printf("%-8s %-8s %-12s %s\n", "round", "blobs", "bytes", "status")
+	for _, r := range order {
+		info := rounds[r]
+		status := "INCOMPLETE"
+		if info.complete {
+			status = "complete"
+		}
+		fmt.Printf("%-8d %-8d %-12d %s\n", r, info.blobs, info.bytes, status)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mocckpt:", err)
+	os.Exit(1)
+}

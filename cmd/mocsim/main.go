@@ -1,0 +1,73 @@
+// Command mocsim runs the checkpointing-efficiency simulations of the
+// MoC-System paper (Figures 10–13 and the §6.2.5 overhead model) on the
+// calibrated analytic cost models and the discrete-event pipeline
+// simulator.
+//
+// Usage:
+//
+//	mocsim -exp size        # Figure 10(a): checkpoint size vs K_pec
+//	mocsim -exp bottleneck  # Figure 10(b-d): bottleneck-rank workloads
+//	mocsim -exp iter        # Figure 11: per-process durations
+//	mocsim -exp async       # Figure 12: Baseline / Base-Async / MoC-Async
+//	mocsim -exp scale       # Figure 13(a-f): scaling & generality
+//	mocsim -exp overhead    # §6.2.5: Eqs. 12-16 numerically
+//	mocsim -exp all         # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: size|bottleneck|iter|async|scale|overhead|all")
+	panel := flag.String("panel", "", "Figure 13 panel (a-f); empty = all panels")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("size") {
+		fmt.Println(experiments.Fig10a())
+		ran = true
+	}
+	if run("bottleneck") {
+		_, out := experiments.Fig10bcd()
+		fmt.Println(out)
+		ran = true
+	}
+	if run("iter") {
+		_, out := experiments.Fig11()
+		fmt.Println(out)
+		ran = true
+	}
+	if run("async") {
+		_, out := experiments.Fig12()
+		fmt.Println(out)
+		ran = true
+	}
+	if run("scale") {
+		panels := experiments.Fig13Panels()
+		if *panel != "" {
+			panels = []string{*panel}
+		}
+		for _, p := range panels {
+			_, out := experiments.Fig13(p)
+			fmt.Println(out)
+		}
+		ran = true
+	}
+	if run("overhead") {
+		fmt.Println(experiments.OverheadModel())
+		fmt.Println(experiments.FaultEndToEnd())
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "mocsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

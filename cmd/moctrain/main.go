@@ -1,0 +1,90 @@
+// Command moctrain runs the accuracy experiments of the MoC-System paper
+// on the real pure-Go MoE trainer: PEC's impact on validation loss and
+// downstream accuracy under fault injection (Figure 5, Figure 14,
+// Figure 15; Tables 3 and 4).
+//
+// Usage:
+//
+//	moctrain -exp plt-grid    # Figure 5: PLT vs validation loss grid
+//	moctrain -exp losscurve   # Figure 14(a): loss curves with faults
+//	moctrain -exp vision      # Figure 14(b): sequential vs load-aware
+//	moctrain -exp twolevel    # Figure 15(a): two-level recovery PLT
+//	moctrain -exp dynamick    # Figure 15(b): Dynamic-K vs fixed K
+//	moctrain -exp downstream  # Table 3: downstream-task accuracy
+//	moctrain -exp finetune    # Table 4: fine-tuning variants
+//	moctrain -exp ablation    # selection-policy ablation
+//	moctrain -exp all         # everything above
+//
+// Pass -quick to shrink the training horizons (what tests/benches use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: plt-grid|losscurve|vision|twolevel|dynamick|downstream|finetune|ablation|all")
+	quick := flag.Bool("quick", false, "shrink training horizons (~4x faster)")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("plt-grid") {
+		_, out := experiments.Fig05PLTGrid(*quick)
+		fmt.Println(out)
+		ran = true
+	}
+	if run("losscurve") {
+		series, out := experiments.Fig14a(*quick)
+		fmt.Println(out)
+		fmt.Println("Loss curves (sampled during training):")
+		for _, s := range series {
+			fmt.Printf("  %-9s", s.Variant)
+			for _, l := range s.Losses {
+				fmt.Printf(" %.3f", l)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+		ran = true
+	}
+	if run("vision") {
+		_, out := experiments.Fig14b(*quick)
+		fmt.Println(out)
+		ran = true
+	}
+	if run("twolevel") {
+		_, out := experiments.Fig15a(*quick)
+		fmt.Println(out)
+		ran = true
+	}
+	if run("dynamick") {
+		_, out := experiments.Fig15b()
+		fmt.Println(out)
+		ran = true
+	}
+	if run("downstream") {
+		_, out := experiments.Table3(*quick)
+		fmt.Println(out)
+		ran = true
+	}
+	if run("finetune") {
+		_, out := experiments.Table4(*quick)
+		fmt.Println(out)
+		ran = true
+	}
+	if run("ablation") {
+		fmt.Println(experiments.SelectionAblation(*quick))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "moctrain: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,34 @@
+package moc
+
+import "moc/internal/data"
+
+// Additional corpus constructors for the experiment workloads.
+
+// NewBlendedCorpus builds a corpus whose transition structure interpolates
+// between two domains: alpha · domainA + (1−alpha) · domainB. Blends model
+// domain shift with transfer, the regime of the downstream-task and
+// fine-tuning experiments.
+func NewBlendedCorpus(name string, vocab int, domainA, domainB uint64, alpha float64) *Corpus {
+	a := data.NewCorpus("a", vocab, domainA)
+	b := data.NewCorpus("b", vocab, domainB)
+	return &Corpus{c: data.Blend(name, a, b, alpha)}
+}
+
+// PretrainCorpus returns the default pre-training stream (the SlimPajama /
+// Wikitext stand-in).
+func PretrainCorpus(vocab int) *Corpus {
+	return &Corpus{c: data.NewCorpus("pretrain", vocab, data.PretrainDomain)}
+}
+
+// VisionCorpus returns the vision-proxy stream (the ImageNet stand-in for
+// the SwinV2-MoE experiment, Fig. 14b).
+func VisionCorpus(vocab int) *Corpus {
+	return &Corpus{c: data.NewCorpus("vision", vocab, data.VisionDomain)}
+}
+
+// FinetuneCorpus returns the instruction-tuning proxy stream (the Alpaca
+// stand-in of Table 4): a blend of the pre-training domain with a new
+// domain, so fine-tuning transfers yet shifts.
+func FinetuneCorpus(vocab int) *Corpus {
+	return NewBlendedCorpus("finetune", vocab, data.PretrainDomain, data.FinetuneDomain, 0.5)
+}

@@ -1,0 +1,23 @@
+// Package moc is the public API of the MoC-System reproduction: efficient
+// fault tolerance for sparse Mixture-of-Experts model training, after
+// "MoC-System: Efficient Fault Tolerance for Sparse Mixture-of-Experts
+// Model Training" (Cai, Qin, Huang — ASPLOS 2025).
+//
+// The package offers two entry points:
+//
+//   - System (system.go) trains a real, small-scale MoE language model
+//     while checkpointing it through the MoC pipeline — Partial Experts
+//     Checkpointing with sequential or load-aware selection, two-level
+//     (snapshot/persist) asynchronous management with triple buffering,
+//     two-level recovery, Dynamic-K — and supports fault injection with
+//     exact recovery semantics. It reproduces the paper's accuracy results
+//     (Figures 5, 14, 15; Tables 3, 4) at laptop scale.
+//
+//   - SimulateCase / SimulateWorkload (sim.go) evaluate the checkpointing
+//     efficiency of cluster-scale deployments with calibrated analytic
+//     cost models and a discrete-event pipeline simulator, reproducing the
+//     paper's efficiency results (Figures 10–13).
+//
+// See README.md for a walkthrough and EXPERIMENTS.md for the full
+// paper-versus-measured experiment index.
+package moc

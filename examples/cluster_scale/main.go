@@ -1,0 +1,68 @@
+// Cluster-scale checkpointing efficiency: evaluate Baseline, Base-Async,
+// and MoC-Async on the paper's Table 2 cluster configurations and on a
+// GPU-count sweep of a LLaMA-like MoE model (the Fig. 12/13 workloads),
+// using the calibrated analytic cost models.
+//
+//	go run ./examples/cluster_scale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	moc "moc"
+)
+
+func main() {
+	methods := []moc.MethodSpec{
+		{Name: "baseline"},
+		{Name: "base-async"},
+		{Name: "moc-async", KSnapshot: 4, KPersist: 1},
+	}
+
+	fmt.Println("Table 2 cases (GPT-350M-16E on A800s):")
+	for _, c := range []string{"case1", "case2", "case3"} {
+		fmt.Printf("  %s:\n", c)
+		var baseline float64
+		for _, m := range methods {
+			b, err := moc.SimulateCase(c, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.Name == "baseline" {
+				baseline = b.IterTime
+			}
+			fmt.Printf("    %-10s  ckpt-iter %6.2fs  O_save %6.2fs  speedup %.2fx  min I_ckpt %.1f iters\n",
+				m.Name, b.IterTime, b.OSave, baseline/b.IterTime, b.MinIntervalIters)
+		}
+	}
+
+	fmt.Println("\nScaling a LLaMA-like MoE (one expert per GPU per layer, A800):")
+	for _, gpus := range []int{32, 128, 512, 1024} {
+		fmt.Printf("  %4d GPUs:\n", gpus)
+		for _, m := range methods {
+			b, err := moc.SimulateWorkload(moc.WorkloadSpec{GPUs: gpus}, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %-10s  F&B %6.2fs  snapshot %6.2fs  ckpt-iter %6.2fs  persist total %5.0f GB\n",
+				m.Name, b.FB, b.Snapshot, b.IterTime, float64(b.TotalPersistBytes)/1e9)
+		}
+	}
+
+	fmt.Println("\nEnd-to-end pipeline (Case 2, checkpoint every 5 iterations, 500 iterations):")
+	for _, m := range methods {
+		res, err := moc.SimulatePipeline(moc.WorkloadSpec{Case: "case2"}, m, 5, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s  total %8.1fs  avg iter %5.2fs  O_save/ckpt %5.2fs  ckpts %d (skipped %d)\n",
+			m.Name, res.TotalSeconds, res.AvgIterSeconds, res.OSavePerCkpt,
+			res.Checkpoints, res.SkippedTriggers)
+	}
+
+	fmt.Println("\nCheckpoint size vs K_pec (GPT-350M-16E, paper-calibrated composition):")
+	for _, k := range []int{16, 8, 4, 2, 1} {
+		fmt.Printf("  K_pec=%-2d  %5.1f%% of full\n", k, 100*moc.CheckpointSizeRatio(k, 16, true))
+	}
+}

@@ -1,0 +1,76 @@
+// Fine-tuning with PEC fault tolerance (the Table 4 workflow): pre-train
+// a base model, fork it onto an instruction-tuning proxy corpus, inject a
+// fault mid-fine-tuning, and compare full checkpointing, PEC, and frozen-
+// experts fine-tuning.
+//
+//	go run ./examples/finetune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	moc "moc"
+)
+
+func main() {
+	const (
+		pretrainIters = 400
+		ftIters       = 240
+		vocab         = 64
+	)
+	baseCfg := moc.Config{
+		Layers: 4, Hidden: 32, Experts: 8, TopK: 2,
+		Vocab: vocab, Window: 8, BatchSize: 32,
+		LR: 0.01, CapacityFactor: 1.5, GateNoise: 0.1,
+		Seed: 99,
+	}
+	ftCorpus := moc.FinetuneCorpus(vocab)
+
+	fmt.Println("pre-training the base model...")
+	base, err := moc.NewSystem(baseCfg, moc.NewMemStore())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer base.Close()
+	if _, err := base.RunTo(pretrainIters); err != nil {
+		log.Fatal(err)
+	}
+	_, baseAcc, err := base.EvaluateOn(ftCorpus, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-22s FT-domain accuracy %5.1f%%\n", "Base (no fine-tuning)", 100*baseAcc)
+
+	finetune := func(name string, overrides moc.Config) {
+		ft, err := base.ForkOn(ftCorpus, overrides)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ft.Close()
+		target := pretrainIters + ftIters
+		mid := pretrainIters + ftIters/2
+		if _, err := ft.RunTo(mid); err != nil {
+			log.Fatal(err)
+		}
+		if overrides.Interval > 0 {
+			if err := ft.InjectFault(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := ft.RunTo(target); err != nil {
+			log.Fatal(err)
+		}
+		_, acc, err := ft.EvaluateOn(ftCorpus, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := ft.Stats()
+		fmt.Printf("  %-22s FT-domain accuracy %5.1f%%  (faults %d, PLT %.2f%%)\n",
+			name, 100*acc, st.Faults, 100*st.PLT)
+	}
+
+	finetune("FT-w.o.E (frozen)", moc.Config{Interval: 12, FreezeExperts: true, Variant: moc.VariantFull})
+	finetune("FT-Full", moc.Config{Interval: 12, Variant: moc.VariantFull})
+	finetune("FT-PEC (1/8 experts)", moc.Config{Interval: 12, Variant: moc.VariantWO, KSnapshot: 1, KPersist: 1})
+}

@@ -1,0 +1,156 @@
+// Package cluster models the distributed-training topology the MoC-System
+// operates in: nodes with several GPUs each, and the hybrid parallel
+// strategy of ZeRO-2 data parallelism (DP) + expert parallelism (EP), with
+// optional tensor (TP) and pipeline (PP) parallelism as modular multipliers
+// (§2.2 of the paper).
+//
+// Ranks are numbered 0..WorldSize-1 and map onto nodes in order. With TP or
+// PP, each data-parallel replica spans TP·PP ranks; from the checkpointing
+// perspective these behave as a single modular unit (§2.2), so most
+// accounting is expressed per DP rank.
+//
+// Expert placement follows the DeepSpeed-MoE convention (Figs. 1 and 6):
+// the DP ranks are divided into DP/EP consecutive EP groups; within a
+// group, expert e of every MoE layer lives on the rank at group position
+// e / (N/EP). The same expert is therefore replicated once per EP group.
+package cluster
+
+import "fmt"
+
+// Topology describes a training deployment.
+type Topology struct {
+	Name        string
+	NumNodes    int
+	GPUsPerNode int
+	// Parallel degrees. DP·TP·PP must equal NumNodes·GPUsPerNode, and EP
+	// must divide DP.
+	DP, TP, PP, EP int
+}
+
+// Validate checks the parallel-degree arithmetic.
+func (t Topology) Validate() error {
+	if t.NumNodes <= 0 || t.GPUsPerNode <= 0 {
+		return fmt.Errorf("cluster %q: nodes/GPUs must be positive", t.Name)
+	}
+	if t.DP <= 0 || t.TP <= 0 || t.PP <= 0 || t.EP <= 0 {
+		return fmt.Errorf("cluster %q: parallel degrees must be positive", t.Name)
+	}
+	if t.DP*t.TP*t.PP != t.NumNodes*t.GPUsPerNode {
+		return fmt.Errorf("cluster %q: DP*TP*PP = %d does not cover world size %d",
+			t.Name, t.DP*t.TP*t.PP, t.NumNodes*t.GPUsPerNode)
+	}
+	if t.DP%t.EP != 0 {
+		return fmt.Errorf("cluster %q: EP=%d must divide DP=%d", t.Name, t.EP, t.DP)
+	}
+	return nil
+}
+
+// WorldSize returns the total number of ranks (GPUs).
+func (t Topology) WorldSize() int { return t.NumNodes * t.GPUsPerNode }
+
+// NumEPGroups returns the number of expert-parallel groups (DP / EP).
+func (t Topology) NumEPGroups() int { return t.DP / t.EP }
+
+// EPGroupOf returns the EP group index of a DP rank.
+func (t Topology) EPGroupOf(dpRank int) int { return dpRank / t.EP }
+
+// EPPositionOf returns the position of a DP rank within its EP group.
+func (t Topology) EPPositionOf(dpRank int) int { return dpRank % t.EP }
+
+// NodeOf returns the node index hosting a DP rank (TP/PP collapsed: each DP
+// rank occupies TP·PP consecutive GPUs).
+func (t Topology) NodeOf(dpRank int) int {
+	gpusPerDPRank := t.TP * t.PP
+	firstGPU := dpRank * gpusPerDPRank
+	return firstGPU / t.GPUsPerNode
+}
+
+// RanksOnNode returns the DP ranks hosted on the given node.
+func (t Topology) RanksOnNode(node int) []int {
+	var out []int
+	for r := 0; r < t.DP; r++ {
+		if t.NodeOf(r) == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ExpertsPerRank returns how many experts of each MoE layer live on one
+// rank, given N experts per layer.
+func (t Topology) ExpertsPerRank(numExperts int) int {
+	if numExperts%t.EP != 0 {
+		// The paper's configurations always divide evenly; round up so
+		// odd shapes still place every expert.
+		return (numExperts + t.EP - 1) / t.EP
+	}
+	return numExperts / t.EP
+}
+
+// RankOfExpert returns the DP rank (within the given EP group) that hosts
+// expert e, for layers with numExperts experts.
+func (t Topology) RankOfExpert(epGroup, e, numExperts int) int {
+	per := t.ExpertsPerRank(numExperts)
+	pos := e / per
+	if pos >= t.EP {
+		pos = t.EP - 1
+	}
+	return epGroup*t.EP + pos
+}
+
+// ExpertsOnRank returns the expert indices (per MoE layer) hosted on dpRank.
+func (t Topology) ExpertsOnRank(dpRank, numExperts int) []int {
+	pos := t.EPPositionOf(dpRank)
+	per := t.ExpertsPerRank(numExperts)
+	var out []int
+	for e := pos * per; e < (pos+1)*per && e < numExperts; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+// EPIsIntraNode reports whether every EP group fits within one node, the
+// configuration the paper identifies as preferable because All-to-All stays
+// on NVLink (§6.2.2, Case3 vs Case2 discussion).
+func (t Topology) EPIsIntraNode() bool {
+	gpusPerDPRank := t.TP * t.PP
+	ranksPerNode := t.GPUsPerNode / gpusPerDPRank
+	if ranksPerNode == 0 {
+		return false
+	}
+	return t.EP <= ranksPerNode && ranksPerNode%t.EP == 0
+}
+
+// Case1 is Table 2's Case1: 1 node, 8 GPUs, DP=8, EP=8 (2 experts/GPU for
+// the 16-expert model).
+func Case1() Topology {
+	return Topology{Name: "Case1", NumNodes: 1, GPUsPerNode: 8, DP: 8, TP: 1, PP: 1, EP: 8}
+}
+
+// Case2 is Table 2's Case2: 2 nodes, 16 GPUs, DP=16, EP=16 (1 expert/GPU).
+func Case2() Topology {
+	return Topology{Name: "Case2", NumNodes: 2, GPUsPerNode: 8, DP: 16, TP: 1, PP: 1, EP: 16}
+}
+
+// Case3 is Table 2's Case3: 2 nodes, 16 GPUs, DP=16, EP=8 (2 EP groups,
+// 2 experts/GPU).
+func Case3() Topology {
+	return Topology{Name: "Case3", NumNodes: 2, GPUsPerNode: 8, DP: 16, TP: 1, PP: 1, EP: 8}
+}
+
+// Cases returns the three Table 2 configurations in order.
+func Cases() []Topology { return []Topology{Case1(), Case2(), Case3()} }
+
+// Scaled builds a DP+EP topology with the given number of GPUs (8 per
+// node), assigning each expert of an MoE layer to a distinct GPU as in the
+// Fig. 13 scaling runs. With tp > 1 the same expert count is kept while
+// DP shrinks by the TP factor.
+func Scaled(numGPUs, tp int) Topology {
+	nodes := (numGPUs + 7) / 8
+	dp := numGPUs / tp
+	return Topology{
+		Name:     fmt.Sprintf("Scale-%dGPU-TP%d", numGPUs, tp),
+		NumNodes: nodes, GPUsPerNode: 8,
+		DP: dp, TP: tp, PP: 1, EP: dp,
+	}
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCasesValidate(t *testing.T) {
+	for _, c := range Cases() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	c1, c2, c3 := Case1(), Case2(), Case3()
+	if c1.WorldSize() != 8 || c2.WorldSize() != 16 || c3.WorldSize() != 16 {
+		t.Fatal("world sizes do not match Table 2")
+	}
+	if c1.ExpertsPerRank(16) != 2 {
+		t.Fatalf("Case1 experts/GPU = %d, want 2", c1.ExpertsPerRank(16))
+	}
+	if c2.ExpertsPerRank(16) != 1 {
+		t.Fatalf("Case2 experts/GPU = %d, want 1", c2.ExpertsPerRank(16))
+	}
+	if c3.ExpertsPerRank(16) != 2 {
+		t.Fatalf("Case3 experts/GPU = %d, want 2", c3.ExpertsPerRank(16))
+	}
+	if c1.NumEPGroups() != 1 || c2.NumEPGroups() != 1 || c3.NumEPGroups() != 2 {
+		t.Fatal("EP group counts do not match Table 2")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Topology{
+		{Name: "zero", NumNodes: 0, GPUsPerNode: 8, DP: 8, TP: 1, PP: 1, EP: 8},
+		{Name: "mismatch", NumNodes: 1, GPUsPerNode: 8, DP: 4, TP: 1, PP: 1, EP: 4},
+		{Name: "ep-not-div", NumNodes: 1, GPUsPerNode: 8, DP: 8, TP: 1, PP: 1, EP: 3},
+		{Name: "neg-deg", NumNodes: 1, GPUsPerNode: 8, DP: 8, TP: 0, PP: 1, EP: 8},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.Name)
+		}
+	}
+}
+
+func TestEPGroupArithmetic(t *testing.T) {
+	c := Case3() // DP=16, EP=8, 2 groups
+	for r := 0; r < c.DP; r++ {
+		g := c.EPGroupOf(r)
+		p := c.EPPositionOf(r)
+		if g*c.EP+p != r {
+			t.Fatalf("rank %d: group %d pos %d does not reconstruct", r, g, p)
+		}
+		if g < 0 || g >= c.NumEPGroups() {
+			t.Fatalf("rank %d: group %d out of range", r, g)
+		}
+	}
+}
+
+func TestExpertPlacementCoversAllExperts(t *testing.T) {
+	err := quick.Check(func(epPow, nePow uint8) bool {
+		ep := 1 << (epPow % 5)                // 1..16
+		numExperts := ep * (1 + int(nePow%4)) // multiple of EP
+		topo := Topology{Name: "t", NumNodes: 2, GPUsPerNode: 8,
+			DP: 16, TP: 1, PP: 1, EP: ep}
+		if err := topo.Validate(); err != nil {
+			return true
+		}
+		for g := 0; g < topo.NumEPGroups(); g++ {
+			covered := map[int]bool{}
+			for pos := 0; pos < topo.EP; pos++ {
+				rank := g*topo.EP + pos
+				for _, e := range topo.ExpertsOnRank(rank, numExperts) {
+					if covered[e] {
+						return false // expert placed twice in one group
+					}
+					covered[e] = true
+					if topo.RankOfExpert(g, e, numExperts) != rank {
+						return false // inverse mapping mismatch
+					}
+				}
+			}
+			if len(covered) != numExperts {
+				return false // some expert missing
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeOfAndRanksOnNode(t *testing.T) {
+	c := Case2()
+	if c.NodeOf(0) != 0 || c.NodeOf(7) != 0 || c.NodeOf(8) != 1 || c.NodeOf(15) != 1 {
+		t.Fatal("NodeOf mapping wrong for Case2")
+	}
+	n0 := c.RanksOnNode(0)
+	n1 := c.RanksOnNode(1)
+	if len(n0) != 8 || len(n1) != 8 {
+		t.Fatalf("RanksOnNode sizes: %d, %d", len(n0), len(n1))
+	}
+	if n0[0] != 0 || n1[0] != 8 {
+		t.Fatal("RanksOnNode contents wrong")
+	}
+}
+
+func TestNodeOfWithTP(t *testing.T) {
+	topo := Scaled(64, 4) // 8 nodes, DP=16, each DP rank spans 4 GPUs
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeOf(0) != 0 {
+		t.Fatal("first DP rank should be on node 0")
+	}
+	if topo.NodeOf(2) != 1 { // DP rank 2 starts at GPU 8
+		t.Fatalf("NodeOf(2) = %d, want 1", topo.NodeOf(2))
+	}
+}
+
+func TestEPIsIntraNode(t *testing.T) {
+	if !Case1().EPIsIntraNode() {
+		t.Error("Case1 EP should be intra-node")
+	}
+	if Case2().EPIsIntraNode() {
+		t.Error("Case2 EP spans nodes")
+	}
+	if !Case3().EPIsIntraNode() {
+		t.Error("Case3 EP should be intra-node")
+	}
+}
+
+func TestScaledTopology(t *testing.T) {
+	for _, gpus := range []int{32, 64, 128, 256, 512, 1024} {
+		topo := Scaled(gpus, 1)
+		if err := topo.Validate(); err != nil {
+			t.Errorf("Scaled(%d): %v", gpus, err)
+		}
+		if topo.WorldSize() != gpus {
+			t.Errorf("Scaled(%d) world = %d", gpus, topo.WorldSize())
+		}
+		if topo.EP != gpus {
+			t.Errorf("Scaled(%d) EP = %d, want one expert per GPU", gpus, topo.EP)
+		}
+	}
+}
+
+func TestExpertsPerRankUneven(t *testing.T) {
+	c := Case1() // EP=8
+	if got := c.ExpertsPerRank(12); got != 2 {
+		t.Fatalf("uneven experts per rank = %d, want ceil(12/8)=2", got)
+	}
+	// All 12 experts must still be covered once.
+	covered := map[int]bool{}
+	for pos := 0; pos < c.EP; pos++ {
+		for _, e := range c.ExpertsOnRank(pos, 12) {
+			if covered[e] {
+				t.Fatalf("expert %d placed twice", e)
+			}
+			covered[e] = true
+		}
+	}
+	if len(covered) != 12 {
+		t.Fatalf("covered %d of 12 experts", len(covered))
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+// AdaptiveConfig is the outcome of the adaptive two-level configuration
+// scheme of §5.3.
+type AdaptiveConfig struct {
+	// KSnapshot is the snapshot-level expert fan-out: the largest K whose
+	// snapshot fully overlaps the next iteration's forward+backward.
+	KSnapshot int
+	// KPersist is the persist-level fan-out, kept small (the two-level
+	// recovery absorbs its PLT cost) to minimize the persist duration.
+	KPersist int
+	// MinInterval is the checkpoint-interval lower bound in iterations
+	// imposed by the persist channel.
+	MinInterval float64
+	// SnapshotTime and PersistTime are the projected phase durations at
+	// the chosen fan-outs.
+	SnapshotTime float64
+	PersistTime  float64
+}
+
+// AdaptivePlanInput supplies the measurements the configurator needs,
+// decoupled from any particular cost model.
+type AdaptivePlanInput struct {
+	// NumExperts is N, the experts per MoE layer.
+	NumExperts int
+	// FBTime is the forward+backward window available for overlap.
+	FBTime float64
+	// IterTime is the full iteration duration (F&B + update).
+	IterTime float64
+	// SnapshotSeconds returns the bottleneck-rank snapshot duration when
+	// saving k experts per layer.
+	SnapshotSeconds func(k int) float64
+	// PersistSeconds returns the bottleneck-rank persist duration when
+	// persisting k experts per layer.
+	PersistSeconds func(k int) float64
+}
+
+// ConfigureTwoLevel picks (K_snapshot, K_persist) per §5.3: the primary
+// strategy maximizes K_snapshot subject to complete snapshot/F&B overlap
+// (minimizing O_save at the lowest achievable PLT), and sets K_persist to
+// the smallest fan-out, which minimizes the persist duration and therefore
+// the lower bound on I_ckpt; the two-level recovery keeps the PLT cost of
+// the aggressive persist level low.
+func ConfigureTwoLevel(in AdaptivePlanInput) AdaptiveConfig {
+	if in.NumExperts <= 0 || in.SnapshotSeconds == nil || in.PersistSeconds == nil {
+		panic("core: incomplete adaptive plan input")
+	}
+	kSnap := 1
+	for k := in.NumExperts; k >= 1; k-- {
+		if in.SnapshotSeconds(k) <= in.FBTime {
+			kSnap = k
+			break
+		}
+	}
+	kPersist := 1
+	if kPersist > kSnap {
+		kPersist = kSnap
+	}
+	cfg := AdaptiveConfig{
+		KSnapshot:    kSnap,
+		KPersist:     kPersist,
+		SnapshotTime: in.SnapshotSeconds(kSnap),
+		PersistTime:  in.PersistSeconds(kPersist),
+	}
+	if in.IterTime > 0 {
+		occ := cfg.SnapshotTime
+		if cfg.PersistTime > occ {
+			occ = cfg.PersistTime
+		}
+		cfg.MinInterval = occ / in.IterTime
+		if cfg.MinInterval < 1 {
+			cfg.MinInterval = 1
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestConfigureTwoLevelPicksLargestOverlappableK(t *testing.T) {
+	// Snapshot time grows linearly with K: 0.5s per expert. F&B = 2.1s ⇒
+	// K_snapshot = 4 is the largest fully-overlappable fan-out.
+	in := AdaptivePlanInput{
+		NumExperts:      16,
+		FBTime:          2.1,
+		IterTime:        2.4,
+		SnapshotSeconds: func(k int) float64 { return 0.5 * float64(k) },
+		PersistSeconds:  func(k int) float64 { return 1.2 * float64(k) },
+	}
+	cfg := ConfigureTwoLevel(in)
+	if cfg.KSnapshot != 4 {
+		t.Fatalf("K_snapshot = %d, want 4", cfg.KSnapshot)
+	}
+	if cfg.KPersist != 1 {
+		t.Fatalf("K_persist = %d, want 1", cfg.KPersist)
+	}
+	if cfg.SnapshotTime != 2.0 || cfg.PersistTime != 1.2 {
+		t.Fatalf("times: %+v", cfg)
+	}
+	if cfg.MinInterval != 1 {
+		t.Fatalf("min interval = %v, want clamp at 1", cfg.MinInterval)
+	}
+}
+
+func TestConfigureTwoLevelFallsBackToK1(t *testing.T) {
+	// Even K=1 does not overlap: configuration still returns K=1 (the
+	// minimum) rather than zero.
+	in := AdaptivePlanInput{
+		NumExperts:      8,
+		FBTime:          0.1,
+		IterTime:        0.2,
+		SnapshotSeconds: func(k int) float64 { return float64(k) },
+		PersistSeconds:  func(k int) float64 { return 2 * float64(k) },
+	}
+	cfg := ConfigureTwoLevel(in)
+	if cfg.KSnapshot != 1 || cfg.KPersist != 1 {
+		t.Fatalf("fallback config: %+v", cfg)
+	}
+	// Persist (2s) bounds the interval: 2 / 0.2 = 10 iterations.
+	if cfg.MinInterval != 10 {
+		t.Fatalf("min interval = %v, want 10", cfg.MinInterval)
+	}
+}
+
+func TestConfigureTwoLevelFullWhenCheap(t *testing.T) {
+	in := AdaptivePlanInput{
+		NumExperts:      8,
+		FBTime:          100,
+		IterTime:        101,
+		SnapshotSeconds: func(k int) float64 { return 0.01 * float64(k) },
+		PersistSeconds:  func(k int) float64 { return 0.02 * float64(k) },
+	}
+	cfg := ConfigureTwoLevel(in)
+	if cfg.KSnapshot != 8 {
+		t.Fatalf("K_snapshot = %d, want all 8 when overlap is free", cfg.KSnapshot)
+	}
+}
+
+func TestConfigureTwoLevelPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ConfigureTwoLevel(AdaptivePlanInput{})
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"moc/internal/storage"
+)
+
+// CheckpointData maps module keys (model module names) to serialized
+// blobs. It is the unit the checkpoint agent moves between the GPU,
+// CPU-memory snapshots, and persistent storage.
+type CheckpointData map[string][]byte
+
+// AgentStats summarizes an agent's activity.
+type AgentStats struct {
+	SnapshotsStarted int
+	SnapshotsDone    int
+	Persisted        int
+	Skipped          int
+	// SnapshotWait is the cumulative checkpoint-stall time callers spent
+	// in WaitSnapshot (the "S" block of Fig. 3).
+	SnapshotWait time.Duration
+}
+
+// Agent is the per-node checkpoint manager of §5: it runs the GPU→CPU
+// snapshot asynchronously, hands completed snapshots to a background
+// persist worker, and maintains the triple-buffer invariant that a
+// complete, recovery-consistent checkpoint always exists while at most one
+// snapshot and one persist are in flight.
+//
+// Buffer accounting follows Fig. 9: a buffer is occupied while a snapshot
+// is being captured into it, while it waits for or undergoes persistence,
+// and while it serves as the recovery buffer; it is freed when a newer
+// persist completes and takes over the recovery role.
+type Agent struct {
+	snap    *storage.SnapshotStore
+	persist storage.PersistStore
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	nbuf      int
+	inUse     int
+	recovery  bool // a recovery buffer is held
+	capturing bool
+	capErr    error
+	closed    bool
+	stats     AgentStats
+
+	// snapRound[k] is the round whose state the snapshot store currently
+	// holds for module k.
+	snapRound map[string]int
+	// persistIndex[k] lists the complete rounds in which module k was
+	// persisted, ascending.
+	persistIndex map[string][]int
+	// completeRounds lists fully persisted rounds, ascending.
+	completeRounds []int
+
+	jobs chan persistJob
+	wg   sync.WaitGroup
+	errs []error
+}
+
+type persistJob struct {
+	round int
+	data  CheckpointData
+}
+
+// NewAgent builds an agent over the given snapshot (CPU memory) and
+// persistent stores with the given buffer count (the paper uses 3; minimum
+// 2). It recovers the persisted-round index from the store, so reopening
+// over an existing PersistStore resumes where a previous agent stopped.
+func NewAgent(snap *storage.SnapshotStore, persist storage.PersistStore, buffers int) (*Agent, error) {
+	if buffers < 2 {
+		return nil, fmt.Errorf("core: agent needs at least 2 buffers, got %d", buffers)
+	}
+	a := &Agent{
+		snap:         snap,
+		persist:      persist,
+		nbuf:         buffers,
+		snapRound:    make(map[string]int),
+		persistIndex: make(map[string][]int),
+		jobs:         make(chan persistJob, buffers),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	if err := a.loadIndex(); err != nil {
+		return nil, err
+	}
+	a.wg.Add(1)
+	go a.persistLoop()
+	return a, nil
+}
+
+// loadIndex rebuilds the complete-round and per-module indices from the
+// persistent store.
+func (a *Agent) loadIndex() error {
+	keys, err := a.persist.Keys("ckpt/")
+	if err != nil {
+		return fmt.Errorf("core: scan persist store: %w", err)
+	}
+	complete := map[int]bool{}
+	byRound := map[int][]string{}
+	for _, k := range keys {
+		parts := strings.SplitN(k, "/", 3)
+		if len(parts) < 3 {
+			continue
+		}
+		round, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		if parts[2] == completeMarker {
+			complete[round] = true
+			continue
+		}
+		byRound[round] = append(byRound[round], parts[2])
+	}
+	for round := range complete {
+		a.completeRounds = append(a.completeRounds, round)
+		for _, mod := range byRound[round] {
+			a.persistIndex[mod] = append(a.persistIndex[mod], round)
+		}
+	}
+	sort.Ints(a.completeRounds)
+	for mod := range a.persistIndex {
+		sort.Ints(a.persistIndex[mod])
+	}
+	if len(a.completeRounds) > 0 {
+		a.recovery = true
+		a.inUse = 1
+	}
+	return nil
+}
+
+const completeMarker = "_complete"
+
+func persistKeyFor(round int, module string) string {
+	return fmt.Sprintf("ckpt/%06d/%s", round, module)
+}
+
+// TrySnapshot starts an asynchronous checkpoint of the given round. The
+// capture callback runs on the snapshot goroutine and must return a
+// consistent copy of the module states (the GPU→CPU copy). keepForPersist
+// selects which captured modules the persist level writes (persist-PEC);
+// nil persists everything captured.
+//
+// It returns false — and the trigger is skipped, as in §5.2 — when a
+// snapshot is already in flight or no buffer is free.
+func (a *Agent) TrySnapshot(round int, capture func() (CheckpointData, error), keepForPersist func(module string) bool) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed || a.capturing || a.inUse >= a.nbuf {
+		a.stats.Skipped++
+		return false
+	}
+	a.capturing = true
+	a.inUse++
+	a.stats.SnapshotsStarted++
+	go a.runSnapshot(round, capture, keepForPersist)
+	return true
+}
+
+func (a *Agent) runSnapshot(round int, capture func() (CheckpointData, error), keep func(string) bool) {
+	data, err := capture()
+	a.mu.Lock()
+	if err != nil {
+		a.capErr = err
+		a.capturing = false
+		a.inUse--
+		a.cond.Broadcast()
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+
+	// Write the snapshot level: the CPU-memory store always holds the
+	// freshest captured copy of each module.
+	for k, blob := range data {
+		if putErr := a.snap.Put(k, blob); putErr != nil {
+			err = putErr
+			break
+		}
+	}
+
+	a.mu.Lock()
+	a.capturing = false
+	if err != nil {
+		a.capErr = err
+		a.inUse--
+		a.cond.Broadcast()
+		a.mu.Unlock()
+		return
+	}
+	a.stats.SnapshotsDone++
+	for k := range data {
+		a.snapRound[k] = round
+	}
+	toPersist := make(CheckpointData, len(data))
+	for k, blob := range data {
+		if keep == nil || keep(k) {
+			toPersist[k] = blob
+		}
+	}
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	a.jobs <- persistJob{round: round, data: toPersist}
+}
+
+// persistLoop is the background CPU→storage worker.
+func (a *Agent) persistLoop() {
+	defer a.wg.Done()
+	for job := range a.jobs {
+		var failed error
+		mods := make([]string, 0, len(job.data))
+		for k := range job.data {
+			mods = append(mods, k)
+		}
+		sort.Strings(mods)
+		for _, k := range mods {
+			if err := a.persist.Put(persistKeyFor(job.round, k), job.data[k]); err != nil {
+				failed = err
+				break
+			}
+		}
+		if failed == nil {
+			failed = a.persist.Put(persistKeyFor(job.round, completeMarker), []byte{1})
+		}
+		a.mu.Lock()
+		if failed != nil {
+			a.errs = append(a.errs, failed)
+			a.inUse-- // buffer released without becoming recovery
+		} else {
+			a.stats.Persisted++
+			a.completeRounds = append(a.completeRounds, job.round)
+			for _, k := range mods {
+				a.persistIndex[k] = append(a.persistIndex[k], job.round)
+			}
+			if a.recovery {
+				a.inUse-- // previous recovery buffer freed
+			}
+			a.recovery = true
+		}
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	}
+}
+
+// WaitSnapshot blocks until no snapshot capture is in flight — the point
+// before the weight update where training must stall if the snapshot has
+// not finished (Fig. 3). The stall duration is accumulated in the stats.
+func (a *Agent) WaitSnapshot() error {
+	start := time.Now()
+	a.mu.Lock()
+	for a.capturing {
+		a.cond.Wait()
+	}
+	err := a.capErr
+	a.capErr = nil
+	a.stats.SnapshotWait += time.Since(start)
+	a.mu.Unlock()
+	return err
+}
+
+// Flush blocks until every started snapshot has been persisted (or
+// failed), returning the first persist error if any.
+func (a *Agent) Flush() error {
+	if err := a.WaitSnapshot(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	for a.stats.Persisted+len(a.errs) < a.stats.SnapshotsDone {
+		a.cond.Wait()
+	}
+	var err error
+	if len(a.errs) > 0 {
+		err = a.errs[0]
+	}
+	a.mu.Unlock()
+	return err
+}
+
+// Close flushes and shuts down the persist worker. The agent must not be
+// used afterwards.
+func (a *Agent) Close() error {
+	err := a.Flush()
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return err
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.jobs)
+	a.wg.Wait()
+	return err
+}
+
+// Stats returns a copy of the agent's counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// LatestCompleteRound returns the newest fully persisted round, or -1.
+func (a *Agent) LatestCompleteRound() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.completeRounds) == 0 {
+		return -1
+	}
+	return a.completeRounds[len(a.completeRounds)-1]
+}
+
+// RecoveredModule is one module's restored state.
+type RecoveredModule struct {
+	Blob []byte
+	// Round is the checkpoint round whose state was restored.
+	Round int
+	// FromSnapshot reports whether the in-memory snapshot (two-level
+	// recovery) supplied the state rather than persistent storage.
+	FromSnapshot bool
+}
+
+// Recover assembles the freshest recoverable state for every module ever
+// checkpointed. For modules where snapshotSurvives returns true and the
+// in-memory snapshot is at least as fresh as the persisted copy, the
+// snapshot is used (two-level recovery, §5.1); otherwise the module's
+// newest persisted version no newer than the latest complete round is
+// read back from storage.
+func (a *Agent) Recover(snapshotSurvives func(module string) bool) (map[string]RecoveredModule, error) {
+	a.mu.Lock()
+	latest := -1
+	if len(a.completeRounds) > 0 {
+		latest = a.completeRounds[len(a.completeRounds)-1]
+	}
+	modules := make(map[string][]int, len(a.persistIndex))
+	for k, rounds := range a.persistIndex {
+		modules[k] = append([]int(nil), rounds...)
+	}
+	snapRound := make(map[string]int, len(a.snapRound))
+	for k, r := range a.snapRound {
+		snapRound[k] = r
+	}
+	a.mu.Unlock()
+
+	out := make(map[string]RecoveredModule, len(modules))
+	for k, rounds := range modules {
+		persistedRound := -1
+		for i := len(rounds) - 1; i >= 0; i-- {
+			if rounds[i] <= latest {
+				persistedRound = rounds[i]
+				break
+			}
+		}
+		if snapshotSurvives != nil && snapshotSurvives(k) {
+			if sr, ok := snapRound[k]; ok && sr >= persistedRound {
+				blob, err := a.snap.Get(k)
+				if err == nil {
+					out[k] = RecoveredModule{Blob: blob, Round: sr, FromSnapshot: true}
+					continue
+				}
+			}
+		}
+		if persistedRound < 0 {
+			continue // never made it to a complete checkpoint
+		}
+		blob, err := a.persist.Get(persistKeyFor(persistedRound, k))
+		if err != nil {
+			return nil, fmt.Errorf("core: recover %s@%d: %w", k, persistedRound, err)
+		}
+		out[k] = RecoveredModule{Blob: blob, Round: persistedRound}
+	}
+	return out, nil
+}
+
+// FailNode simulates the node hosting this agent crashing: all in-memory
+// snapshots are lost; persisted state survives.
+func (a *Agent) FailNode() {
+	a.mu.Lock()
+	a.snapRound = make(map[string]int)
+	a.mu.Unlock()
+	a.snap.Clear()
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"moc/internal/storage"
+)
+
+func newTestAgent(t *testing.T, buffers int) (*Agent, *storage.SnapshotStore, *storage.MemStore) {
+	t.Helper()
+	snap := storage.NewSnapshotStore()
+	persist := storage.NewMemStore()
+	a, err := NewAgent(snap, persist, buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, snap, persist
+}
+
+func blobData(kv ...string) CheckpointData {
+	d := CheckpointData{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		d[kv[i]] = []byte(kv[i+1])
+	}
+	return d
+}
+
+func TestAgentSnapshotAndPersist(t *testing.T) {
+	a, snap, persist := newTestAgent(t, 3)
+	ok := a.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("m1", "v0-m1", "m2", "v0-m2"), nil
+	}, nil)
+	if !ok {
+		t.Fatal("snapshot refused with free buffers")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot level holds both modules.
+	if b, err := snap.Get("m1"); err != nil || string(b) != "v0-m1" {
+		t.Fatalf("snapshot m1: %q %v", b, err)
+	}
+	// Persist level holds both modules plus the completion marker.
+	keys, _ := persist.Keys("ckpt/000000/")
+	if len(keys) != 3 {
+		t.Fatalf("persisted keys: %v", keys)
+	}
+	if a.LatestCompleteRound() != 0 {
+		t.Fatalf("latest complete round = %d", a.LatestCompleteRound())
+	}
+	st := a.Stats()
+	if st.SnapshotsDone != 1 || st.Persisted != 1 || st.Skipped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAgentPersistFilterImplementsPersistPEC(t *testing.T) {
+	a, snap, persist := newTestAgent(t, 3)
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("expert0", "e0", "expert1", "e1", "nonexpert", "ne"), nil
+	}, func(module string) bool { return module != "expert1" })
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot level has all three; persist level lacks expert1.
+	if _, err := snap.Get("expert1"); err != nil {
+		t.Fatal("snapshot level should hold expert1")
+	}
+	if _, err := persist.Get(persistKeyFor(0, "expert1")); err == nil {
+		t.Fatal("persist level should not hold expert1")
+	}
+	if _, err := persist.Get(persistKeyFor(0, "expert0")); err != nil {
+		t.Fatal("persist level should hold expert0")
+	}
+}
+
+func TestAgentRecoverUnionAcrossRounds(t *testing.T) {
+	// PEC persists different experts in different rounds; recovery must
+	// assemble the newest persisted version of each module.
+	a, _, _ := newTestAgent(t, 3)
+	steps := []struct {
+		round int
+		data  CheckpointData
+	}{
+		{0, blobData("ne", "ne@0", "e0", "e0@0")},
+		{1, blobData("ne", "ne@1", "e1", "e1@1")},
+		{2, blobData("ne", "ne@2", "e0", "e0@2")},
+	}
+	for _, s := range steps {
+		if !a.TrySnapshot(s.round, func() (CheckpointData, error) { return s.data, nil }, nil) {
+			t.Fatalf("round %d refused", s.round)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer a.Close()
+	rec, err := a.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		blob  string
+		round int
+	}{
+		"ne": {"ne@2", 2}, "e0": {"e0@2", 2}, "e1": {"e1@1", 1},
+	}
+	for k, w := range want {
+		got, ok := rec[k]
+		if !ok {
+			t.Fatalf("module %s missing from recovery", k)
+		}
+		if string(got.Blob) != w.blob || got.Round != w.round {
+			t.Fatalf("%s: got %q@%d, want %q@%d", k, got.Blob, got.Round, w.blob, w.round)
+		}
+		if got.FromSnapshot {
+			t.Fatalf("%s: storage-only recovery used a snapshot", k)
+		}
+	}
+}
+
+func TestAgentTwoLevelRecoveryPrefersFreshSnapshots(t *testing.T) {
+	a, _, _ := newTestAgent(t, 3)
+	// Round 0: persist everything. Round 1: snapshot e0 fresh but persist
+	// only ne (persist-PEC).
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("ne", "ne@0", "e0", "e0@0"), nil
+	}, nil)
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a.TrySnapshot(1, func() (CheckpointData, error) {
+		return blobData("ne", "ne@1", "e0", "e0@1"), nil
+	}, func(m string) bool { return m == "ne" })
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Storage-only recovery: e0 rolls back to round 0.
+	rec, err := a.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec["e0"].Blob) != "e0@0" {
+		t.Fatalf("storage recovery e0 = %q, want e0@0", rec["e0"].Blob)
+	}
+	// Two-level recovery with surviving snapshots: e0 restored at round 1.
+	rec2, err := a.Recover(func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec2["e0"].Blob) != "e0@1" || !rec2["e0"].FromSnapshot {
+		t.Fatalf("two-level recovery e0 = %+v, want snapshot e0@1", rec2["e0"])
+	}
+}
+
+func TestAgentFailNodeDropsSnapshots(t *testing.T) {
+	a, _, _ := newTestAgent(t, 3)
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("ne", "ne@0"), nil
+	}, nil)
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a.TrySnapshot(1, func() (CheckpointData, error) {
+		return blobData("ne", "ne@1"), nil
+	}, func(string) bool { return false }) // snapshot-only round
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.FailNode()
+	rec, err := a.Recover(func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fresh snapshot died with the node; only round 0 is recoverable.
+	if string(rec["ne"].Blob) != "ne@0" || rec["ne"].FromSnapshot {
+		t.Fatalf("after node failure: %+v, want persisted ne@0", rec["ne"])
+	}
+}
+
+func TestAgentSkipsWhenBusy(t *testing.T) {
+	a, _, _ := newTestAgent(t, 2)
+	release := make(chan struct{})
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		<-release
+		return blobData("m", "v"), nil
+	}, nil)
+	// A second trigger while capturing must be skipped.
+	if a.TrySnapshot(1, func() (CheckpointData, error) { return nil, nil }, nil) {
+		t.Fatal("concurrent snapshot accepted")
+	}
+	close(release)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", st.Skipped)
+	}
+}
+
+func TestAgentBufferExhaustionSkips(t *testing.T) {
+	// Two buffers: after one persisted checkpoint (recovery buffer held)
+	// and one snapshot captured but stuck in a slow persist, a third
+	// trigger must be refused.
+	snap := storage.NewSnapshotStore()
+	persist := &slowStore{MemStore: storage.NewMemStore(), gate: make(chan struct{})}
+	a, err := NewAgent(snap, persist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TrySnapshot(0, func() (CheckpointData, error) { return blobData("m", "v0"), nil }, nil)
+	if err := a.WaitSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Persist of round 0 is now blocked in the slow store. One buffer is
+	// occupied by the persist-in-flight; with nbuf=2 one more trigger can
+	// start, then further triggers are refused.
+	started := a.TrySnapshot(1, func() (CheckpointData, error) { return blobData("m", "v1"), nil }, nil)
+	if !started {
+		t.Fatal("second snapshot should start (one free buffer)")
+	}
+	if err := a.WaitSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if a.TrySnapshot(2, func() (CheckpointData, error) { return blobData("m", "v2"), nil }, nil) {
+		t.Fatal("third snapshot accepted with exhausted buffers")
+	}
+	close(persist.gate)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Persisted != 2 || st.Skipped != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// slowStore blocks the first Put until gated open.
+type slowStore struct {
+	*storage.MemStore
+	gate chan struct{}
+	once atomic.Bool
+}
+
+func (s *slowStore) Put(key string, data []byte) error {
+	if s.once.CompareAndSwap(false, true) {
+		<-s.gate
+	}
+	return s.MemStore.Put(key, data)
+}
+
+func TestAgentCaptureErrorSurfacesInWait(t *testing.T) {
+	a, _, _ := newTestAgent(t, 3)
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		return nil, fmt.Errorf("CUDA OOM")
+	}, nil)
+	err := a.WaitSnapshot()
+	if err == nil || !strings.Contains(err.Error(), "CUDA OOM") {
+		t.Fatalf("capture error not surfaced: %v", err)
+	}
+	// The buffer must be released so later snapshots work.
+	if !a.TrySnapshot(1, func() (CheckpointData, error) { return blobData("m", "v"), nil }, nil) {
+		t.Fatal("agent stuck after capture error")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentReopenRecoversIndex(t *testing.T) {
+	snap := storage.NewSnapshotStore()
+	persist := storage.NewMemStore()
+	a, err := NewAgent(snap, persist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TrySnapshot(7, func() (CheckpointData, error) { return blobData("ne", "x"), nil }, nil)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh agent over the same persist store (post-restart) must see
+	// the completed round.
+	b, err := NewAgent(storage.NewSnapshotStore(), persist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.LatestCompleteRound() != 7 {
+		t.Fatalf("reopened latest round = %d, want 7", b.LatestCompleteRound())
+	}
+	rec, err := b.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec["ne"].Blob) != "x" {
+		t.Fatalf("reopened recovery: %+v", rec)
+	}
+}
+
+func TestAgentRejectsTooFewBuffers(t *testing.T) {
+	_, err := NewAgent(storage.NewSnapshotStore(), storage.NewMemStore(), 1)
+	if err == nil {
+		t.Fatal("1 buffer accepted")
+	}
+}
+
+func TestAgentSnapshotWaitMeasured(t *testing.T) {
+	a, _, _ := newTestAgent(t, 3)
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		time.Sleep(30 * time.Millisecond)
+		return blobData("m", "v"), nil
+	}, nil)
+	if err := a.WaitSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.SnapshotWait < 20*time.Millisecond {
+		t.Fatalf("snapshot wait %v not measured", st.SnapshotWait)
+	}
+	a.Close()
+}
+
+func TestAgentManyRoundsStress(t *testing.T) {
+	a, _, _ := newTestAgent(t, 3)
+	accepted := 0
+	for r := 0; r < 50; r++ {
+		data := blobData("ne", fmt.Sprintf("ne@%d", r), fmt.Sprintf("e%d", r%4), "x")
+		if a.TrySnapshot(r, func() (CheckpointData, error) { return data, nil }, nil) {
+			accepted++
+		}
+		if err := a.WaitSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Persisted != accepted || accepted == 0 {
+		t.Fatalf("persisted %d of %d accepted", st.Persisted, accepted)
+	}
+	rec, err := a.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rec["ne"].Blob); got == "" {
+		t.Fatal("non-expert module missing after stress run")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+// DynamicK implements the Dynamic-K strategy for fault accumulation
+// (§5.3, Fig. 15b): it recalibrates K_pec after each fault recovery so the
+// cumulative PLT stays below the 3.75% threshold. When the PLT already
+// incurred plus the predicted loss of the next fault at the current K_pec
+// would cross the threshold, K_pec is doubled; the process repeats until
+// all experts are checkpointed (at which point faults lose no expert
+// updates and the PLT stops growing).
+type DynamicK struct {
+	// N is the number of experts per MoE layer.
+	N int
+	// K is the current K_pec value.
+	K int
+	// Threshold is the PLT budget (defaults to PLTThreshold).
+	Threshold float64
+
+	cumPLT float64
+	// lastLoss is the most recent per-fault PLT increment, observed while
+	// the fan-out was lastLossK; predictions scale it by lastLossK / k.
+	lastLoss  float64
+	lastLossK int
+}
+
+// NewDynamicK starts the controller at K_pec = initialK for n experts with
+// the paper's 3.75% threshold.
+func NewDynamicK(n, initialK int) *DynamicK {
+	if n <= 0 || initialK <= 0 || initialK > n {
+		panic("core: DynamicK needs 0 < initialK <= n")
+	}
+	return &DynamicK{N: n, K: initialK, Threshold: PLTThreshold}
+}
+
+// CumulativePLT returns the PLT accumulated across recorded faults.
+func (d *DynamicK) CumulativePLT() float64 { return d.cumPLT }
+
+// predictNext estimates the PLT a future fault would add at fan-out k,
+// scaling the most recently observed loss by the mean expert staleness,
+// which is proportional to 1/k under the sequential schedule.
+func (d *DynamicK) predictNext(k int) float64 {
+	if k >= d.N {
+		return 0
+	}
+	if d.lastLoss <= 0 || d.lastLossK <= 0 {
+		return 0
+	}
+	return d.lastLoss * float64(d.lastLossK) / float64(k)
+}
+
+// OnFault records the PLT increment pltLoss incurred by a fault recovery
+// and recalibrates K_pec. It returns the K_pec to use for subsequent
+// checkpoints.
+func (d *DynamicK) OnFault(pltLoss float64) int {
+	if pltLoss < 0 {
+		pltLoss = 0
+	}
+	d.cumPLT += pltLoss
+	if pltLoss > 0 {
+		d.lastLoss = pltLoss
+		d.lastLossK = d.K
+	}
+	// Double K while the budget cannot absorb another fault at the
+	// current setting; each doubling halves the predicted next loss.
+	for d.K < d.N && d.cumPLT+d.predictNext(d.K) > d.Threshold {
+		d.K *= 2
+		if d.K > d.N {
+			d.K = d.N
+		}
+	}
+	return d.K
+}

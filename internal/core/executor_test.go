@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"moc/internal/cluster"
+	"moc/internal/model"
+	"moc/internal/storage"
+)
+
+func rankStores(n int) []storage.PersistStore {
+	out := make([]storage.PersistStore, n)
+	for i := range out {
+		out[i] = storage.NewMemStore()
+	}
+	return out
+}
+
+func smallPlan(t *testing.T, strat Strategy) (*Plan, cluster.Topology) {
+	t.Helper()
+	cfg := model.TinyMoE(4, 64, 8, 1)
+	cfg.VocabSize = 64
+	topo := cluster.Topology{Name: "t", NumNodes: 1, GPUsPerNode: 8, DP: 8, TP: 1, PP: 1, EP: 4}
+	sel := NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, 2)
+	p, err := PlanCheckpoint(topo, cfg, sel, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, topo
+}
+
+func TestWriteReadPlanRoundTrip(t *testing.T) {
+	for _, strat := range Strategies() {
+		plan, topo := smallPlan(t, strat)
+		stores := rankStores(topo.DP)
+		m, err := WritePlan(3, plan, stores, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if m.TotalBytes != plan.TotalBytes() {
+			t.Fatalf("%v: manifest bytes %d vs plan %d", strat, m.TotalBytes, plan.TotalBytes())
+		}
+		m2, shards, err := ReadPlan(3, stores)
+		if err != nil {
+			t.Fatalf("%v: read: %v", strat, err)
+		}
+		if m2.Strategy != strat.String() {
+			t.Fatalf("%v: strategy %q", strat, m2.Strategy)
+		}
+		var total int64
+		for _, b := range shards {
+			total += int64(len(b))
+		}
+		if total != plan.TotalBytes() {
+			t.Fatalf("%v: reassembled %d of %d bytes", strat, total, plan.TotalBytes())
+		}
+	}
+}
+
+func TestReadPlanDetectsMissingShard(t *testing.T) {
+	plan, topo := smallPlan(t, StrategyEEEN)
+	stores := rankStores(topo.DP)
+	if _, err := WritePlan(0, plan, stores, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one shard.
+	victim := plan.Assignments[len(plan.Assignments)/2]
+	if err := stores[victim.Rank].Delete(shardKey(0, victim)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadPlan(0, stores)
+	if err == nil || !strings.Contains(err.Error(), victim.Module) {
+		t.Fatalf("missing shard undetected: %v", err)
+	}
+}
+
+func TestReadPlanDetectsTruncation(t *testing.T) {
+	plan, topo := smallPlan(t, StrategyEEAN)
+	stores := rankStores(topo.DP)
+	if _, err := WritePlan(0, plan, stores, nil); err != nil {
+		t.Fatal(err)
+	}
+	victim := plan.Assignments[0]
+	if err := stores[victim.Rank].Put(shardKey(0, victim), []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPlan(0, stores); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation undetected: %v", err)
+	}
+}
+
+func TestManifestSurvivesRankLoss(t *testing.T) {
+	plan, topo := smallPlan(t, StrategyBaseline)
+	stores := rankStores(topo.DP)
+	if _, err := WritePlan(0, plan, stores, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's manifest replica dies; the read must fall through to
+	// another rank's copy. (Rank 0's shards stay: only the manifest is
+	// lost here — shard loss is the previous test.)
+	if err := stores[0].Delete(manifestKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPlan(0, stores); err != nil {
+		t.Fatalf("manifest replication failed: %v", err)
+	}
+}
+
+func TestWritePlanErrors(t *testing.T) {
+	if _, err := WritePlan(0, nil, rankStores(1), nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	plan, _ := smallPlan(t, StrategyBaseline)
+	// Too few stores for the plan's ranks.
+	if _, err := WritePlan(0, plan, rankStores(1), nil); err == nil {
+		t.Fatal("insufficient stores accepted")
+	}
+}
+
+func TestReadPlanNoManifest(t *testing.T) {
+	if _, _, err := ReadPlan(9, rankStores(2)); err == nil {
+		t.Fatal("absent round accepted")
+	}
+}
+
+func TestWritePlanCustomPayload(t *testing.T) {
+	plan, topo := smallPlan(t, StrategyBaseline)
+	stores := rankStores(topo.DP)
+	if _, err := WritePlan(1, plan, stores, func(a Assignment) []byte {
+		return make([]byte, a.Bytes)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadPlan(1, stores); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"moc/internal/storage"
+)
+
+// Checkpoint maintenance: because PEC persists different experts in
+// different rounds, old rounds stay load-bearing for as long as they hold
+// some module's newest copy. Compact deletes exactly the blobs that are
+// no longer the newest persisted version of their module, and Verify
+// checks the integrity of everything recovery could read.
+
+// Compact removes persisted blobs superseded by newer rounds, plus
+// completion markers of rounds left empty. It never touches the blobs a
+// Recover call could return. It reports the number of blobs deleted.
+func (a *Agent) Compact() (deleted int, err error) {
+	a.mu.Lock()
+	latest := -1
+	if len(a.completeRounds) > 0 {
+		latest = a.completeRounds[len(a.completeRounds)-1]
+	}
+	// newest[k] is the round Recover would read module k from.
+	newest := make(map[string]int, len(a.persistIndex))
+	for k, rounds := range a.persistIndex {
+		for i := len(rounds) - 1; i >= 0; i-- {
+			if rounds[i] <= latest {
+				newest[k] = rounds[i]
+				break
+			}
+		}
+	}
+	type target struct {
+		key    string
+		module string
+		round  int
+	}
+	var victims []target
+	roundAlive := map[int]bool{}
+	for k, rounds := range a.persistIndex {
+		for _, r := range rounds {
+			if nr, ok := newest[k]; ok && r < nr {
+				victims = append(victims, target{persistKeyFor(r, k), k, r})
+			} else {
+				roundAlive[r] = true
+			}
+		}
+	}
+	a.mu.Unlock()
+
+	for _, v := range victims {
+		if derr := a.persist.Delete(v.key); derr != nil {
+			return deleted, fmt.Errorf("core: compact %s: %w", v.key, derr)
+		}
+		deleted++
+	}
+
+	a.mu.Lock()
+	for k, rounds := range a.persistIndex {
+		kept := rounds[:0]
+		for _, r := range rounds {
+			if nr, ok := newest[k]; !ok || r >= nr {
+				kept = append(kept, r)
+			}
+		}
+		a.persistIndex[k] = kept
+	}
+	// Drop completion markers for rounds that no longer hold any blob,
+	// except the latest (which anchors LatestCompleteRound and the
+	// recovered iteration).
+	var keptRounds []int
+	var emptyRounds []int
+	for _, r := range a.completeRounds {
+		if roundAlive[r] || r == latest {
+			keptRounds = append(keptRounds, r)
+		} else {
+			emptyRounds = append(emptyRounds, r)
+		}
+	}
+	a.completeRounds = keptRounds
+	a.mu.Unlock()
+
+	for _, r := range emptyRounds {
+		if derr := a.persist.Delete(persistKeyFor(r, completeMarker)); derr != nil {
+			return deleted, fmt.Errorf("core: compact marker %d: %w", r, derr)
+		}
+		deleted++
+	}
+	return deleted, nil
+}
+
+// Verify reads back every blob a Recover call could return and checks it
+// decodes cleanly (the storage codec carries a CRC32). It returns the
+// number of blobs verified, or an error naming the first corrupt one.
+func (a *Agent) Verify() (checked int, err error) {
+	rec, err := a.Recover(nil)
+	if err != nil {
+		return 0, err
+	}
+	for k, m := range rec {
+		if _, derr := storage.DecodeTensors(m.Blob); derr != nil {
+			return checked, fmt.Errorf("core: verify %s@%d: %w", k, m.Round, derr)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// PersistedBytes reports the total bytes currently held by the persistent
+// store under the checkpoint prefix (diagnostics for Compact).
+func (a *Agent) PersistedBytes() (int64, error) {
+	keys, err := a.persist.Keys("ckpt/")
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, k := range keys {
+		if strings.HasSuffix(k, completeMarker) {
+			continue
+		}
+		b, err := a.persist.Get(k)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(len(b))
+	}
+	return total, nil
+}

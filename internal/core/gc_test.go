@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"moc/internal/storage"
+)
+
+func TestCompactKeepsRecoverableState(t *testing.T) {
+	a, _, persist := newTestAgent(t, 3)
+	rounds := []CheckpointData{
+		blobData("ne", "ne@0", "e0", "e0@0", "e1", "e1@0"), // bootstrap full
+		blobData("ne", "ne@1", "e0", "e0@1"),
+		blobData("ne", "ne@2", "e1", "e1@2"),
+		blobData("ne", "ne@3", "e0", "e0@3"),
+	}
+	for r, data := range rounds {
+		d := data
+		if !a.TrySnapshot(r, func() (CheckpointData, error) { return d, nil }, nil) {
+			t.Fatalf("round %d refused", r)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := a.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore, err := a.PersistedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := a.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted == 0 {
+		t.Fatal("compact found nothing despite superseded blobs")
+	}
+	sizeAfter, err := a.PersistedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizeAfter >= sizeBefore {
+		t.Fatalf("compact did not shrink the store: %d -> %d", sizeBefore, sizeAfter)
+	}
+	after, err := a.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("module set changed: %d -> %d", len(before), len(after))
+	}
+	for k, b := range before {
+		g, ok := after[k]
+		if !ok || string(g.Blob) != string(b.Blob) || g.Round != b.Round {
+			t.Fatalf("recovery changed for %s: %+v vs %+v", k, g, b)
+		}
+	}
+	// Superseded blobs are really gone: ne@0..2 and e0@0..1.
+	for _, gone := range []string{
+		persistKeyFor(0, "ne"), persistKeyFor(1, "ne"), persistKeyFor(2, "ne"),
+		persistKeyFor(0, "e0"), persistKeyFor(1, "e0"),
+	} {
+		if _, err := persist.Get(gone); err == nil {
+			t.Fatalf("superseded blob %s survived compact", gone)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	a, _, _ := newTestAgent(t, 3)
+	a.TrySnapshot(0, func() (CheckpointData, error) { return blobData("ne", "x"), nil }, nil)
+	a.TrySnapshot(0, func() (CheckpointData, error) { return nil, nil }, nil) // skipped (busy) or no-op
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != 0 {
+		t.Fatalf("second compact deleted %d blobs", d2)
+	}
+	a.Close()
+}
+
+func TestCompactThenReopen(t *testing.T) {
+	persist := storage.NewMemStore()
+	a, err := NewAgent(storage.NewSnapshotStore(), persist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		r := r
+		a.TrySnapshot(r, func() (CheckpointData, error) {
+			return blobData("ne", "ne@"+string(rune('0'+r))), nil
+		}, nil)
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := NewAgent(storage.NewSnapshotStore(), persist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec, err := b.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec["ne"].Blob) != "ne@4" {
+		t.Fatalf("reopened recovery after compact: %+v", rec["ne"])
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	a, _, persist := newTestAgent(t, 3)
+	good := storage.EncodeTensors(map[string][]float32{"w": {1, 2, 3}})
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		return CheckpointData{"m1": good, "m2": good}, nil
+	}, nil)
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Verify()
+	if err != nil || n != 2 {
+		t.Fatalf("verify clean store: n=%d err=%v", n, err)
+	}
+	// Corrupt one persisted blob behind the agent's back.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	if err := persist.Put(persistKeyFor(0, "m2"), bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(); err == nil || !strings.Contains(err.Error(), "m2") {
+		t.Fatalf("verify missed corruption: %v", err)
+	}
+	a.Close()
+}

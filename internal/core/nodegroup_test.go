@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"moc/internal/storage"
+)
+
+// hashNode places expert modules by expert index parity and non-expert
+// modules on node 0, a simple two-node layout for tests.
+func twoNodePlacement(module string) int {
+	if strings.Contains(module, "expertB") {
+		return 1
+	}
+	return 0
+}
+
+func newGroup(t *testing.T) (*NodeGroup, *storage.MemStore) {
+	t.Helper()
+	persist := storage.NewMemStore()
+	g, err := NewNodeGroup(2, persist, 3, twoNodePlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, persist
+}
+
+func TestNodeGroupSplitsByPlacement(t *testing.T) {
+	g, persist := newGroup(t)
+	ok, err := g.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("ne", "ne@0", "expertA", "a@0", "expertB", "b@0"), nil
+	}, nil)
+	if err != nil || !ok {
+		t.Fatalf("snapshot: ok=%v err=%v", ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Both nodes persisted into the shared store.
+	keys, _ := persist.Keys("ckpt/000000/")
+	if len(keys) < 4 { // 3 modules + at least one completion marker
+		t.Fatalf("persisted keys: %v", keys)
+	}
+	if g.LatestCompleteRound() != 0 {
+		t.Fatalf("latest round %d", g.LatestCompleteRound())
+	}
+	rec, err := g.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"ne", "expertA", "expertB"} {
+		if _, ok := rec[k]; !ok {
+			t.Fatalf("module %s missing from group recovery", k)
+		}
+	}
+}
+
+func TestNodeGroupTwoLevelRecoveryAcrossNodes(t *testing.T) {
+	g, _ := newGroup(t)
+	// Round 0: persist everything. Round 1: snapshot-only (nothing kept
+	// for persist), so the snapshot level is fresher.
+	if ok, err := g.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("ne", "ne@0", "expertA", "a@0", "expertB", "b@0"), nil
+	}, nil); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := g.TrySnapshot(1, func() (CheckpointData, error) {
+		return blobData("ne", "ne@1", "expertA", "a@1", "expertB", "b@1"), nil
+	}, func(string) bool { return false }); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 fails: expertB's fresh snapshot dies; expertA and ne survive
+	// on node 0.
+	g.FailNodes(1)
+	rec, err := g.Recover(map[int]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec["expertA"].Blob) != "a@1" || !rec["expertA"].FromSnapshot {
+		t.Fatalf("expertA should recover from node 0's snapshot: %+v", rec["expertA"])
+	}
+	if string(rec["expertB"].Blob) != "b@0" || rec["expertB"].FromSnapshot {
+		t.Fatalf("expertB should fall back to storage round 0: %+v", rec["expertB"])
+	}
+	if string(rec["ne"].Blob) != "ne@1" {
+		t.Fatalf("ne should recover from surviving snapshot: %+v", rec["ne"])
+	}
+}
+
+func TestNodeGroupAllNodesFailStorageOnly(t *testing.T) {
+	g, _ := newGroup(t)
+	if ok, err := g.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("ne", "ne@0", "expertB", "b@0"), nil
+	}, nil); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := g.TrySnapshot(1, func() (CheckpointData, error) {
+		return blobData("ne", "ne@1", "expertB", "b@1"), nil
+	}, func(string) bool { return false }); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g.FailNodes(0, 1)
+	rec, err := g.Recover(map[int]bool{0: true, 1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range rec {
+		if m.FromSnapshot {
+			t.Fatalf("%s recovered from a snapshot after total failure", k)
+		}
+		if m.Round != 0 {
+			t.Fatalf("%s recovered round %d, want persisted round 0", k, m.Round)
+		}
+	}
+}
+
+func TestNodeGroupCaptureError(t *testing.T) {
+	g, _ := newGroup(t)
+	if ok, err := g.TrySnapshot(0, func() (CheckpointData, error) {
+		return nil, storage.ErrNotFound
+	}, nil); err == nil || ok {
+		t.Fatalf("capture error not surfaced: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNodeGroupStatsAggregate(t *testing.T) {
+	g, _ := newGroup(t)
+	g.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("ne", "x", "expertB", "y"), nil
+	}, nil)
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Persisted != 2 { // one persisted round per node
+		t.Fatalf("aggregate persisted %d, want 2", st.Persisted)
+	}
+}
+
+func TestNodeGroupValidation(t *testing.T) {
+	if _, err := NewNodeGroup(0, storage.NewMemStore(), 3, twoNodePlacement); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := NewNodeGroup(2, storage.NewMemStore(), 3, nil); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	if _, err := NewNodeGroup(2, storage.NewMemStore(), 1, twoNodePlacement); err == nil {
+		t.Fatal("too-few buffers accepted")
+	}
+}
+
+func TestNodeGroupPlacementClamped(t *testing.T) {
+	persist := storage.NewMemStore()
+	g, err := NewNodeGroup(2, persist, 3, func(string) int { return 99 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if ok, err := g.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("m", "v"), nil
+	}, nil); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := g.Recover(nil)
+	if err != nil || len(rec) != 1 {
+		t.Fatalf("clamped placement recovery: %v %v", rec, err)
+	}
+}

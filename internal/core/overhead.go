@@ -1,0 +1,82 @@
+package core
+
+import "math"
+
+// This file implements the fault-tolerance overhead model of §2.3 (Eqs. 3
+// and 4) and §6.2.5 (Eqs. 10–16). Times are in seconds; intervals are in
+// iterations; overheads are in seconds unless stated otherwise.
+
+// SaveOverhead evaluates Eq. 10: the per-checkpoint overhead of the
+// asynchronous snapshot, which stalls training only when the snapshot
+// outlasts the forward+backward window of the next iteration.
+func SaveOverhead(tSnapshot, tFB float64) float64 {
+	if tSnapshot > tFB {
+		return tSnapshot - tFB
+	}
+	return 0
+}
+
+// OverheadParams parameterizes the total-overhead model.
+type OverheadParams struct {
+	// OSave is the overhead of one checkpointing process (seconds).
+	OSave float64
+	// ORestart is the constant restart overhead per fault (seconds).
+	ORestart float64
+	// IterTime is the duration of one training iteration (seconds),
+	// used to convert lost iterations into seconds.
+	IterTime float64
+	// Lambda is the fault rate per iteration (§6.2.5: N_fault ≈ λ·I_total).
+	Lambda float64
+	// ITotal is the total number of training iterations.
+	ITotal int
+}
+
+// TotalOverhead evaluates Eqs. 12/13: total fault-tolerance overhead for a
+// checkpointing interval of ickpt iterations,
+//
+//	O_ckpt ≈ O_save·I_total/I_ckpt + λ·I_total·(O_restart + I_ckpt/2).
+//
+// Lost progress (I_ckpt/2 iterations on average) is converted to seconds
+// via IterTime.
+func (p OverheadParams) TotalOverhead(ickpt int) float64 {
+	if ickpt <= 0 {
+		return math.Inf(1)
+	}
+	saves := p.OSave * float64(p.ITotal) / float64(ickpt)
+	faults := p.Lambda * float64(p.ITotal) *
+		(p.ORestart + float64(ickpt)/2*p.IterTime)
+	return saves + faults
+}
+
+// OptimalInterval returns the I_ckpt minimizing Eq. 13 (ignoring the
+// constant restart term): d/dI [O_save·I_total/I + λ·I_total·I/2·T_iter]
+// = 0 ⇒ I* = sqrt(2·O_save / (λ·T_iter)). The result is clamped to ≥ 1.
+func (p OverheadParams) OptimalInterval() float64 {
+	if p.Lambda <= 0 || p.IterTime <= 0 {
+		return math.Inf(1)
+	}
+	if p.OSave <= 0 {
+		return 1
+	}
+	i := math.Sqrt(2 * p.OSave / (p.Lambda * p.IterTime))
+	if i < 1 {
+		return 1
+	}
+	return i
+}
+
+// MoCBeatsFull evaluates the condition of Eq. 16: whether the MoC
+// configuration (oMoC, iMoC) yields lower overhead than the full
+// checkpointing configuration (oFull, iFull) at fault rate lambda, with
+// lost iterations converted via iterTime. The constant O_restart term
+// cancels (Eq. 15 → Eq. 16).
+func MoCBeatsFull(oMoC float64, iMoC int, oFull float64, iFull int, lambda, iterTime float64) bool {
+	lhs := oMoC/float64(iMoC) + lambda*float64(iMoC)/2*iterTime
+	rhs := oFull/float64(iFull) + lambda*float64(iFull)/2*iterTime
+	return lhs < rhs
+}
+
+// ExpectedFaults evaluates Eq. 11: N_fault ≈ λ·I_total.
+func ExpectedFaults(lambda float64, itotal int) float64 {
+	return lambda * float64(itotal)
+}

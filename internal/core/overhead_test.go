@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSaveOverheadEq10(t *testing.T) {
+	if got := SaveOverhead(3.0, 2.0); got != 1.0 {
+		t.Fatalf("snapshot exceeding F&B: overhead %v, want 1", got)
+	}
+	if got := SaveOverhead(1.5, 2.0); got != 0 {
+		t.Fatalf("fully overlapped snapshot: overhead %v, want 0", got)
+	}
+}
+
+func TestTotalOverheadTradeoff(t *testing.T) {
+	p := OverheadParams{OSave: 4, ORestart: 60, IterTime: 2, Lambda: 1e-4, ITotal: 100000}
+	// Very small interval: dominated by save cost. Very large: by loss.
+	small := p.TotalOverhead(1)
+	opt := p.TotalOverhead(int(p.OptimalInterval()))
+	large := p.TotalOverhead(100000)
+	if !(opt < small && opt < large) {
+		t.Fatalf("optimal interval not a minimum: small=%v opt=%v large=%v", small, opt, large)
+	}
+	if math.IsInf(p.TotalOverhead(0), 1) == false {
+		t.Fatal("zero interval must be infinite overhead")
+	}
+}
+
+func TestOptimalIntervalFormula(t *testing.T) {
+	p := OverheadParams{OSave: 8, IterTime: 2, Lambda: 1e-4, ITotal: 1}
+	want := math.Sqrt(2 * 8 / (1e-4 * 2))
+	if got := p.OptimalInterval(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("I* = %v, want %v", got, want)
+	}
+	if !math.IsInf(OverheadParams{OSave: 1, IterTime: 1}.OptimalInterval(), 1) {
+		t.Fatal("zero fault rate should give infinite interval")
+	}
+	if got := (OverheadParams{OSave: 0, IterTime: 1, Lambda: 1}).OptimalInterval(); got != 1 {
+		t.Fatalf("free checkpoints: interval %v, want 1", got)
+	}
+	// Clamp at 1.
+	if got := (OverheadParams{OSave: 1e-12, IterTime: 10, Lambda: 10}).OptimalInterval(); got != 1 {
+		t.Fatalf("interval clamp: %v", got)
+	}
+}
+
+func TestMoCBeatsFullBothStrategies(t *testing.T) {
+	// §6.2.5 strategy (1): same interval, smaller O_save ⇒ MoC wins.
+	if !MoCBeatsFull(0.1, 100, 4.0, 100, 1e-4, 2) {
+		t.Fatal("smaller O_save at equal interval should win")
+	}
+	// Strategy (2): equalize O_save/I ratio by shrinking the interval;
+	// the loss term then favours MoC.
+	if !MoCBeatsFull(0.4, 10, 4.0, 100, 1e-4, 2) {
+		t.Fatal("equal ratio with shorter interval should win")
+	}
+	// Sanity: identical configurations do not beat themselves.
+	if MoCBeatsFull(4.0, 100, 4.0, 100, 1e-4, 2) {
+		t.Fatal("identical configs must not compare as better")
+	}
+}
+
+func TestExpectedFaultsEq11(t *testing.T) {
+	if got := ExpectedFaults(1e-5, 2_000_000); got != 20 {
+		t.Fatalf("expected faults %v, want 20", got)
+	}
+}
+
+func TestDynamicKDoublesUnderFaults(t *testing.T) {
+	// Fig. 15(b): with repeated faults each losing ~0.4% PLT at K=1,
+	// Dynamic-K escalates 1 → 2 → 4 and the cumulative PLT stays below
+	// the threshold region, while fixed K=1 would grow linearly.
+	d := NewDynamicK(16, 1)
+	lossAtK := func(k int) float64 { return 0.004 * 16 / float64(k) / 16 } // ∝ 1/k
+	var cum float64
+	maxK := 1
+	for f := 0; f < 32; f++ {
+		loss := lossAtK(d.K)
+		cum += loss
+		k := d.OnFault(loss)
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK < 2 {
+		t.Fatalf("Dynamic-K never escalated (K stayed %d)", maxK)
+	}
+	if d.CumulativePLT() > PLTThreshold*1.5 {
+		t.Fatalf("Dynamic-K cumulative PLT %.4f far above threshold", d.CumulativePLT())
+	}
+	// Fixed K = 1 comparison: linear growth exceeds the threshold.
+	fixed := 0.004 * 32.0
+	if fixed <= PLTThreshold {
+		t.Fatal("test scenario too mild to distinguish strategies")
+	}
+	if d.CumulativePLT() >= fixed {
+		t.Fatalf("Dynamic-K PLT %.4f should be below fixed-K %.4f", d.CumulativePLT(), fixed)
+	}
+}
+
+func TestDynamicKCapsAtN(t *testing.T) {
+	d := NewDynamicK(8, 1)
+	for f := 0; f < 100; f++ {
+		d.OnFault(0.01)
+	}
+	if d.K != 8 {
+		t.Fatalf("K = %d, want cap at N = 8", d.K)
+	}
+	// At K = N faults lose nothing; PLT must stop growing.
+	before := d.CumulativePLT()
+	d.OnFault(0)
+	if d.CumulativePLT() != before {
+		t.Fatal("PLT grew at K = N with zero loss")
+	}
+}
+
+func TestDynamicKIgnoresNegativeLoss(t *testing.T) {
+	d := NewDynamicK(8, 2)
+	d.OnFault(-1)
+	if d.CumulativePLT() != 0 || d.K != 2 {
+		t.Fatal("negative loss should be treated as zero")
+	}
+}
+
+func TestDynamicKPanicsOnBadInit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDynamicK(4, 8)
+}

@@ -1,0 +1,248 @@
+// Package core implements the paper's contribution: the Mixture-of-
+// Checkpoint System. It contains Partial Experts Checkpointing (PEC, §3),
+// the Proportion-of-Lost-Tokens metric (Eq. 7), the fully sharded
+// checkpointing planners (§4), the two-level checkpointing management with
+// triple buffering (§5), the Dynamic-K controller (§5.3), and the fault-
+// tolerance overhead model (§2.3, §6.2.5).
+//
+// The package is substrate-agnostic: it plans and accounts over module
+// inventories (internal/model) and topologies (internal/cluster), executes
+// against storage interfaces (internal/storage), and is driven either by
+// the real trainer (internal/train) or the timing simulator
+// (internal/simtime).
+package core
+
+import "fmt"
+
+// Selection records, for one checkpoint round, which experts of each MoE
+// layer are saved. Experts[l] lists the expert indices saved for the l-th
+// MoE layer (0-based among MoE layers).
+type Selection struct {
+	Round   int
+	Experts [][]int
+}
+
+// Contains reports whether expert e of MoE layer l is saved.
+func (s *Selection) Contains(l, e int) bool {
+	if s == nil {
+		return true // nil Selection means "full checkpoint"
+	}
+	if l < 0 || l >= len(s.Experts) {
+		return false
+	}
+	for _, x := range s.Experts[l] {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFull reports whether the selection saves every expert (or is nil).
+func (s *Selection) IsFull(numExperts int) bool {
+	if s == nil {
+		return true
+	}
+	for _, layer := range s.Experts {
+		if len(layer) < numExperts {
+			return false
+		}
+	}
+	return true
+}
+
+// Selector chooses which K experts to save per MoE layer at each round.
+type Selector interface {
+	// Select returns the selection for the given round, saving k of n
+	// experts in each of numMoELayers MoE layers.
+	Select(round, k int) *Selection
+	// Name identifies the selection policy.
+	Name() string
+}
+
+// SequentialSelector implements the paper's sequential selection (§3.2,
+// Fig. 4): expert indices advance round-robin, with an interleaved offset
+// across MoE layers so that the per-round checkpointing workload spreads
+// across EP ranks. For layer l at round t with fan-out k, the saved experts
+// are {(l + t·k + m) mod n : m ∈ [0, k)}.
+type SequentialSelector struct {
+	NumMoELayers int
+	NumExperts   int
+}
+
+// NewSequentialSelector constructs a sequential selector.
+func NewSequentialSelector(numMoELayers, numExperts int) *SequentialSelector {
+	if numMoELayers <= 0 || numExperts <= 0 {
+		panic("core: sequential selector needs positive layer and expert counts")
+	}
+	return &SequentialSelector{NumMoELayers: numMoELayers, NumExperts: numExperts}
+}
+
+// Name implements Selector.
+func (s *SequentialSelector) Name() string { return "sequential" }
+
+// Select implements Selector.
+func (s *SequentialSelector) Select(round, k int) *Selection {
+	return s.SelectWithStride(round, k, k)
+}
+
+// SelectWithStride selects k experts per layer with the window start
+// advancing by stride each round. Two-level PEC uses stride = K_persist
+// with k = K_snapshot: the persist level (the first K_persist experts of
+// each window, via Subset) then rotates fairly through all experts, while
+// the snapshot level covers a superset each round. A plain single-level
+// schedule uses stride = k.
+//
+// Layer windows are offset by max(1, N / NumMoELayers) per MoE layer so
+// the round's write load spreads across all EP ranks even when the expert
+// count dwarfs the layer count (the one-expert-per-GPU scaling regime):
+// with few experts this degenerates to the unit offset of Fig. 4.
+func (s *SequentialSelector) SelectWithStride(round, k, stride int) *Selection {
+	if k <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("core: Select with k=%d stride=%d", k, stride))
+	}
+	if k > s.NumExperts {
+		k = s.NumExperts
+	}
+	layerOffset := s.NumExperts / s.NumMoELayers
+	if layerOffset < 1 {
+		layerOffset = 1
+	}
+	sel := &Selection{Round: round, Experts: make([][]int, s.NumMoELayers)}
+	for l := 0; l < s.NumMoELayers; l++ {
+		experts := make([]int, 0, k)
+		start := (l*layerOffset + round*stride) % s.NumExperts
+		for m := 0; m < k; m++ {
+			experts = append(experts, (start+m)%s.NumExperts)
+		}
+		sel.Experts[l] = experts
+	}
+	return sel
+}
+
+// LoadAwareSelector implements the paper's load-aware selection (§3.2): at
+// each round it saves the k experts per layer with the largest number of
+// unsaved token updates. It must be fed routing statistics via Observe and
+// notified of completed checkpoints via Committed.
+type LoadAwareSelector struct {
+	NumMoELayers int
+	NumExperts   int
+	// unsaved[l][e] counts tokens processed by expert e of layer l since
+	// that expert was last checkpointed.
+	unsaved [][]float64
+}
+
+// NewLoadAwareSelector constructs a load-aware selector with zeroed
+// counters.
+func NewLoadAwareSelector(numMoELayers, numExperts int) *LoadAwareSelector {
+	if numMoELayers <= 0 || numExperts <= 0 {
+		panic("core: load-aware selector needs positive layer and expert counts")
+	}
+	u := make([][]float64, numMoELayers)
+	for l := range u {
+		u[l] = make([]float64, numExperts)
+	}
+	return &LoadAwareSelector{NumMoELayers: numMoELayers, NumExperts: numExperts, unsaved: u}
+}
+
+// Name implements Selector.
+func (s *LoadAwareSelector) Name() string { return "load-aware" }
+
+// Observe adds per-expert token counts for one training step of MoE layer l.
+func (s *LoadAwareSelector) Observe(l int, perExpert []float64) {
+	if l < 0 || l >= s.NumMoELayers {
+		panic(fmt.Sprintf("core: Observe layer %d out of range", l))
+	}
+	for e, c := range perExpert {
+		if e < s.NumExperts {
+			s.unsaved[l][e] += c
+		}
+	}
+}
+
+// Committed marks the experts in sel as saved, resetting their unsaved
+// counters.
+func (s *LoadAwareSelector) Committed(sel *Selection) {
+	if sel == nil {
+		for l := range s.unsaved {
+			for e := range s.unsaved[l] {
+				s.unsaved[l][e] = 0
+			}
+		}
+		return
+	}
+	for l, experts := range sel.Experts {
+		if l >= s.NumMoELayers {
+			continue
+		}
+		for _, e := range experts {
+			if e < s.NumExperts {
+				s.unsaved[l][e] = 0
+			}
+		}
+	}
+}
+
+// Select implements Selector: the k experts with the most unsaved updates,
+// ties broken toward the lower expert index for determinism.
+func (s *LoadAwareSelector) Select(round, k int) *Selection {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: Select with k=%d", k))
+	}
+	if k > s.NumExperts {
+		k = s.NumExperts
+	}
+	sel := &Selection{Round: round, Experts: make([][]int, s.NumMoELayers)}
+	for l := 0; l < s.NumMoELayers; l++ {
+		taken := make([]bool, s.NumExperts)
+		experts := make([]int, 0, k)
+		for m := 0; m < k; m++ {
+			best := -1
+			for e := 0; e < s.NumExperts; e++ {
+				if taken[e] {
+					continue
+				}
+				if best < 0 || s.unsaved[l][e] > s.unsaved[l][best] {
+					best = e
+				}
+			}
+			taken[best] = true
+			experts = append(experts, best)
+		}
+		sel.Experts[l] = experts
+	}
+	return sel
+}
+
+// FullSelection returns a selection saving all numExperts experts in every
+// layer, used by full-checkpoint baselines so downstream code has one path.
+func FullSelection(round, numMoELayers, numExperts int) *Selection {
+	sel := &Selection{Round: round, Experts: make([][]int, numMoELayers)}
+	for l := range sel.Experts {
+		all := make([]int, numExperts)
+		for e := range all {
+			all[e] = e
+		}
+		sel.Experts[l] = all
+	}
+	return sel
+}
+
+// Subset returns the experts of sel restricted to those also present in
+// keep, per layer. It implements the persist-PEC refinement (§5.1): the
+// persist level selects K_persist experts out of the K_snapshot experts
+// already present in CPU memory.
+func (s *Selection) Subset(k int) *Selection {
+	if s == nil {
+		return nil
+	}
+	out := &Selection{Round: s.Round, Experts: make([][]int, len(s.Experts))}
+	for l, experts := range s.Experts {
+		n := k
+		if n > len(experts) {
+			n = len(experts)
+		}
+		out.Experts[l] = append([]int(nil), experts[:n]...)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialMatchesFig4(t *testing.T) {
+	// Fig. 4: N = 3 experts, 4 MoE layers, K_pec = 1.
+	// Round 0 saves experts (0, 1, 2, 0) across the four layers;
+	// round 1 saves (1, 2, 0, 1).
+	s := NewSequentialSelector(4, 3)
+	r0 := s.Select(0, 1)
+	want0 := []int{0, 1, 2, 0}
+	for l, w := range want0 {
+		if len(r0.Experts[l]) != 1 || r0.Experts[l][0] != w {
+			t.Fatalf("round 0 layer %d: got %v, want [%d]", l, r0.Experts[l], w)
+		}
+	}
+	r1 := s.Select(1, 1)
+	want1 := []int{1, 2, 0, 1}
+	for l, w := range want1 {
+		if r1.Experts[l][0] != w {
+			t.Fatalf("round 1 layer %d: got %v, want [%d]", l, r1.Experts[l], w)
+		}
+	}
+}
+
+func TestSequentialFairness(t *testing.T) {
+	// Over N/K consecutive rounds, every expert of every layer must be
+	// saved exactly once (when K divides N).
+	err := quick.Check(func(nPow, kPow, layers uint8) bool {
+		n := 1 << (1 + nPow%5) // 2..32
+		k := 1 << (kPow % 6)   // 1..32
+		if k > n {
+			k, n = n, k
+		}
+		nl := 1 + int(layers%8)
+		s := NewSequentialSelector(nl, n)
+		counts := make([][]int, nl)
+		for l := range counts {
+			counts[l] = make([]int, n)
+		}
+		rounds := n / k
+		for r := 0; r < rounds; r++ {
+			sel := s.Select(r, k)
+			for l, experts := range sel.Experts {
+				if len(experts) != k {
+					return false
+				}
+				for _, e := range experts {
+					counts[l][e]++
+				}
+			}
+		}
+		for l := range counts {
+			for _, c := range counts[l] {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialInterleavesAcrossLayers(t *testing.T) {
+	// Adjacent layers must select different experts (for K < N), which is
+	// what spreads the write load across EP ranks.
+	s := NewSequentialSelector(8, 16)
+	sel := s.Select(0, 1)
+	for l := 1; l < 8; l++ {
+		if sel.Experts[l][0] == sel.Experts[l-1][0] {
+			t.Fatalf("layers %d and %d selected the same expert %d", l-1, l, sel.Experts[l][0])
+		}
+	}
+}
+
+func TestSelectKClampedToN(t *testing.T) {
+	s := NewSequentialSelector(2, 4)
+	sel := s.Select(0, 99)
+	for l := range sel.Experts {
+		if len(sel.Experts[l]) != 4 {
+			t.Fatalf("layer %d saved %d experts, want all 4", l, len(sel.Experts[l]))
+		}
+	}
+	if !sel.IsFull(4) {
+		t.Fatal("clamped selection should be full")
+	}
+}
+
+func TestSelectionContains(t *testing.T) {
+	var nilSel *Selection
+	if !nilSel.Contains(0, 5) {
+		t.Fatal("nil selection must contain everything (full checkpoint)")
+	}
+	sel := &Selection{Experts: [][]int{{1, 3}}}
+	if !sel.Contains(0, 1) || !sel.Contains(0, 3) || sel.Contains(0, 2) {
+		t.Fatal("Contains membership wrong")
+	}
+	if sel.Contains(1, 1) || sel.Contains(-1, 0) {
+		t.Fatal("Contains out-of-range layer should be false")
+	}
+}
+
+func TestLoadAwareSelectsHottest(t *testing.T) {
+	s := NewLoadAwareSelector(2, 4)
+	s.Observe(0, []float64{10, 50, 20, 5})
+	s.Observe(1, []float64{1, 2, 3, 100})
+	sel := s.Select(0, 2)
+	if sel.Experts[0][0] != 1 || sel.Experts[0][1] != 2 {
+		t.Fatalf("layer 0 selection %v, want [1 2]", sel.Experts[0])
+	}
+	if sel.Experts[1][0] != 3 {
+		t.Fatalf("layer 1 selection %v, want 3 first", sel.Experts[1])
+	}
+}
+
+func TestLoadAwareCommitResetsCounters(t *testing.T) {
+	s := NewLoadAwareSelector(1, 3)
+	s.Observe(0, []float64{100, 1, 1})
+	sel := s.Select(0, 1)
+	if sel.Experts[0][0] != 0 {
+		t.Fatalf("first selection %v, want expert 0", sel.Experts[0])
+	}
+	s.Committed(sel)
+	s.Observe(0, []float64{1, 5, 1})
+	sel2 := s.Select(1, 1)
+	if sel2.Experts[0][0] != 1 {
+		t.Fatalf("after commit, selection %v, want expert 1", sel2.Experts[0])
+	}
+}
+
+func TestLoadAwareCommitNilResetsAll(t *testing.T) {
+	s := NewLoadAwareSelector(1, 2)
+	s.Observe(0, []float64{9, 1})
+	s.Committed(nil)
+	s.Observe(0, []float64{0, 1})
+	sel := s.Select(0, 1)
+	if sel.Experts[0][0] != 1 {
+		t.Fatalf("after full commit, selection %v, want expert 1", sel.Experts[0])
+	}
+}
+
+func TestLoadAwareEventualCoverage(t *testing.T) {
+	// With uniform load and commits, load-aware selection must cycle
+	// through all experts rather than starving any.
+	s := NewLoadAwareSelector(1, 4)
+	saved := map[int]bool{}
+	for r := 0; r < 4; r++ {
+		s.Observe(0, []float64{1, 1, 1, 1})
+		sel := s.Select(r, 1)
+		saved[sel.Experts[0][0]] = true
+		s.Committed(sel)
+	}
+	if len(saved) != 4 {
+		t.Fatalf("load-aware starved experts: saved %v", saved)
+	}
+}
+
+func TestFullSelection(t *testing.T) {
+	sel := FullSelection(3, 2, 4)
+	if !sel.IsFull(4) {
+		t.Fatal("FullSelection not full")
+	}
+	if sel.Round != 3 {
+		t.Fatal("round not propagated")
+	}
+}
+
+func TestSubsetImplementsPersistPEC(t *testing.T) {
+	s := NewSequentialSelector(3, 8)
+	snap := s.Select(0, 4)
+	persist := snap.Subset(1)
+	for l := range persist.Experts {
+		if len(persist.Experts[l]) != 1 {
+			t.Fatalf("persist layer %d has %d experts, want 1", l, len(persist.Experts[l]))
+		}
+		// persist experts must be a subset of the snapshot experts
+		if !snap.Contains(l, persist.Experts[l][0]) {
+			t.Fatalf("persist expert %d not in snapshot selection", persist.Experts[l][0])
+		}
+	}
+	if nilSub := (*Selection)(nil).Subset(2); nilSub != nil {
+		t.Fatal("Subset of nil should stay nil (full)")
+	}
+}
+
+func TestSelectPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select(k=0) did not panic")
+		}
+	}()
+	NewSequentialSelector(1, 4).Select(0, 0)
+}
+
+func TestSelectorNames(t *testing.T) {
+	if NewSequentialSelector(1, 2).Name() != "sequential" {
+		t.Fatal("sequential name")
+	}
+	if NewLoadAwareSelector(1, 2).Name() != "load-aware" {
+		t.Fatal("load-aware name")
+	}
+}
+
+func TestSelectWithStridePersistFairness(t *testing.T) {
+	// Two-level schedule: windows of K_snapshot advancing by K_persist.
+	// The persist level (first K_persist of each window) must cover every
+	// expert exactly once per N/K_persist rounds.
+	err := quick.Check(func(nPow, ksPow, kpPow, layers uint8) bool {
+		n := 1 << (2 + nPow%4) // 4..32
+		ks := 1 << (ksPow % 5) // 1..16
+		kp := 1 << (kpPow % 4) // 1..8
+		if ks > n {
+			ks = n
+		}
+		if kp > ks {
+			kp = ks
+		}
+		nl := 1 + int(layers%6)
+		s := NewSequentialSelector(nl, n)
+		counts := make([][]int, nl)
+		for l := range counts {
+			counts[l] = make([]int, n)
+		}
+		rounds := n / kp
+		for r := 0; r < rounds; r++ {
+			persist := s.SelectWithStride(r, ks, kp).Subset(kp)
+			for l, experts := range persist.Experts {
+				for _, e := range experts {
+					counts[l][e]++
+				}
+			}
+		}
+		for l := range counts {
+			for _, c := range counts[l] {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectSpreadAtScale(t *testing.T) {
+	// One-expert-per-GPU regime: 1024 experts, 24 layers, K = N/8. The
+	// per-round union of selected experts must span a wide range of EP
+	// ranks, not a narrow contiguous band (the Fig. 13 load-balance
+	// requirement).
+	const n, layers = 1024, 24
+	s := NewSequentialSelector(layers, n)
+	sel := s.Select(0, n/8)
+	hit := map[int]bool{}
+	for _, experts := range sel.Experts {
+		for _, e := range experts {
+			hit[e] = true
+		}
+	}
+	if len(hit) < n/2 {
+		t.Fatalf("round 0 touches only %d of %d experts; load concentrates", len(hit), n)
+	}
+	// Max experts-per-rank (rank = expert index here) stays near the mean.
+	perRank := make([]int, n)
+	for _, experts := range sel.Experts {
+		for _, e := range experts {
+			perRank[e]++
+		}
+	}
+	mean := float64(layers*n/8) / float64(n)
+	for e, c := range perRank {
+		if float64(c) > 4*mean+1 {
+			t.Fatalf("rank %d writes %d expert-layers (mean %.1f): imbalanced", e, c, mean)
+		}
+	}
+}

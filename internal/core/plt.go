@@ -1,0 +1,224 @@
+package core
+
+import "fmt"
+
+// PLTTracker computes the Proportion of Lost Tokens metric (Eq. 7):
+//
+//	PLT = (1/N_moe) Σ_l [ Σ_faults L_{l,j} / (T_l · TopK_l) ]
+//
+// where L_{l,j} is the number of token-updates to MoE layer l's experts
+// that are lost when fault j forces a rollback to checkpointed expert
+// states, and T_l·TopK_l is the total number of token slots routed through
+// layer l's experts during training.
+//
+// The tracker maintains, per (layer, expert), the cumulative count of
+// tokens processed and the count as of the expert's most recent snapshot
+// and persist checkpoints. Faults roll the processed counters back to the
+// recovered version, mirroring the trainer's state rollback.
+type PLTTracker struct {
+	numLayers  int
+	numExperts int
+
+	// processed[l][e]: cumulative tokens processed by expert e of layer l.
+	processed [][]float64
+	// snapshotAt[l][e]: processed count captured by the latest in-memory
+	// snapshot containing this expert.
+	snapshotAt [][]float64
+	// persistAt[l][e]: processed count captured by the latest persisted
+	// checkpoint containing this expert.
+	persistAt [][]float64
+	// routed[l]: cumulative token slots routed through layer l
+	// (tokens × TopK), the PLT denominator.
+	routed []float64
+	// routedAtSnapshot/routedAtPersist mirror routed for rollback.
+	routedAtSnapshot []float64
+	routedAtPersist  []float64
+
+	// lost[l]: accumulated lost token-updates across faults.
+	lost []float64
+
+	faults int
+}
+
+// NewPLTTracker creates a tracker for numLayers MoE layers with numExperts
+// experts each.
+func NewPLTTracker(numLayers, numExperts int) *PLTTracker {
+	if numLayers <= 0 || numExperts <= 0 {
+		panic("core: PLT tracker needs positive dimensions")
+	}
+	mk := func() [][]float64 {
+		m := make([][]float64, numLayers)
+		for l := range m {
+			m[l] = make([]float64, numExperts)
+		}
+		return m
+	}
+	return &PLTTracker{
+		numLayers:        numLayers,
+		numExperts:       numExperts,
+		processed:        mk(),
+		snapshotAt:       mk(),
+		persistAt:        mk(),
+		routed:           make([]float64, numLayers),
+		routedAtSnapshot: make([]float64, numLayers),
+		routedAtPersist:  make([]float64, numLayers),
+		lost:             make([]float64, numLayers),
+	}
+}
+
+// RecordBatch accounts one training step of MoE layer l: perExpert[e]
+// tokens processed by each expert and routedSlots = tokens × TopK routed
+// through the layer (the denominator contribution; token dropping makes
+// Σ perExpert ≤ routedSlots).
+func (p *PLTTracker) RecordBatch(l int, perExpert []float64, routedSlots float64) {
+	if l < 0 || l >= p.numLayers {
+		panic(fmt.Sprintf("core: RecordBatch layer %d out of range", l))
+	}
+	for e, c := range perExpert {
+		if e < p.numExperts {
+			p.processed[l][e] += c
+		}
+	}
+	p.routed[l] += routedSlots
+}
+
+// RecordSnapshot marks the experts in sel as captured by an in-memory
+// snapshot at the current training position. A nil selection captures all.
+func (p *PLTTracker) RecordSnapshot(sel *Selection) {
+	for l := 0; l < p.numLayers; l++ {
+		for e := 0; e < p.numExperts; e++ {
+			if sel.Contains(l, e) {
+				p.snapshotAt[l][e] = p.processed[l][e]
+			}
+		}
+		p.routedAtSnapshot[l] = p.routed[l]
+	}
+}
+
+// RecordPersist marks the experts in sel as captured by a persisted
+// checkpoint. Persisted experts are necessarily also snapshot-current (the
+// persist phase reads from the snapshot buffers), so snapshotAt is updated
+// too when behind.
+func (p *PLTTracker) RecordPersist(sel *Selection) {
+	for l := 0; l < p.numLayers; l++ {
+		for e := 0; e < p.numExperts; e++ {
+			if sel.Contains(l, e) {
+				p.persistAt[l][e] = p.processed[l][e]
+				if p.snapshotAt[l][e] < p.persistAt[l][e] {
+					p.snapshotAt[l][e] = p.persistAt[l][e]
+				}
+			}
+		}
+		p.routedAtPersist[l] = p.routed[l]
+	}
+}
+
+// RecordCheckpoint marks the experts in sel as both snapshot and persisted,
+// the single-level PEC case (§3).
+func (p *PLTTracker) RecordCheckpoint(sel *Selection) {
+	p.RecordSnapshot(sel)
+	p.RecordPersist(sel)
+}
+
+// RecordFault accounts a fault where recovery is storage-only: every expert
+// rolls back to its persisted version. It returns the PLT increment this
+// fault contributed.
+func (p *PLTTracker) RecordFault() float64 {
+	return p.recordFault(func(l, e int) bool { return false })
+}
+
+// RecordFaultTwoLevel accounts a fault under two-level recovery (§5.1):
+// experts for which snapshotSurvives returns true are restored from the
+// surviving in-memory snapshot (fresher), the rest from persistent storage.
+// It returns the PLT increment this fault contributed.
+func (p *PLTTracker) RecordFaultTwoLevel(snapshotSurvives func(l, e int) bool) float64 {
+	return p.recordFault(snapshotSurvives)
+}
+
+func (p *PLTTracker) recordFault(snapshotSurvives func(l, e int) bool) float64 {
+	p.faults++
+	var before float64 = p.PLT()
+	for l := 0; l < p.numLayers; l++ {
+		for e := 0; e < p.numExperts; e++ {
+			var recovered float64
+			if snapshotSurvives(l, e) {
+				recovered = p.snapshotAt[l][e]
+			} else {
+				recovered = p.persistAt[l][e]
+				// The snapshot copy on a failed node is gone; after
+				// recovery the freshest copy of this expert is the
+				// persisted one.
+				p.snapshotAt[l][e] = recovered
+			}
+			if p.processed[l][e] > recovered {
+				p.lost[l] += p.processed[l][e] - recovered
+			}
+			p.processed[l][e] = recovered
+		}
+		// Training resumes from the recovered iteration; the denominator
+		// rolls back with it so re-processed tokens are not double
+		// counted. Recovery position is the persist point for
+		// storage-level recovery; with two-level recovery the restart
+		// still resumes from the latest complete checkpoint iteration.
+		p.routed[l] = p.routedAtPersist[l]
+	}
+	return p.PLT() - before
+}
+
+// PLT returns the current Proportion of Lost Tokens in [0, 1].
+func (p *PLTTracker) PLT() float64 {
+	var sum float64
+	n := 0
+	for l := 0; l < p.numLayers; l++ {
+		if p.routed[l] <= 0 {
+			continue
+		}
+		sum += p.lost[l] / p.routed[l]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Faults returns the number of faults recorded.
+func (p *PLTTracker) Faults() int { return p.faults }
+
+// LostTokens returns the total lost token-updates summed over layers.
+func (p *PLTTracker) LostTokens() float64 {
+	var s float64
+	for _, v := range p.lost {
+		s += v
+	}
+	return s
+}
+
+// PLTThreshold is the empirical accuracy-safe bound identified by the
+// paper (§3.1.2, Fig. 5): model accuracy stays comparable to the non-fault
+// case while PLT does not exceed 3.75%.
+const PLTThreshold = 0.0375
+
+// EstimatePLT predicts the PLT of a training run analytically, assuming
+// uniform token routing: each fault loses on average the updates of the
+// (N - K_pec)/N unsaved experts accumulated over an expected I_ckpt/2 +
+// (N/K_pec - 1)·I_ckpt/2 staleness window... The closed form below follows
+// directly from the sequential schedule: at a fault, the expert most
+// recently saved is 0..I_ckpt iterations stale, the next N/K-1 groups are
+// one checkpoint period staler each, so the mean staleness is
+// I_ckpt · (N/K + 1)/2 − I_ckpt/2 = I_ckpt · N/(2K) iterations, and the
+// lost fraction per fault is I_ckpt·N/(2K) / I_total.
+func EstimatePLT(numFaults, ickpt, kpec, numExperts, itotal int) float64 {
+	if itotal <= 0 || kpec <= 0 {
+		return 0
+	}
+	if kpec > numExperts {
+		kpec = numExperts
+	}
+	perFault := float64(ickpt) * float64(numExperts) / (2 * float64(kpec)) / float64(itotal)
+	plt := float64(numFaults) * perFault
+	if plt > 1 {
+		plt = 1
+	}
+	return plt
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// simulatePLT runs a synthetic uniform-routing training loop through the
+// tracker: itotal iterations, checkpoint every ickpt, saving k of n experts
+// sequentially, with faults at the given iterations (fault occurs after the
+// iteration completes, before any same-iteration checkpoint).
+func simulatePLT(t *testing.T, layers, n, k, ickpt, itotal int, faultAt map[int]bool) *PLTTracker {
+	t.Helper()
+	tr := NewPLTTracker(layers, n)
+	sel := NewSequentialSelector(layers, n)
+	round := 0
+	perExpert := make([]float64, n)
+	for e := range perExpert {
+		perExpert[e] = 1 // uniform: 1 token per expert per iteration
+	}
+	for it := 1; it <= itotal; it++ {
+		for l := 0; l < layers; l++ {
+			tr.RecordBatch(l, perExpert, float64(n))
+		}
+		if faultAt[it] {
+			tr.RecordFault()
+			continue
+		}
+		if it%ickpt == 0 {
+			tr.RecordCheckpoint(sel.Select(round, k))
+			round++
+		}
+	}
+	return tr
+}
+
+func TestPLTZeroWithoutFaults(t *testing.T) {
+	tr := simulatePLT(t, 4, 8, 1, 10, 200, nil)
+	if tr.PLT() != 0 {
+		t.Fatalf("PLT = %v without faults", tr.PLT())
+	}
+	if tr.Faults() != 0 || tr.LostTokens() != 0 {
+		t.Fatal("fault/lost counters should be zero")
+	}
+}
+
+func TestPLTZeroWithFullCheckpoints(t *testing.T) {
+	// Saving all experts (k = n) at every interval: a fault immediately
+	// after a checkpoint loses nothing.
+	tr := NewPLTTracker(2, 4)
+	sel := FullSelection(0, 2, 4)
+	for l := 0; l < 2; l++ {
+		tr.RecordBatch(l, []float64{5, 5, 5, 5}, 20)
+	}
+	tr.RecordCheckpoint(sel)
+	if got := tr.RecordFault(); got != 0 {
+		t.Fatalf("full checkpoint fault lost %v", got)
+	}
+	if tr.PLT() != 0 {
+		t.Fatalf("PLT = %v", tr.PLT())
+	}
+}
+
+func TestPLTSingleFaultMatchesHandComputation(t *testing.T) {
+	// 1 layer, 2 experts, K=1, checkpoint every iteration.
+	// iter 1: both experts process 1 token; ckpt saves expert 0.
+	// iter 2: both process 1; ckpt saves expert 1.
+	// iter 3: both process 1; FAULT.
+	// Recovery: expert 0 from ckpt@1 (processed=1, loses 2 tokens),
+	// expert 1 from ckpt@2 (processed=2, loses 1 token).
+	// Denominator rolls back to routed@ckpt2 = 4 (2 iters × 2 slots).
+	// PLT = 3/4.
+	tr := NewPLTTracker(1, 2)
+	sel := NewSequentialSelector(1, 2)
+	for it := 1; it <= 3; it++ {
+		tr.RecordBatch(0, []float64{1, 1}, 2)
+		if it < 3 {
+			tr.RecordCheckpoint(sel.Select(it-1, 1))
+		}
+	}
+	tr.RecordFault()
+	if got, want := tr.PLT(), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PLT = %v, want %v", got, want)
+	}
+	if tr.LostTokens() != 3 {
+		t.Fatalf("lost tokens = %v, want 3", tr.LostTokens())
+	}
+}
+
+func TestPLTInRange(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		n := 2 + int(seed%7)
+		k := 1 + int(seed>>4)%n
+		ickpt := 1 + int(seed>>8)%9
+		faults := map[int]bool{50: true, 120: true}
+		tr := simulatePLT(t, 3, n, k, ickpt, 200, faults)
+		p := tr.PLT()
+		return p >= 0 && p <= 1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPLTGrowsWithInterval(t *testing.T) {
+	// Fig. 5: larger I_ckpt ⇒ larger PLT (fixing K_pec).
+	fault := map[int]bool{512: true}
+	pltSmall := simulatePLT(t, 2, 8, 1, 4, 1024, fault).PLT()
+	pltLarge := simulatePLT(t, 2, 8, 1, 64, 1024, fault).PLT()
+	if pltSmall >= pltLarge {
+		t.Fatalf("PLT(I=4)=%v should be < PLT(I=64)=%v", pltSmall, pltLarge)
+	}
+}
+
+func TestPLTShrinksWithK(t *testing.T) {
+	// Fig. 5: larger K_pec ⇒ smaller PLT (fixing I_ckpt).
+	fault := map[int]bool{512: true}
+	pltK1 := simulatePLT(t, 2, 8, 1, 16, 1024, fault).PLT()
+	pltK4 := simulatePLT(t, 2, 8, 4, 16, 1024, fault).PLT()
+	if pltK4 >= pltK1 {
+		t.Fatalf("PLT(K=4)=%v should be < PLT(K=1)=%v", pltK4, pltK1)
+	}
+}
+
+func TestPLTAccumulatesAcrossFaults(t *testing.T) {
+	// Fig. 15(b): repeated faults accumulate PLT roughly linearly for
+	// fixed K.
+	one := simulatePLT(t, 2, 8, 1, 16, 2048, map[int]bool{1000: true}).PLT()
+	two := simulatePLT(t, 2, 8, 1, 16, 2048, map[int]bool{700: true, 1400: true}).PLT()
+	if two <= one {
+		t.Fatalf("two faults PLT %v should exceed one fault PLT %v", two, one)
+	}
+}
+
+func TestTwoLevelRecoveryReducesPLT(t *testing.T) {
+	// Fig. 15(a): recovering surviving experts from fresher in-memory
+	// snapshots reduces PLT versus storage-only recovery.
+	run := func(twoLevel bool) float64 {
+		tr := NewPLTTracker(1, 8)
+		selSnap := NewSequentialSelector(1, 8)
+		round := 0
+		for it := 1; it <= 256; it++ {
+			tr.RecordBatch(0, uniform(8), 8)
+			if it%8 == 0 {
+				snap := selSnap.Select(round, 4) // K_snapshot = 4
+				persist := snap.Subset(1)        // K_persist = 1
+				tr.RecordSnapshot(snap)
+				tr.RecordPersist(persist)
+				round++
+			}
+			if it == 200 {
+				if twoLevel {
+					// Half the experts live on surviving nodes.
+					tr.RecordFaultTwoLevel(func(l, e int) bool { return e >= 4 })
+				} else {
+					tr.RecordFault()
+				}
+			}
+		}
+		return tr.PLT()
+	}
+	storage := run(false)
+	twolevel := run(true)
+	if twolevel >= storage {
+		t.Fatalf("two-level PLT %v should be < storage-only PLT %v", twolevel, storage)
+	}
+	if storage <= 0 {
+		t.Fatal("storage-only PLT should be positive in this scenario")
+	}
+}
+
+func uniform(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestEstimatePLTShape(t *testing.T) {
+	// The analytic estimate must be monotone in faults and interval, and
+	// anti-monotone in K.
+	base := EstimatePLT(1, 32, 2, 8, 10000)
+	if EstimatePLT(2, 32, 2, 8, 10000) <= base {
+		t.Fatal("estimate not monotone in faults")
+	}
+	if EstimatePLT(1, 64, 2, 8, 10000) <= base {
+		t.Fatal("estimate not monotone in interval")
+	}
+	if EstimatePLT(1, 32, 4, 8, 10000) >= base {
+		t.Fatal("estimate not anti-monotone in K")
+	}
+	if EstimatePLT(1000, 64, 1, 8, 100) != 1 {
+		t.Fatal("estimate should clamp to 1")
+	}
+	if EstimatePLT(1, 32, 0, 8, 100) != 0 || EstimatePLT(1, 32, 1, 8, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestEstimateTracksSimulatedPLT(t *testing.T) {
+	// The closed form should be within 2× of the simulated tracker for a
+	// mid-training fault under uniform routing.
+	itotal := 1024
+	fault := map[int]bool{512: true}
+	sim := simulatePLT(t, 2, 8, 2, 16, itotal, fault).PLT()
+	est := EstimatePLT(1, 16, 2, 8, itotal/2) // fault at midpoint: denominator ~ itotal/2
+	if sim <= 0 || est <= 0 {
+		t.Fatalf("expected positive PLTs: sim=%v est=%v", sim, est)
+	}
+	ratio := est / sim
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("estimate %v vs simulated %v (ratio %v) diverges", est, sim, ratio)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"moc/internal/cluster"
+	"moc/internal/model"
+)
+
+// Strategy selects a checkpoint sharding method (§4, Fig. 7).
+type Strategy int
+
+const (
+	// StrategyBaseline reproduces the Megatron-DeepSpeed layout: rank 0
+	// saves all non-expert parameters, the ranks of EP group 0 save the
+	// full fp16 weights of their hosted experts, and every rank saves its
+	// own ZeRO-2 optimizer partition (Fig. 7a).
+	StrategyBaseline Strategy = iota
+	// StrategyEE adds equal sharding of the expert part: each expert's
+	// weights are split evenly across the EP groups hosting its replicas
+	// (§4.1, Fig. 7b), while non-expert weights stay on rank 0.
+	StrategyEE
+	// StrategyEEEN adds equal sharding of the non-expert part at layer
+	// granularity across all DP ranks (§4.2).
+	StrategyEEEN
+	// StrategyEEAN replaces equal non-expert sharding with adaptive
+	// sharding: a greedy allocator assigns non-expert modules largest-
+	// first to the rank with the least accumulated load including this
+	// round's PEC expert writes (§4.3).
+	StrategyEEAN
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBaseline:
+		return "Baseline"
+	case StrategyEE:
+		return "EE"
+	case StrategyEEEN:
+		return "EE+EN"
+	case StrategyEEAN:
+		return "EE+AN"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all sharding strategies in Fig. 10 order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyBaseline, StrategyEE, StrategyEEEN, StrategyEEAN}
+}
+
+// Assignment maps one write obligation to a rank.
+type Assignment struct {
+	Module string // module name, possibly suffixed with a shard tag
+	Rank   int    // DP rank that writes it
+	Bytes  int64
+}
+
+// Plan is the per-checkpoint write plan: who persists which bytes.
+type Plan struct {
+	Strategy    Strategy
+	PerRank     []int64 // bytes written by each DP rank
+	Assignments []Assignment
+}
+
+// Bottleneck returns the heaviest rank's byte count and its index, which
+// determines the blocking checkpoint duration (§6.2.1).
+func (p *Plan) Bottleneck() (bytes int64, rank int) {
+	for r, b := range p.PerRank {
+		if b > bytes {
+			bytes, rank = b, r
+		}
+	}
+	return
+}
+
+// TotalBytes returns the sum over ranks.
+func (p *Plan) TotalBytes() int64 {
+	var t int64
+	for _, b := range p.PerRank {
+		t += b
+	}
+	return t
+}
+
+// PlanCheckpoint builds the write plan for one checkpoint round. sel
+// restricts the expert part (nil = full checkpoint). The plan covers model
+// parameters (whose placement the strategies control) and ZeRO-2 optimizer
+// partitions (whose placement is fixed by the parallel strategy: each rank
+// writes its own partition).
+func PlanCheckpoint(topo cluster.Topology, cfg model.Config, sel *Selection, strat Strategy) (*Plan, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MoEEvery > 0 && cfg.NumExperts%topo.EP != 0 {
+		return nil, fmt.Errorf("core: %d experts do not divide over EP=%d", cfg.NumExperts, topo.EP)
+	}
+	p := &Plan{Strategy: strat, PerRank: make([]int64, topo.DP)}
+	mods := cfg.Modules()
+	epGroups := topo.NumEPGroups()
+
+	add := func(name string, rank int, bytes int64) {
+		if bytes <= 0 {
+			return
+		}
+		p.PerRank[rank] += bytes
+		p.Assignments = append(p.Assignments, Assignment{Module: name, Rank: rank, Bytes: bytes})
+	}
+
+	// --- Optimizer partitions (forced placement under ZeRO-2 + EP). ---
+	var neOptBytes int64
+	for _, m := range mods {
+		switch m.Kind {
+		case model.KindNonExpert:
+			neOptBytes += m.OptimizerBytes()
+		case model.KindExpert:
+			if !sel.Contains(m.MoELayer, m.Expert) {
+				continue
+			}
+			// The expert's optimizer state is partitioned across its
+			// replicas (one per EP group); each hosting rank writes its
+			// own partition.
+			per := m.OptimizerBytes() / int64(epGroups)
+			for g := 0; g < epGroups; g++ {
+				r := topo.RankOfExpert(g, m.Expert, cfg.NumExperts)
+				add(m.Name+"/opt", r, per)
+			}
+		}
+	}
+	// Non-expert optimizer states are partitioned across all DP ranks.
+	perRankNEOpt := neOptBytes / int64(topo.DP)
+	for r := 0; r < topo.DP; r++ {
+		add("non-expert/opt-partition", r, perRankNEOpt)
+	}
+
+	// --- Expert weights. ---
+	for _, m := range mods {
+		if m.Kind != model.KindExpert || !sel.Contains(m.MoELayer, m.Expert) {
+			continue
+		}
+		switch strat {
+		case StrategyBaseline:
+			// EP group 0 saves the full expert weights.
+			r := topo.RankOfExpert(0, m.Expert, cfg.NumExperts)
+			add(m.Name+"/w", r, m.WeightBytes())
+		default:
+			// Equal expert sharding: split across EP groups.
+			per := m.WeightBytes() / int64(epGroups)
+			for g := 0; g < epGroups; g++ {
+				r := topo.RankOfExpert(g, m.Expert, cfg.NumExperts)
+				add(fmt.Sprintf("%s/w.shard%d", m.Name, g), r, per)
+			}
+		}
+	}
+
+	// --- Non-expert weights. ---
+	var neMods []model.Module
+	for _, m := range mods {
+		if m.Kind == model.KindNonExpert {
+			neMods = append(neMods, m)
+		}
+	}
+	switch strat {
+	case StrategyBaseline, StrategyEE:
+		for _, m := range neMods {
+			add(m.Name+"/w", 0, m.WeightBytes())
+		}
+	case StrategyEEEN:
+		// Equal sharding at layer granularity: largest-first onto the
+		// rank with the least *non-expert* weight load, independent of
+		// the expert/optimizer load — a static pattern reusable every
+		// round (§4.2).
+		assignGreedy(neMods, topo.DP, nil, add)
+	case StrategyEEAN:
+		// Adaptive sharding: largest-first onto the rank with the least
+		// *total* accumulated load including this round's expert writes
+		// and optimizer partitions (§4.3).
+		assignGreedy(neMods, topo.DP, p.PerRank, add)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strat)
+	}
+	return p, nil
+}
+
+// assignGreedy distributes the given non-expert modules over dp ranks,
+// largest module first, always choosing the rank with the smallest load.
+// If base is non-nil it seeds the load with the already-planned per-rank
+// bytes (adaptive sharding); otherwise loads start at zero (equal
+// sharding).
+func assignGreedy(mods []model.Module, dp int, base []int64, add func(string, int, int64)) {
+	order := make([]model.Module, len(mods))
+	copy(order, mods)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Params > order[j].Params })
+	load := make([]int64, dp)
+	if base != nil {
+		copy(load, base)
+	}
+	for _, m := range order {
+		best := 0
+		for r := 1; r < dp; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		load[best] += m.WeightBytes()
+		add(m.Name+"/w", best, m.WeightBytes())
+	}
+}
+
+// IdealRankBytes evaluates Eq. 8: the ideal per-rank checkpoint workload
+// under fully sharded checkpointing,
+//
+//	C_rank ≈ (P_ne + P_e)·B_o / D_ep + P_ne·B_w / D_dp + P_e·B_w / D_ep.
+func IdealRankBytes(topo cluster.Topology, cfg model.Config) int64 {
+	ne, e := cfg.ParamCounts()
+	return (ne+e)*model.BytesOptimizer/int64(topo.EP) +
+		ne*model.BytesWeight/int64(topo.DP) +
+		e*model.BytesWeight/int64(topo.EP)
+}
+
+// PECImbalanced evaluates Eq. 9: whether PEC with kpec saved experts per
+// MoE layer produces an imbalanced expert checkpointing workload across
+// ranks for the given parallel degrees.
+func PECImbalanced(kpec, numMoELayers, dep, ddp int) bool {
+	if dep <= 0 || ddp <= 0 || dep > ddp {
+		return true
+	}
+	total := kpec * numMoELayers
+	if total%dep != 0 {
+		return true
+	}
+	groups := ddp / dep
+	if groups == 0 {
+		return true
+	}
+	return (total/dep)%groups != 0
+}

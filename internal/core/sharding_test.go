@@ -1,0 +1,230 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"moc/internal/cluster"
+	"moc/internal/model"
+)
+
+func mustPlan(t *testing.T, topo cluster.Topology, cfg model.Config, sel *Selection, s Strategy) *Plan {
+	t.Helper()
+	p, err := PlanCheckpoint(topo, cfg, sel, s)
+	if err != nil {
+		t.Fatalf("PlanCheckpoint(%v, %v): %v", topo.Name, s, err)
+	}
+	return p
+}
+
+func TestPlanTotalBytesMatchSelectionBytes(t *testing.T) {
+	// Whatever the strategy, the union of all assignments must cover the
+	// selected states exactly once (up to integer-division remainders on
+	// shard splits).
+	cfg := model.GPT350M16E()
+	sel := NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, 1)
+	want := SelectionBytes(cfg, sel)
+	for _, topo := range cluster.Cases() {
+		for _, s := range Strategies() {
+			p := mustPlan(t, topo, cfg, sel, s)
+			got := p.TotalBytes()
+			diff := float64(got-want) / float64(want)
+			if diff < -0.001 || diff > 0.001 {
+				t.Errorf("%s/%s: plan total %d vs selection bytes %d", topo.Name, s, got, want)
+			}
+		}
+	}
+}
+
+func TestFullPlanTotalMatchesEq5(t *testing.T) {
+	cfg := model.GPT350M16E()
+	for _, topo := range cluster.Cases() {
+		p := mustPlan(t, topo, cfg, nil, StrategyBaseline)
+		want := cfg.FullCheckpointBytes()
+		got := p.TotalBytes()
+		diff := float64(got-want) / float64(want)
+		if diff < -0.001 || diff > 0.001 {
+			t.Errorf("%s: full plan total %d vs Eq.5 %d", topo.Name, got, want)
+		}
+	}
+}
+
+func TestShardingReducesBottleneck(t *testing.T) {
+	// Fig. 10(b-d): fully sharded checkpointing reduces the bottleneck
+	// rank's workload versus the baseline, for full and PEC saving.
+	cfg := model.GPT350M16E()
+	for _, topo := range cluster.Cases() {
+		for _, sel := range []*Selection{nil,
+			NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, 1)} {
+			base, _ := mustPlan(t, topo, cfg, sel, StrategyBaseline).Bottleneck()
+			een, _ := mustPlan(t, topo, cfg, sel, StrategyEEEN).Bottleneck()
+			if een >= base {
+				t.Errorf("%s sel=%v: EE+EN bottleneck %d not < baseline %d",
+					topo.Name, sel != nil, een, base)
+			}
+		}
+	}
+}
+
+func TestEEOnlyHelpsWithMultipleEPGroups(t *testing.T) {
+	// §6.2.1: "equal sharding of the expert part is only effective in
+	// scenarios with multiple EP groups (Case 3)".
+	cfg := model.GPT350M16E()
+	for _, topo := range []cluster.Topology{cluster.Case1(), cluster.Case2()} {
+		base, _ := mustPlan(t, topo, cfg, nil, StrategyBaseline).Bottleneck()
+		ee, _ := mustPlan(t, topo, cfg, nil, StrategyEE).Bottleneck()
+		if ee != base {
+			t.Errorf("%s: EE changed bottleneck (%d vs %d) with a single EP group", topo.Name, ee, base)
+		}
+	}
+	c3 := cluster.Case3()
+	base3, _ := mustPlan(t, c3, cfg, nil, StrategyBaseline).Bottleneck()
+	ee3, _ := mustPlan(t, c3, cfg, nil, StrategyEE).Bottleneck()
+	if ee3 >= base3 {
+		t.Errorf("Case3: EE bottleneck %d should be < baseline %d", ee3, base3)
+	}
+}
+
+func TestAdaptiveBeatsEqualUnderPEC(t *testing.T) {
+	// §4.3/§6.2.1: with K_pec = 1 the adaptive non-expert sharding
+	// further reduces the bottleneck versus equal sharding.
+	cfg := model.GPT350M16E()
+	sel := NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, 1)
+	for _, topo := range cluster.Cases() {
+		en, _ := mustPlan(t, topo, cfg, sel, StrategyEEEN).Bottleneck()
+		an, _ := mustPlan(t, topo, cfg, sel, StrategyEEAN).Bottleneck()
+		if an > en {
+			t.Errorf("%s: adaptive bottleneck %d worse than equal %d", topo.Name, an, en)
+		}
+	}
+}
+
+func TestBaselineConcentratesOnRank0AndEPGroup0(t *testing.T) {
+	cfg := model.GPT350M16E()
+	topo := cluster.Case3()
+	p := mustPlan(t, topo, cfg, nil, StrategyBaseline)
+	for _, a := range p.Assignments {
+		if strings.HasSuffix(a.Module, "/w") && !strings.Contains(a.Module, "expert") {
+			if a.Rank != 0 {
+				t.Fatalf("baseline non-expert weight %q on rank %d", a.Module, a.Rank)
+			}
+		}
+		if strings.Contains(a.Module, "expert") && strings.HasSuffix(a.Module, "/w") {
+			if topo.EPGroupOf(a.Rank) != 0 {
+				t.Fatalf("baseline expert weight %q outside EP group 0 (rank %d)", a.Module, a.Rank)
+			}
+		}
+	}
+}
+
+func TestCase2BottleneckMagnitude(t *testing.T) {
+	// Fig. 10(c): Case2 baseline bottleneck is ~2 GB for the full save.
+	cfg := model.GPT350M16E()
+	p := mustPlan(t, cluster.Case2(), cfg, nil, StrategyBaseline)
+	b, rank := p.Bottleneck()
+	gb := float64(b) / 1e9
+	if gb < 1.2 || gb > 2.8 {
+		t.Errorf("Case2 baseline bottleneck = %.2f GB, want ~2 GB", gb)
+	}
+	if rank != 0 {
+		t.Errorf("Case2 baseline bottleneck rank = %d, want 0", rank)
+	}
+}
+
+func TestPlanCoversEveryRankWithOptimizerPartition(t *testing.T) {
+	cfg := model.GPT350M16E()
+	topo := cluster.Case3()
+	p := mustPlan(t, topo, cfg, nil, StrategyBaseline)
+	for r, b := range p.PerRank {
+		if b <= 0 {
+			t.Fatalf("rank %d writes nothing; ZeRO-2 partitions are mandatory", r)
+		}
+	}
+}
+
+func TestPlanErrorsOnBadInputs(t *testing.T) {
+	cfg := model.GPT350M16E()
+	bad := cluster.Topology{Name: "bad", NumNodes: 1, GPUsPerNode: 8, DP: 4, TP: 1, PP: 1, EP: 4}
+	if _, err := PlanCheckpoint(bad, cfg, nil, StrategyBaseline); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	badCfg := cfg
+	badCfg.NumLayers = 0
+	if _, err := PlanCheckpoint(cluster.Case1(), badCfg, nil, StrategyBaseline); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	oddCfg := cfg
+	oddCfg.NumExperts = 6 // does not divide EP=8
+	oddCfg.TopK = 1
+	if _, err := PlanCheckpoint(cluster.Case1(), oddCfg, nil, StrategyBaseline); err == nil {
+		t.Fatal("non-divisible expert count accepted")
+	}
+}
+
+func TestPlanPartitionProperty(t *testing.T) {
+	// Property: for random small configs, each strategy's plan total
+	// equals the selection bytes (no module lost, none double-written).
+	err := quick.Check(func(kRaw, stratRaw uint8) bool {
+		cfg := model.TinyMoE(4, 64, 8, 1)
+		cfg.VocabSize = 64
+		topo := cluster.Topology{Name: "q", NumNodes: 1, GPUsPerNode: 8,
+			DP: 8, TP: 1, PP: 1, EP: 4}
+		k := 1 + int(kRaw%8)
+		strat := Strategies()[int(stratRaw)%4]
+		sel := NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, k)
+		p, err := PlanCheckpoint(topo, cfg, sel, strat)
+		if err != nil {
+			return false
+		}
+		want := SelectionBytes(cfg, sel)
+		got := p.TotalBytes()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// integer-division remainders only
+		return float64(diff) <= 0.01*float64(want)+64
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdealRankBytesEq8(t *testing.T) {
+	cfg := model.GPT350M16E()
+	topo := cluster.Case2()
+	ne, e := cfg.ParamCounts()
+	want := (ne+e)*model.BytesOptimizer/16 + ne*model.BytesWeight/16 + e*model.BytesWeight/16
+	if got := IdealRankBytes(topo, cfg); got != want {
+		t.Fatalf("IdealRankBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPECImbalancedEq9(t *testing.T) {
+	// K_pec·N_moe divisible by D_ep and quotient divisible by the group
+	// count ⇒ balanced.
+	if PECImbalanced(2, 8, 8, 16) {
+		// 2·8=16, 16%8==0, (16/8)%(16/8)=2%2=0 → balanced
+		t.Fatal("Eq.9 balanced case reported imbalanced")
+	}
+	if !PECImbalanced(1, 12, 8, 8) {
+		// 1·12=12, 12%8 != 0 → imbalanced (Fig. 4 example shape)
+		t.Fatal("Eq.9 imbalanced case reported balanced")
+	}
+	if !PECImbalanced(1, 8, 0, 8) {
+		t.Fatal("degenerate degrees should be imbalanced")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := []string{"Baseline", "EE", "EE+EN", "EE+AN"}
+	for i, s := range Strategies() {
+		if s.String() != want[i] {
+			t.Fatalf("strategy %d = %q, want %q", i, s, want[i])
+		}
+	}
+	if !strings.Contains(Strategy(99).String(), "Strategy") {
+		t.Fatal("unknown strategy String")
+	}
+}

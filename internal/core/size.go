@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"moc/internal/model"
+)
+
+// Composition describes what fraction of a full checkpoint's bytes belong
+// to expert state (weights + optimizer). The PEC size ratio of Eq. 6
+// depends only on this share:
+//
+//	C_pec / C_full = (1 − ExpertShare) + ExpertShare · K_pec / N
+type Composition struct {
+	// ExpertShare ∈ [0, 1] is the expert fraction of checkpoint bytes.
+	ExpertShare float64
+}
+
+// PaperMeasuredExpertShare is the expert-state share back-solved from the
+// paper's measured Fig. 10(a) bars for GPT-350M-16E (42.3% remaining at
+// K_pec = 1 with N = 16 ⇒ expert share 61.5%). The measured checkpoints
+// carry replicated non-expert content beyond the Eq. 5 analytic accounting
+// (whose Table-1 parameter counts give an expert share of ~86%); using the
+// measured composition reproduces the published bars exactly.
+const PaperMeasuredExpertShare = 0.615
+
+// CompositionFromConfig derives the analytic composition from a model's
+// parameter counts (Eqs. 5–6 with Table-1 module inventory).
+func CompositionFromConfig(cfg model.Config) Composition {
+	ne, e := cfg.ParamCounts()
+	total := ne + e
+	if total == 0 {
+		return Composition{}
+	}
+	return Composition{ExpertShare: float64(e) / float64(total)}
+}
+
+// PECRatio returns C_pec / C_full for saving kpec of n experts.
+func (c Composition) PECRatio(kpec, n int) float64 {
+	if n <= 0 || kpec >= n {
+		return 1
+	}
+	if kpec < 0 {
+		panic(fmt.Sprintf("core: PECRatio kpec=%d", kpec))
+	}
+	return (1 - c.ExpertShare) + c.ExpertShare*float64(kpec)/float64(n)
+}
+
+// PECBytes returns the PEC checkpoint size given the full-checkpoint byte
+// count and this composition.
+func (c Composition) PECBytes(fullBytes int64, kpec, n int) int64 {
+	return int64(float64(fullBytes) * c.PECRatio(kpec, n))
+}
+
+// SelectionBytes computes the exact serialized byte size of a PEC
+// checkpoint for the given model and selection: all non-expert state plus
+// the state of exactly the selected experts. A nil selection yields the
+// full checkpoint size (Eq. 5); per-layer selections yield Eq. 6
+// generalised to non-uniform selections.
+func SelectionBytes(cfg model.Config, sel *Selection) int64 {
+	var total int64
+	for _, m := range cfg.Modules() {
+		if m.Kind == model.KindExpert && !sel.Contains(m.MoELayer, m.Expert) {
+			continue
+		}
+		total += m.StateBytes()
+	}
+	return total
+}
+
+// WeightBytesOnly is like SelectionBytes but counts only model weights,
+// used by the "W" checkpointing variant of §6.3 (PEC applied to weights
+// while optimizer states are saved in full, or vice versa).
+func WeightBytesOnly(cfg model.Config, sel *Selection) int64 {
+	var total int64
+	for _, m := range cfg.Modules() {
+		if m.Kind == model.KindExpert && !sel.Contains(m.MoELayer, m.Expert) {
+			continue
+		}
+		total += m.WeightBytes()
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"moc/internal/model"
+)
+
+func TestPaperCalibratedFig10a(t *testing.T) {
+	// Fig. 10(a): with the paper-measured composition, the remaining
+	// checkpoint fractions for GPT-350M-16E are 100/69.2/53.8/46.1/42.3 %
+	// at K_pec = 16/8/4/2/1.
+	c := Composition{ExpertShare: PaperMeasuredExpertShare}
+	cases := map[int]float64{16: 1.0, 8: 0.692, 4: 0.538, 2: 0.461, 1: 0.423}
+	for k, want := range cases {
+		got := c.PECRatio(k, 16)
+		if math.Abs(got-want) > 0.002 {
+			t.Errorf("K_pec=%d: ratio %.4f, want %.3f", k, got, want)
+		}
+	}
+}
+
+func TestCompositionFromConfig(t *testing.T) {
+	cfg := model.GPT350M16E()
+	c := CompositionFromConfig(cfg)
+	if c.ExpertShare < 0.7 || c.ExpertShare > 0.95 {
+		t.Fatalf("analytic expert share = %.3f, want ~0.86 (params dominated by experts)", c.ExpertShare)
+	}
+	// The analytic ratio must agree with model.PECCheckpointBytes.
+	for _, k := range []int{1, 2, 4, 8} {
+		want := float64(cfg.PECCheckpointBytes(k)) / float64(cfg.FullCheckpointBytes())
+		got := c.PECRatio(k, cfg.NumExperts)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("K=%d: composition ratio %.6f vs model %.6f", k, got, want)
+		}
+	}
+}
+
+func TestPECRatioEdges(t *testing.T) {
+	c := Composition{ExpertShare: 0.5}
+	if c.PECRatio(8, 8) != 1 || c.PECRatio(9, 8) != 1 {
+		t.Fatal("k >= n must give ratio 1")
+	}
+	if c.PECRatio(0, 8) != 0.5 {
+		t.Fatal("k=0 keeps only the non-expert share")
+	}
+	if (Composition{}).PECRatio(1, 8) != 1 {
+		t.Fatal("zero expert share: PEC cannot shrink anything")
+	}
+}
+
+func TestPECBytes(t *testing.T) {
+	c := Composition{ExpertShare: PaperMeasuredExpertShare}
+	full := int64(24_000_000_000)
+	got := c.PECBytes(full, 1, 16)
+	want := int64(float64(full) * 0.4234)
+	if math.Abs(float64(got-want)) > 1e7 {
+		t.Fatalf("PECBytes = %d, want ~%d", got, want)
+	}
+}
+
+func TestSelectionBytesInterpolates(t *testing.T) {
+	cfg := model.GPT125M8E()
+	full := SelectionBytes(cfg, nil)
+	if full != cfg.FullCheckpointBytes() {
+		t.Fatalf("nil selection bytes %d != Eq.5 %d", full, cfg.FullCheckpointBytes())
+	}
+	sel1 := NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, 1)
+	b1 := SelectionBytes(cfg, sel1)
+	if b1 != cfg.PECCheckpointBytes(1) {
+		t.Fatalf("uniform K=1 selection bytes %d != Eq.6 %d", b1, cfg.PECCheckpointBytes(1))
+	}
+	if b1 >= full {
+		t.Fatal("PEC selection should shrink the checkpoint")
+	}
+}
+
+func TestWeightBytesOnly(t *testing.T) {
+	cfg := model.GPT125M8E()
+	sel := NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, 1)
+	w := WeightBytesOnly(cfg, sel)
+	all := SelectionBytes(cfg, sel)
+	wantRatio := float64(model.BytesWeight) / float64(model.BytesWeight+model.BytesOptimizer)
+	got := float64(w) / float64(all)
+	if math.Abs(got-wantRatio) > 1e-9 {
+		t.Fatalf("weight-only fraction %.4f, want %.4f", got, wantRatio)
+	}
+}
+
+func TestPECRatioPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Composition{ExpertShare: 0.5}.PECRatio(-1, 8)
+}

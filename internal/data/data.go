@@ -1,0 +1,205 @@
+// Package data generates the deterministic synthetic corpora that stand in
+// for the paper's datasets (Wikitext-2, SlimPajama, ImageNet-1K, Alpaca —
+// none of which are available offline). Each corpus is an order-1 Markov
+// chain over a small token vocabulary whose transition structure is drawn
+// deterministically from a domain seed:
+//
+//   - the pre-training corpus exercises the language-model loss;
+//   - domain-shifted chains provide held-out "downstream tasks" whose
+//     next-token accuracy plays the role of the paper's task suites;
+//   - a strongly-clustered chain serves as the vision-proxy stream for the
+//     SwinV2-MoE experiment (Fig. 14b).
+//
+// The chains are built with a block structure (tokens cluster into topics
+// with rare cross-topic transitions) so that MoE gating specializes
+// experts to topics, making PEC's expert-update loss observable — the
+// property the accuracy experiments depend on.
+package data
+
+import (
+	"fmt"
+
+	"moc/internal/rng"
+)
+
+// Corpus is a deterministic token stream.
+type Corpus struct {
+	vocab  int
+	topics int
+	// probs[t] is the transition distribution from token t; trans[t] its
+	// cumulative form used for sampling.
+	probs [][]float64
+	trans [][]float64
+	name  string
+}
+
+// NewCorpus builds a block-structured Markov corpus over the given
+// vocabulary. The domain seed selects the topic structure; equal seeds
+// give identical corpora.
+func NewCorpus(name string, vocab int, domain uint64) *Corpus {
+	if vocab < 8 {
+		panic("data: vocabulary too small")
+	}
+	r := rng.New(domain ^ 0x9e3779b97f4a7c15)
+	topics := 4 + r.Intn(4) // 4..7 topics
+	c := &Corpus{vocab: vocab, topics: topics, name: name}
+	topicOf := func(tok int) int { return tok * topics / vocab }
+	c.probs = make([][]float64, vocab)
+	for t := 0; t < vocab; t++ {
+		weights := make([]float64, vocab)
+		var sum float64
+		myTopic := topicOf(t)
+		// Each token prefers a sparse set of successors inside its topic;
+		// a little mass leaks to other topics so the chain is ergodic.
+		for n := 0; n < vocab; n++ {
+			w := 0.01 * r.Float64()
+			if topicOf(n) == myTopic {
+				w += r.Float64() * r.Float64() // skewed intra-topic weights
+			}
+			weights[n] = w
+			sum += w
+		}
+		for n := range weights {
+			weights[n] /= sum
+		}
+		c.probs[t] = weights
+	}
+	c.buildCumulative()
+	return c
+}
+
+func (c *Corpus) buildCumulative() {
+	c.trans = make([][]float64, c.vocab)
+	for t := 0; t < c.vocab; t++ {
+		cum := make([]float64, c.vocab)
+		acc := 0.0
+		for n := 0; n < c.vocab; n++ {
+			acc += c.probs[t][n]
+			cum[n] = acc
+		}
+		cum[c.vocab-1] = 1
+		c.trans[t] = cum
+	}
+}
+
+// Blend builds a corpus whose transition structure interpolates between a
+// and b: P = alpha·P_a + (1−alpha)·P_b. Downstream-task proxies are blends
+// of the pre-training chain with a task-specific chain, so pre-training
+// transfers (above-chance accuracy) while the shift leaves headroom —
+// mirroring real benchmark suites.
+func Blend(name string, a, b *Corpus, alpha float64) *Corpus {
+	if a.vocab != b.vocab {
+		panic("data: blending corpora with different vocabularies")
+	}
+	if alpha < 0 || alpha > 1 {
+		panic("data: blend alpha out of [0,1]")
+	}
+	c := &Corpus{vocab: a.vocab, topics: a.topics, name: name}
+	c.probs = make([][]float64, c.vocab)
+	for t := 0; t < c.vocab; t++ {
+		p := make([]float64, c.vocab)
+		for n := 0; n < c.vocab; n++ {
+			p[n] = alpha*a.probs[t][n] + (1-alpha)*b.probs[t][n]
+		}
+		c.probs[t] = p
+	}
+	c.buildCumulative()
+	return c
+}
+
+// Name returns the corpus label.
+func (c *Corpus) Name() string { return c.name }
+
+// Vocab returns the vocabulary size.
+func (c *Corpus) Vocab() int { return c.vocab }
+
+// Topics returns the number of latent topics in the chain.
+func (c *Corpus) Topics() int { return c.topics }
+
+// next samples the successor of token t.
+func (c *Corpus) next(r *rng.RNG, t int) int {
+	u := r.Float64()
+	cum := c.trans[t]
+	// Binary search over the cumulative distribution.
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sequence samples a token sequence of the given length.
+func (c *Corpus) Sequence(r *rng.RNG, length int) []int {
+	seq := make([]int, length)
+	tok := r.Intn(c.vocab)
+	for i := range seq {
+		tok = c.next(r, tok)
+		seq[i] = tok
+	}
+	return seq
+}
+
+// Example is one (context, target) training pair: predict the target token
+// from the preceding context window.
+type Example struct {
+	Context []int
+	Target  int
+}
+
+// Batch samples n examples with the given context window. The iteration
+// index makes batches reproducible and replayable: after a fault rollback,
+// re-requesting the same iteration yields the same batch, exactly as a
+// deterministic data loader would.
+func (c *Corpus) Batch(seed uint64, iteration, n, window int) []Example {
+	r := rng.New(seed ^ (uint64(iteration)+1)*0xbf58476d1ce4e5b9)
+	out := make([]Example, n)
+	for i := range out {
+		seq := c.Sequence(r, window+1)
+		out[i] = Example{Context: seq[:window], Target: seq[window]}
+	}
+	return out
+}
+
+// Heldout returns a fixed validation set: the same for every call with
+// equal arguments, disjoint from training batches by seed derivation.
+func (c *Corpus) Heldout(seed uint64, n, window int) []Example {
+	return c.Batch(seed^0xdeadbeefcafef00d, 0, n, window)
+}
+
+// PretrainDomain is the domain seed used for the main pre-training corpus.
+const PretrainDomain uint64 = 1
+
+// TaskNames lists the eight downstream-task proxies, named after the
+// suites evaluated in Table 3 of the paper.
+func TaskNames() []string {
+	return []string{"HellaSwag", "PIQA", "WinoGrande", "BoolQ",
+		"ARC-E", "OBQA", "RACE", "MathQA"}
+}
+
+// Task returns the i-th downstream-task corpus: a domain-shifted chain
+// sharing the pre-training vocabulary. Tasks blend the pre-training
+// distribution (65%) with a task-specific chain (35%) so that a
+// pre-trained model performs above chance and checkpoint-recovery effects
+// are visible.
+func Task(vocab int, i int) *Corpus {
+	names := TaskNames()
+	if i < 0 || i >= len(names) {
+		panic(fmt.Sprintf("data: task index %d out of range", i))
+	}
+	pre := NewCorpus("pretrain", vocab, PretrainDomain)
+	shift := NewCorpus(names[i], vocab, PretrainDomain+uint64(7+i*13))
+	return Blend(names[i], pre, shift, 0.65)
+}
+
+// VisionDomain seeds the vision-proxy stream for the SwinV2-MoE
+// experiment.
+const VisionDomain uint64 = 424242
+
+// FinetuneDomain seeds the instruction-tuning proxy corpus (the Alpaca
+// stand-in of Table 4).
+const FinetuneDomain uint64 = 515151

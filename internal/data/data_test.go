@@ -1,0 +1,233 @@
+package data
+
+import (
+	"testing"
+
+	"moc/internal/rng"
+)
+
+func TestCorpusDeterminism(t *testing.T) {
+	a := NewCorpus("x", 64, 5)
+	b := NewCorpus("x", 64, 5)
+	ra, rb := rng.New(1), rng.New(1)
+	sa := a.Sequence(ra, 100)
+	sb := b.Sequence(rb, 100)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sequences diverge at %d", i)
+		}
+	}
+}
+
+func TestCorpusDomainsDiffer(t *testing.T) {
+	a := NewCorpus("a", 64, 1)
+	b := NewCorpus("b", 64, 2)
+	ra, rb := rng.New(9), rng.New(9)
+	same := 0
+	const n = 200
+	sa := a.Sequence(ra, n)
+	sb := b.Sequence(rb, n)
+	for i := range sa {
+		if sa[i] == sb[i] {
+			same++
+		}
+	}
+	if same > n/2 {
+		t.Fatalf("different domains produced %d/%d identical tokens", same, n)
+	}
+}
+
+func TestTokensInRange(t *testing.T) {
+	c := NewCorpus("x", 32, 3)
+	r := rng.New(4)
+	for _, tok := range c.Sequence(r, 1000) {
+		if tok < 0 || tok >= 32 {
+			t.Fatalf("token %d out of range", tok)
+		}
+	}
+}
+
+func TestChainIsPredictable(t *testing.T) {
+	// The block structure must make the chain far more predictable than
+	// uniform: the modal successor should carry much more than 1/vocab
+	// probability mass. Verify empirically via bigram counts.
+	c := NewCorpus("x", 64, 7)
+	r := rng.New(11)
+	seq := c.Sequence(r, 20000)
+	counts := make(map[[2]int]int)
+	prevCount := make(map[int]int)
+	for i := 1; i < len(seq); i++ {
+		counts[[2]int{seq[i-1], seq[i]}]++
+		prevCount[seq[i-1]]++
+	}
+	// Average max-successor probability across frequent tokens.
+	var probSum float64
+	var n int
+	for prev, total := range prevCount {
+		if total < 100 {
+			continue
+		}
+		best := 0
+		for next := 0; next < 64; next++ {
+			if c := counts[[2]int{prev, next}]; c > best {
+				best = c
+			}
+		}
+		probSum += float64(best) / float64(total)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no frequent tokens observed")
+	}
+	avg := probSum / float64(n)
+	if avg < 3.0/64 {
+		t.Fatalf("modal successor probability %.3f barely above uniform", avg)
+	}
+}
+
+func TestBatchReplayable(t *testing.T) {
+	c := NewCorpus("x", 64, 1)
+	b1 := c.Batch(42, 17, 8, 6)
+	b2 := c.Batch(42, 17, 8, 6)
+	if len(b1) != 8 {
+		t.Fatalf("batch size %d", len(b1))
+	}
+	for i := range b1 {
+		if b1[i].Target != b2[i].Target {
+			t.Fatal("batch not replayable")
+		}
+		for j := range b1[i].Context {
+			if b1[i].Context[j] != b2[i].Context[j] {
+				t.Fatal("context not replayable")
+			}
+		}
+	}
+	b3 := c.Batch(42, 18, 8, 6)
+	diff := false
+	for i := range b1 {
+		if b1[i].Target != b3[i].Target {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("consecutive iterations produced identical batches")
+	}
+}
+
+func TestHeldoutStable(t *testing.T) {
+	c := NewCorpus("x", 64, 1)
+	h1 := c.Heldout(7, 16, 6)
+	h2 := c.Heldout(7, 16, 6)
+	for i := range h1 {
+		if h1[i].Target != h2[i].Target {
+			t.Fatal("heldout set not stable")
+		}
+	}
+}
+
+func TestTasks(t *testing.T) {
+	if len(TaskNames()) != 8 {
+		t.Fatalf("want 8 downstream tasks, got %d", len(TaskNames()))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		task := Task(64, i)
+		if task.Vocab() != 64 {
+			t.Fatalf("task %d vocab %d", i, task.Vocab())
+		}
+		if seen[task.Name()] {
+			t.Fatalf("duplicate task name %s", task.Name())
+		}
+		seen[task.Name()] = true
+	}
+}
+
+func TestTaskPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Task(64, 8)
+}
+
+func TestCorpusPanicsOnTinyVocab(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCorpus("x", 4, 1)
+}
+
+func TestBlend(t *testing.T) {
+	a := NewCorpus("a", 64, 1)
+	b := NewCorpus("b", 64, 2)
+	mix := Blend("mix", a, b, 0.5)
+	if mix.Vocab() != 64 || mix.Name() != "mix" {
+		t.Fatal("blend metadata wrong")
+	}
+	// Blended pmf rows must still sum to 1.
+	for tok := 0; tok < 64; tok++ {
+		var sum float64
+		for n := 0; n < 64; n++ {
+			sum += mix.probs[tok][n]
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("token %d pmf sums to %v", tok, sum)
+		}
+	}
+	// alpha=1 reproduces a exactly.
+	same := Blend("same", a, b, 1)
+	for tok := 0; tok < 64; tok++ {
+		for n := 0; n < 64; n++ {
+			if same.probs[tok][n] != a.probs[tok][n] {
+				t.Fatal("alpha=1 blend diverges from a")
+			}
+		}
+	}
+}
+
+func TestBlendPanics(t *testing.T) {
+	a := NewCorpus("a", 64, 1)
+	b := NewCorpus("b", 32, 2)
+	for _, f := range []func(){
+		func() { Blend("x", a, b, 0.5) },
+		func() { Blend("x", a, a, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTaskTransfersFromPretrain(t *testing.T) {
+	// A task blended with the pre-training chain must be statistically
+	// closer to it than an unrelated domain is: compare L1 distance of
+	// transition rows.
+	pre := NewCorpus("pretrain", 64, PretrainDomain)
+	task := Task(64, 0)
+	other := NewCorpus("other", 64, 99999)
+	var dTask, dOther float64
+	for tok := 0; tok < 64; tok++ {
+		for n := 0; n < 64; n++ {
+			dTask += abs(task.probs[tok][n] - pre.probs[tok][n])
+			dOther += abs(other.probs[tok][n] - pre.probs[tok][n])
+		}
+	}
+	if dTask >= dOther {
+		t.Fatalf("task L1 distance %.2f not below unrelated %.2f", dTask, dOther)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

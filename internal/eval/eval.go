@@ -1,0 +1,64 @@
+// Package eval scores trained models on the downstream-task proxy suite
+// standing in for the paper's Table 3/4 benchmarks (HellaSwag, PIQA, …).
+// Each task is a domain-shifted corpus; a model's task accuracy is its
+// next-token top-1 accuracy on a fixed held-out sample of the task's
+// distribution. Scores are comparable across checkpointing variants
+// because every variant is evaluated on identical examples.
+package eval
+
+import (
+	"fmt"
+
+	"moc/internal/data"
+	"moc/internal/train"
+)
+
+// TaskResult is one task's score.
+type TaskResult struct {
+	Name     string
+	Accuracy float64 // top-1 next-token accuracy, in [0, 1]
+	Loss     float64 // mean cross-entropy
+}
+
+// Suite is a fixed downstream evaluation set.
+type Suite struct {
+	window  int
+	samples int
+	tasks   []*data.Corpus
+}
+
+// NewSuite builds the eight-task suite over the given vocabulary with the
+// given per-task sample count and context window.
+func NewSuite(vocab, window, samples int) *Suite {
+	s := &Suite{window: window, samples: samples}
+	for i := range data.TaskNames() {
+		s.tasks = append(s.tasks, data.Task(vocab, i))
+	}
+	return s
+}
+
+// Evaluate scores the model on every task and returns per-task results
+// plus the average accuracy.
+func (s *Suite) Evaluate(m *train.Model) ([]TaskResult, float64, error) {
+	var results []TaskResult
+	var sum float64
+	for _, task := range s.tasks {
+		examples := task.Heldout(uint64(len(task.Name())), s.samples, s.window)
+		loss, acc, err := m.Evaluate(examples)
+		if err != nil {
+			return nil, 0, fmt.Errorf("eval %s: %w", task.Name(), err)
+		}
+		results = append(results, TaskResult{Name: task.Name(), Accuracy: acc, Loss: loss})
+		sum += acc
+	}
+	return results, sum / float64(len(results)), nil
+}
+
+// Names returns the task names in evaluation order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.tasks))
+	for i, t := range s.tasks {
+		out[i] = t.Name()
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"testing"
+
+	"moc/internal/data"
+	"moc/internal/model"
+	"moc/internal/train"
+)
+
+func trainedModel(t *testing.T, iters int) *train.Model {
+	t.Helper()
+	mc := model.TinyMoE(3, 24, 4, 2)
+	mc.VocabSize = 64
+	m, err := train.New(train.Config{
+		Model: mc, Window: 6, BatchSize: 32, LR: 0.01,
+		CapacityFactor: 1.5, NoiseStd: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := data.NewCorpus("pretrain", 64, data.PretrainDomain)
+	for it := 0; it < iters; it++ {
+		if _, err := m.TrainBatch(corpus.Batch(3, it, 32, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestSuiteShape(t *testing.T) {
+	s := NewSuite(64, 6, 64)
+	if len(s.Names()) != 8 {
+		t.Fatalf("suite has %d tasks", len(s.Names()))
+	}
+	m := trainedModel(t, 60)
+	results, avg, err := s.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	var sum float64
+	for _, r := range results {
+		if r.Accuracy < 0 || r.Accuracy > 1 || r.Loss <= 0 {
+			t.Fatalf("task %s: acc %.3f loss %.3f", r.Name, r.Accuracy, r.Loss)
+		}
+		sum += r.Accuracy
+	}
+	if avg != sum/8 {
+		t.Fatal("average inconsistent")
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	s := NewSuite(64, 6, 32)
+	m := trainedModel(t, 30)
+	_, a1, err := s.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a2, err := s.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("evaluation not deterministic: %v vs %v", a1, a2)
+	}
+}
+
+func TestPretrainingTransfersToTasks(t *testing.T) {
+	// The blended tasks must reward pre-training: a trained model scores
+	// meaningfully above chance on average.
+	s := NewSuite(64, 6, 128)
+	trained := trainedModel(t, 150)
+	_, avgTrained, err := s.Evaluate(trained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / 64
+	if avgTrained < 2*chance {
+		t.Fatalf("trained model task accuracy %.4f not above chance %.4f", avgTrained, chance)
+	}
+	fresh := trainedModel(t, 0)
+	_, avgFresh, err := s.Evaluate(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgTrained <= avgFresh {
+		t.Fatalf("pre-training did not transfer: %.4f vs untrained %.4f", avgTrained, avgFresh)
+	}
+}

@@ -1,0 +1,625 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	moc "moc"
+	"moc/internal/core"
+	"moc/internal/fault"
+	"moc/internal/report"
+)
+
+// Accuracy-experiment scale. The paper trains GPT-125M-8E / GPT-350M-16E
+// for thousands of iterations on GPUs; the pure-Go reproduction trains a
+// structurally identical tiny MoE (8 experts, top-2 gating, capacity-based
+// dropping) for hundreds of iterations. Quick mode shrinks horizons
+// further for tests/benchmarks.
+
+func accuracyConfig(quick bool) moc.Config {
+	return moc.Config{
+		Layers: 4, Hidden: 32, Experts: 8, TopK: 2,
+		Vocab: 64, Window: 8, BatchSize: 32,
+		LR: 0.01, CapacityFactor: 1.5, GateNoise: 0.1,
+		Seed: 20250330,
+	}
+}
+
+func horizon(quick bool, full int) int {
+	if quick {
+		return full / 4
+	}
+	return full
+}
+
+// Fig05Cell is one cell of the Figure 5 grid.
+type Fig05Cell struct {
+	Kpec, Ickpt  int
+	PLT          float64
+	ValLoss      float64
+	BaselineLoss float64 // non-fault validation loss
+}
+
+// Fig05PLTGrid reproduces Figure 5: the correlation between PLT and final
+// validation loss across PEC configurations (K_pec × I_ckpt), each run
+// experiencing one mid-training fault. The non-fault baseline anchors the
+// comparison.
+func Fig05PLTGrid(quick bool) ([]Fig05Cell, string) {
+	total := 512
+	kpecs := []int{1, 2, 4}
+	ickpts := []int{2, 4, 8, 16, 32, 64}
+	if quick {
+		total = 256
+		kpecs = []int{1, 4}
+		ickpts = []int{4, 16, 32}
+	}
+	// Non-fault baseline.
+	baseCfg := accuracyConfig(quick)
+	baseCfg.Interval = 0
+	base, err := moc.NewSystem(baseCfg, moc.NewMemStore())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := base.RunTo(total); err != nil {
+		panic(err)
+	}
+	baseLoss, _, err := base.Evaluate(512)
+	if err != nil {
+		panic(err)
+	}
+	base.Close()
+
+	var cells []Fig05Cell
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5: PLT vs final validation loss (non-fault loss %.4f, one mid-training fault)", baseLoss),
+		"K_pec", "I_ckpt", "PLT", "Val loss", "Δ vs non-fault")
+	for _, k := range kpecs {
+		for _, iv := range ickpts {
+			if iv >= total/2 {
+				continue
+			}
+			cfg := accuracyConfig(quick)
+			cfg.Interval = iv
+			cfg.KSnapshot, cfg.KPersist = k, k
+			cfg.Variant = moc.VariantWO
+			s, err := moc.NewSystem(cfg, moc.NewMemStore())
+			if err != nil {
+				panic(err)
+			}
+			plan := fault.Midpoint(total)
+			if err := runWithFaults(s, total, plan); err != nil {
+				panic(err)
+			}
+			loss, _, err := s.Evaluate(512)
+			if err != nil {
+				panic(err)
+			}
+			cell := Fig05Cell{Kpec: k, Ickpt: iv, PLT: s.PLT(), ValLoss: loss, BaselineLoss: baseLoss}
+			cells = append(cells, cell)
+			t.Row(fmt.Sprintf("%d", k), fmt.Sprintf("%d", iv),
+				report.Pct(cell.PLT), fmt.Sprintf("%.4f", loss),
+				fmt.Sprintf("%+.4f", loss-baseLoss))
+			s.Close()
+		}
+	}
+	return cells, t.String()
+}
+
+// runWithFaults trains to the horizon, injecting the planned faults.
+func runWithFaults(s *moc.System, total int, plan *fault.Plan) error {
+	for s.Iteration() < total {
+		next := total
+		for _, f := range plan.Iterations() {
+			if f > s.Iteration() && f < next {
+				next = f
+			}
+		}
+		if _, err := s.RunTo(next); err != nil {
+			return err
+		}
+		if plan.IsFault(next) && s.Iteration() == next {
+			if err := s.InjectFault(); err != nil {
+				return err
+			}
+			// The fault consumed this schedule entry even though the
+			// iteration counter rewound; advance past it by training one
+			// step beyond the recovery point if needed.
+			if s.Iteration() >= next {
+				continue
+			}
+			// Replay up to (and past) the fault point without
+			// re-triggering: IsFault entries are unique iterations, so
+			// run one step past next to clear it.
+			if _, err := s.RunTo(next); err != nil {
+				return err
+			}
+			if _, err := s.Step(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig14aSeries is one variant's loss curve.
+type Fig14aSeries struct {
+	Variant   string
+	Losses    []float64 // validation loss sampled during training
+	FinalLoss float64
+	PLT       float64
+}
+
+// Fig14a reproduces Figure 14(a): validation-loss curves while faults
+// strike periodically, for the baseline (full checkpointing) and the PEC
+// variants W, O, WO, and WO-2L (two-level recovery).
+func Fig14a(quick bool) ([]Fig14aSeries, string) {
+	total := horizon(quick, 600)
+	faultEvery := total / 5
+	interval := 20
+	if quick {
+		interval = 10
+	}
+	sample := total / 8
+
+	variants := []struct {
+		name     string
+		variant  moc.Variant
+		k        bool
+		twoLevel bool
+	}{
+		{"Baseline", moc.VariantFull, false, false},
+		{"W", moc.VariantW, true, false},
+		{"O", moc.VariantO, true, false},
+		{"WO", moc.VariantWO, true, false},
+		{"WO-2L", moc.VariantWO, true, true},
+	}
+	var series []Fig14aSeries
+	for _, v := range variants {
+		cfg := accuracyConfig(quick)
+		cfg.Interval = interval
+		cfg.Variant = v.variant
+		if v.k {
+			cfg.KSnapshot, cfg.KPersist = 4, 1
+		}
+		cfg.TwoLevelRecovery = v.twoLevel
+		s, err := moc.NewSystem(cfg, moc.NewMemStore())
+		if err != nil {
+			panic(err)
+		}
+		plan := fault.Every(faultEvery, total)
+		cur := Fig14aSeries{Variant: v.name}
+		for s.Iteration() < total {
+			target := s.Iteration() + sample
+			if target > total {
+				target = total
+			}
+			if err := runWithFaults(s, target, plan); err != nil {
+				panic(err)
+			}
+			loss, _, err := s.Evaluate(256)
+			if err != nil {
+				panic(err)
+			}
+			cur.Losses = append(cur.Losses, loss)
+		}
+		cur.FinalLoss = cur.Losses[len(cur.Losses)-1]
+		cur.PLT = s.PLT()
+		series = append(series, cur)
+		s.Close()
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 14(a): validation loss with faults every %d iters (%d total)", faultEvery, total),
+		"Variant", "Final loss", "Δ vs Baseline", "PLT")
+	for _, sr := range series {
+		t.Row(sr.Variant, fmt.Sprintf("%.4f", sr.FinalLoss),
+			fmt.Sprintf("%+.4f", sr.FinalLoss-series[0].FinalLoss),
+			report.Pct(sr.PLT))
+	}
+	return series, t.String()
+}
+
+// Fig14bSeries is one selection policy's accuracy trajectory.
+type Fig14bSeries struct {
+	Method     string
+	Accuracies []float64
+}
+
+// Fig14b reproduces Figure 14(b): test accuracy of the vision-proxy model
+// under baseline (full), PEC with sequential selection, and PEC with
+// load-aware selection, with faults injected at several epochs.
+func Fig14b(quick bool) ([]Fig14bSeries, string) {
+	total := horizon(quick, 480)
+	checkpoints := []int{total / 4, total / 2, total * 4 / 5}
+	methods := []struct {
+		name string
+		sel  moc.Selection
+		pec  bool
+	}{
+		{"Baseline", moc.SelectSequential, false},
+		{"Sequential", moc.SelectSequential, true},
+		{"Load-aware", moc.SelectLoadAware, true},
+	}
+	vocab := 64
+	vision := moc.VisionCorpus(vocab)
+	var series []Fig14bSeries
+	evalPoints := []int{total / 10, total / 3, total * 2 / 3, total}
+	for _, m := range methods {
+		cfg := accuracyConfig(quick)
+		cfg.Selection = m.sel
+		cfg.Interval = 16
+		if m.pec {
+			cfg.KSnapshot, cfg.KPersist = 1, 1
+			cfg.Variant = moc.VariantWO
+		}
+		s, err := moc.NewSystemOn(cfg, moc.NewMemStore(), vision)
+		if err != nil {
+			panic(err)
+		}
+		plan := fault.At(checkpoints...)
+		cur := Fig14bSeries{Method: m.name}
+		for _, pt := range evalPoints {
+			if err := runWithFaults(s, pt, plan); err != nil {
+				panic(err)
+			}
+			_, acc, err := s.EvaluateOn(vision, 256)
+			if err != nil {
+				panic(err)
+			}
+			cur.Accuracies = append(cur.Accuracies, acc)
+		}
+		series = append(series, cur)
+		s.Close()
+	}
+	headers := []string{"Method"}
+	for _, pt := range evalPoints {
+		headers = append(headers, fmt.Sprintf("acc@%d", pt))
+	}
+	t := report.NewTable("Figure 14(b): vision-proxy test accuracy (faults at "+
+		fmt.Sprint(checkpoints)+")", headers...)
+	for _, sr := range series {
+		row := []string{sr.Method}
+		for _, a := range sr.Accuracies {
+			row = append(row, report.Pct(a))
+		}
+		t.Row(row...)
+	}
+	return series, t.String()
+}
+
+// Fig15aPoint is one (K_snapshot, K_persist) configuration's PLT.
+type Fig15aPoint struct {
+	KSnapshot, KPersist int
+	StoragePLT          float64
+	TwoLevelPLT         float64
+}
+
+// Fig15a reproduces Figure 15(a): PLT under two-level recovery versus
+// storage-only recovery, sweeping K_snapshot with K_persist = 1.
+func Fig15a(quick bool) ([]Fig15aPoint, string) {
+	total := horizon(quick, 320)
+	ksnaps := []int{1, 2, 4, 8}
+	run := func(ks int, twoLevel bool) float64 {
+		cfg := accuracyConfig(quick)
+		cfg.Interval = 8
+		cfg.KSnapshot, cfg.KPersist = ks, 1
+		cfg.Variant = moc.VariantWO
+		cfg.TwoLevelRecovery = twoLevel
+		s, err := moc.NewSystem(cfg, moc.NewMemStore())
+		if err != nil {
+			panic(err)
+		}
+		defer s.Close()
+		plan := fault.At(total * 2 / 3)
+		if err := runWithFaults(s, total, plan); err != nil {
+			panic(err)
+		}
+		return s.PLT()
+	}
+	var pts []Fig15aPoint
+	t := report.NewTable("Figure 15(a): PLT vs (K_snapshot, K_persist=1)",
+		"(Ks,Kp)", "Storage recovery", "Two-level recovery")
+	for _, ks := range ksnaps {
+		p := Fig15aPoint{KSnapshot: ks, KPersist: 1,
+			StoragePLT: run(ks, false), TwoLevelPLT: run(ks, true)}
+		pts = append(pts, p)
+		t.Row(fmt.Sprintf("(%d,1)", ks), report.Pct(p.StoragePLT), report.Pct(p.TwoLevelPLT))
+	}
+	return pts, t.String()
+}
+
+// Fig15bPoint is one fault-count measurement.
+type Fig15bPoint struct {
+	Faults     int
+	FixedPLT   float64
+	DynamicPLT float64
+	DynamicK   int
+}
+
+// Fig15b reproduces Figure 15(b): cumulative PLT as faults accumulate, for
+// fixed K_pec = 1 versus the Dynamic-K strategy, using the PLT ledger
+// under uniform routing (the trainer-independent model the paper's plot
+// reflects). The red K-trajectory of the paper appears as the DynamicK
+// column.
+func Fig15b() ([]Fig15bPoint, string) {
+	const (
+		layers  = 4
+		experts = 16
+		ickpt   = 4
+		total   = 16384 // fixed training horizon; faults accumulate inside it
+	)
+	run := func(dynamic bool, faults int) (float64, int) {
+		tr := core.NewPLTTracker(layers, experts)
+		sel := core.NewSequentialSelector(layers, experts)
+		k := 1
+		var dk *core.DynamicK
+		if dynamic {
+			dk = core.NewDynamicK(experts, 1)
+		}
+		round := 0
+		spacing := total / (faults + 1)
+		perExpert := make([]float64, experts)
+		for i := range perExpert {
+			perExpert[i] = 1
+		}
+		injected := 0
+		var cum float64 // cumulative PLT: the quantity Fig. 15(b) plots
+		for it := 1; it <= total; it++ {
+			for l := 0; l < layers; l++ {
+				tr.RecordBatch(l, perExpert, experts)
+			}
+			if it%ickpt == 0 {
+				tr.RecordCheckpoint(sel.Select(round, k))
+				round++
+			}
+			if injected < faults && it%spacing == 0 && it < total {
+				injected++
+				delta := tr.RecordFault()
+				cum += delta
+				if dk != nil {
+					k = dk.OnFault(delta)
+				}
+			}
+		}
+		return cum, k
+	}
+	var pts []Fig15bPoint
+	t := report.NewTable("Figure 15(b): cumulative PLT vs fault count (threshold 3.75%)",
+		"Faults", "K_pec=1 fixed", "Dynamic-K PLT", "Dynamic-K value")
+	for _, f := range []int{1, 2, 4, 8, 16, 32} {
+		fixed, _ := run(false, f)
+		dyn, k := run(true, f)
+		pts = append(pts, Fig15bPoint{Faults: f, FixedPLT: fixed, DynamicPLT: dyn, DynamicK: k})
+		t.Row(fmt.Sprintf("%d", f), report.Pct(fixed), report.Pct(dyn), fmt.Sprintf("%d", k))
+	}
+	return pts, t.String()
+}
+
+// Table3Row is one checkpointing variant's downstream evaluation.
+type Table3Row struct {
+	Method   string
+	CkptSize float64 // relative to baseline
+	Scores   []moc.TaskScore
+	Average  float64
+}
+
+// Table3 reproduces Table 3: downstream-task accuracy of models pre-
+// trained under the checkpointing variants of Fig. 14(a), plus relative
+// checkpoint sizes.
+func Table3(quick bool) ([]Table3Row, string) {
+	total := horizon(quick, 600)
+	faultEvery := total / 5
+	comp := core.Composition{ExpertShare: core.PaperMeasuredExpertShare}
+	// Relative checkpoint sizes from the measured composition: weights
+	// are 2/14 of state bytes, optimizer 12/14, expert share as measured.
+	const wFrac = 2.0 / 14.0
+	expertShare := comp.ExpertShare
+	persistK, n := 1.0, 8.0
+	savedFraction := func(pecW, pecO bool) float64 {
+		s := 1.0
+		if pecW {
+			s -= expertShare * wFrac * (1 - persistK/n)
+		}
+		if pecO {
+			s -= expertShare * (1 - wFrac) * (1 - persistK/n)
+		}
+		return s
+	}
+	variants := []struct {
+		name     string
+		variant  moc.Variant
+		k        bool
+		twoLevel bool
+		size     float64
+	}{
+		{"Baseline", moc.VariantFull, false, false, 1},
+		{"W", moc.VariantW, true, false, savedFraction(true, false)},
+		{"O", moc.VariantO, true, false, savedFraction(false, true)},
+		{"WO", moc.VariantWO, true, false, savedFraction(true, true)},
+		{"WO-2L", moc.VariantWO, true, true, savedFraction(true, true)},
+	}
+
+	var rows []Table3Row
+	names := []string{}
+	for _, v := range variants {
+		cfg := accuracyConfig(quick)
+		cfg.Interval = 20
+		cfg.Variant = v.variant
+		if v.k {
+			cfg.KSnapshot, cfg.KPersist = 4, 1
+		}
+		cfg.TwoLevelRecovery = v.twoLevel
+		s, err := moc.NewSystem(cfg, moc.NewMemStore())
+		if err != nil {
+			panic(err)
+		}
+		plan := fault.Every(faultEvery, total)
+		if err := runWithFaults(s, total, plan); err != nil {
+			panic(err)
+		}
+		scores, avg, err := s.Downstream(192)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Table3Row{Method: v.name, CkptSize: v.size, Scores: scores, Average: avg})
+		if len(names) == 0 {
+			for _, sc := range scores {
+				names = append(names, sc.Task)
+			}
+		}
+		s.Close()
+	}
+	headers := append([]string{"Method", "Ckpt"}, names...)
+	headers = append(headers, "Avg")
+	t := report.NewTable("Table 3: downstream-task accuracy (%) after faulty pre-training", headers...)
+	for _, r := range rows {
+		row := []string{r.Method, fmt.Sprintf("%.2f", r.CkptSize)}
+		for _, sc := range r.Scores {
+			row = append(row, fmt.Sprintf("%.2f", 100*sc.Accuracy))
+		}
+		row = append(row, fmt.Sprintf("%.2f", 100*r.Average))
+		t.Row(row...)
+	}
+	return rows, t.String()
+}
+
+// Table4Row is one fine-tuning variant's evaluation.
+type Table4Row struct {
+	Method        string
+	FinetuneAcc   float64 // held-out accuracy on the fine-tuning domain
+	DownstreamAvg float64
+}
+
+// Table4 reproduces Table 4: fine-tuning a pre-trained model on the
+// instruction-tuning proxy corpus with a mid-run fault, comparing no
+// fine-tuning (Base), fine-tuning with frozen experts (FT-w.o.E), full
+// checkpointing (FT-Full), and PEC checkpointing (FT-PEC, 1/8 experts).
+func Table4(quick bool) ([]Table4Row, string) {
+	pretrainIters, ftIters, samples := 400, 400, 1024
+	if quick {
+		pretrainIters, ftIters, samples = 200, 160, 512
+	}
+	vocab := 64
+	ftCorpus := moc.FinetuneCorpus(vocab)
+
+	pretrain := func(freeze bool, variant moc.Variant, kpec bool) *moc.System {
+		cfg := accuracyConfig(quick)
+		cfg.Interval = 0
+		s, err := moc.NewSystem(cfg, moc.NewMemStore())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.RunTo(pretrainIters); err != nil {
+			panic(err)
+		}
+		return s
+	}
+	// Base: pre-trained only.
+	base := pretrain(false, moc.VariantFull, false)
+	defer base.Close()
+	baseFT, baseFTAcc, err := base.EvaluateOn(ftCorpus, samples)
+	_ = baseFT
+	if err != nil {
+		panic(err)
+	}
+	_, baseAvg, err := base.Downstream(128)
+	if err != nil {
+		panic(err)
+	}
+
+	finetune := func(freeze bool, variant moc.Variant, kpec bool) (float64, float64) {
+		// Rebuild the pre-trained state deterministically, then continue
+		// on the fine-tuning corpus with fault injection.
+		cfg := accuracyConfig(quick)
+		cfg.Interval = 0
+		pre, err := moc.NewSystem(cfg, moc.NewMemStore())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := pre.RunTo(pretrainIters); err != nil {
+			panic(err)
+		}
+		ft, err := pre.ForkOn(ftCorpus, moc.Config{
+			Interval: 12, FreezeExperts: freeze, Variant: variant,
+			KSnapshot: kIf(kpec, 1), KPersist: kIf(kpec, 1),
+		})
+		if err != nil {
+			panic(err)
+		}
+		pre.Close()
+		defer ft.Close()
+		target := pretrainIters + ftIters
+		plan := fault.At(pretrainIters + ftIters/2)
+		if err := runWithFaults(ft, target, plan); err != nil {
+			panic(err)
+		}
+		_, acc, err := ft.EvaluateOn(ftCorpus, samples)
+		if err != nil {
+			panic(err)
+		}
+		_, avg, err := ft.Downstream(128)
+		if err != nil {
+			panic(err)
+		}
+		return acc, avg
+	}
+
+	rows := []Table4Row{{Method: "Base", FinetuneAcc: baseFTAcc, DownstreamAvg: baseAvg}}
+	for _, v := range []struct {
+		name    string
+		freeze  bool
+		variant moc.Variant
+		kpec    bool
+	}{
+		{"FT-w.o.E", true, moc.VariantFull, false},
+		{"FT-Full", false, moc.VariantFull, false},
+		{"FT-PEC", false, moc.VariantWO, true},
+	} {
+		acc, avg := finetune(v.freeze, v.variant, v.kpec)
+		rows = append(rows, Table4Row{Method: v.name, FinetuneAcc: acc, DownstreamAvg: avg})
+	}
+	t := report.NewTable("Table 4: fine-tuning with a mid-run fault",
+		"Method", "FT-domain acc", "Downstream avg")
+	for _, r := range rows {
+		t.Row(r.Method, report.Pct(r.FinetuneAcc), report.Pct(r.DownstreamAvg))
+	}
+	return rows, t.String()
+}
+
+func kIf(cond bool, k int) int {
+	if cond {
+		return k
+	}
+	return 0
+}
+
+// SelectionAblation compares sequential and load-aware selection on PLT,
+// final loss, and selection cost (§3.2's trade-off discussion).
+func SelectionAblation(quick bool) string {
+	total := horizon(quick, 320)
+	var b strings.Builder
+	t := report.NewTable("Ablation: sequential vs load-aware selection",
+		"Selection", "PLT", "Final val loss")
+	for _, sel := range []moc.Selection{moc.SelectSequential, moc.SelectLoadAware} {
+		cfg := accuracyConfig(quick)
+		cfg.Interval = 8
+		cfg.KSnapshot, cfg.KPersist = 1, 1
+		cfg.Variant = moc.VariantWO
+		cfg.Selection = sel
+		s, err := moc.NewSystem(cfg, moc.NewMemStore())
+		if err != nil {
+			panic(err)
+		}
+		plan := fault.At(total / 2)
+		if err := runWithFaults(s, total, plan); err != nil {
+			panic(err)
+		}
+		loss, _, err := s.Evaluate(256)
+		if err != nil {
+			panic(err)
+		}
+		t.Row(string(sel), report.Pct(s.PLT()), fmt.Sprintf("%.4f", loss))
+		s.Close()
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,264 @@
+// Package model describes sparse Mixture-of-Experts transformer models at
+// the granularity the MoC-System checkpoints them: named modules with
+// parameter counts, split into the non-expert part (attention, dense FFN,
+// embeddings, gating networks) and the expert part (one module per expert
+// per MoE layer).
+//
+// The package performs the checkpoint-size accounting of the paper's §3.1:
+//
+//	C_full ≈ (P_ne + P_e)              · (B_w + B_o)   (Eq. 5)
+//	C_pec  ≈ (P_ne + K_pec/N · P_e)    · (B_w + B_o)   (Eq. 6)
+//
+// where B_w is bytes of weight per parameter (2, fp16) and B_o bytes of
+// optimizer state per parameter (12: fp32 Adam momentum + variance + fp32
+// master weight), matching the ZeRO-2 mixed-precision regime assumed by the
+// paper (expert optimizer states ≈ 6× expert weights in Fig. 2).
+package model
+
+import "fmt"
+
+// Bytes-per-parameter constants for the mixed-precision ZeRO-2 regime.
+const (
+	BytesWeight    = 2  // fp16 model weight
+	BytesOptimizer = 12 // fp32 Adam m + v + fp32 master weight
+)
+
+// ModuleKind classifies a module for checkpoint placement.
+type ModuleKind int
+
+const (
+	// KindNonExpert modules (attention, dense FFN, embeddings, gates,
+	// norms) are replicated across all data-parallel ranks.
+	KindNonExpert ModuleKind = iota
+	// KindExpert modules live on exactly one rank per EP group.
+	KindExpert
+)
+
+func (k ModuleKind) String() string {
+	switch k {
+	case KindNonExpert:
+		return "non-expert"
+	case KindExpert:
+		return "expert"
+	default:
+		return fmt.Sprintf("ModuleKind(%d)", int(k))
+	}
+}
+
+// Module is the smallest checkpointing unit: a named group of parameters.
+type Module struct {
+	// Name uniquely identifies the module, e.g. "layer3.moe.expert5".
+	Name string
+	// Kind distinguishes expert from non-expert modules.
+	Kind ModuleKind
+	// Layer is the transformer-layer index, or -1 for embeddings/head.
+	Layer int
+	// MoELayer is the index among MoE layers (0-based) for expert modules
+	// and gates, or -1.
+	MoELayer int
+	// Expert is the expert index within the MoE layer, or -1.
+	Expert int
+	// Params is the number of parameters in the module.
+	Params int64
+}
+
+// WeightBytes returns the serialized weight size of the module.
+func (m Module) WeightBytes() int64 { return m.Params * BytesWeight }
+
+// OptimizerBytes returns the serialized optimizer-state size of the module.
+func (m Module) OptimizerBytes() int64 { return m.Params * BytesOptimizer }
+
+// StateBytes returns weight + optimizer bytes (the full model-state size).
+func (m Module) StateBytes() int64 { return m.Params * (BytesWeight + BytesOptimizer) }
+
+// Config describes an MoE transformer model. All sizes are in "parameters",
+// independent of any training framework.
+type Config struct {
+	Name       string
+	NumLayers  int // transformer layers
+	HiddenSize int
+	NumHeads   int
+	HeadDim    int // if 0, HiddenSize/NumHeads
+	FFNMult    int // expert/FFN intermediate size = FFNMult * HiddenSize
+	VocabSize  int
+	SeqLen     int
+
+	// MoEEvery substitutes the FFN of every MoEEvery-th layer (1-based
+	// counting from layer 1, i.e. layers 1, 3, 5... for MoEEvery=2) with
+	// an MoE layer, the convention used by DeepSpeed-MoE. MoEEvery = 0
+	// means no MoE layers (a dense model).
+	MoEEvery int
+	// NumExperts is the number of experts per MoE layer (N in the paper).
+	NumExperts int
+	// TopK is the gating fan-out (tokens dispatched to TopK experts).
+	TopK int
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.NumLayers <= 0 || c.HiddenSize <= 0 || c.VocabSize <= 0 {
+		return fmt.Errorf("model %q: layers/hidden/vocab must be positive", c.Name)
+	}
+	if c.FFNMult <= 0 {
+		return fmt.Errorf("model %q: FFNMult must be positive", c.Name)
+	}
+	if c.MoEEvery < 0 {
+		return fmt.Errorf("model %q: MoEEvery must be >= 0", c.Name)
+	}
+	if c.MoEEvery > 0 {
+		if c.NumExperts <= 0 {
+			return fmt.Errorf("model %q: MoE model needs NumExperts > 0", c.Name)
+		}
+		if c.TopK <= 0 || c.TopK > c.NumExperts {
+			return fmt.Errorf("model %q: TopK %d out of range 1..%d", c.Name, c.TopK, c.NumExperts)
+		}
+	}
+	return nil
+}
+
+// headDim returns the effective attention head dimension.
+func (c Config) headDim() int {
+	if c.HeadDim > 0 {
+		return c.HeadDim
+	}
+	if c.NumHeads > 0 {
+		return c.HiddenSize / c.NumHeads
+	}
+	return c.HiddenSize
+}
+
+// attnParams returns per-layer attention parameters: Q, K, V, O projections
+// (h × headDim·heads each) plus biases and the two layer norms.
+func (c Config) attnParams() int64 {
+	h := int64(c.HiddenSize)
+	proj := int64(c.headDim()) * int64(maxInt(c.NumHeads, 1))
+	return 4*h*proj + 4*proj + // QKVO weights + biases
+		4*h // two layernorms (scale + shift)
+}
+
+// ffnParams returns the parameters of one dense FFN (or one expert).
+func (c Config) ffnParams() int64 {
+	h := int64(c.HiddenSize)
+	inter := h * int64(c.FFNMult)
+	return h*inter + inter + inter*h + h // two projections + biases
+}
+
+// gateParams returns the parameters of one gating network.
+func (c Config) gateParams() int64 {
+	return int64(c.HiddenSize)*int64(c.NumExperts) + int64(c.NumExperts)
+}
+
+// IsMoELayer reports whether transformer layer i (0-based) hosts an MoE
+// layer under the MoEEvery placement rule.
+func (c Config) IsMoELayer(i int) bool {
+	if c.MoEEvery <= 0 {
+		return false
+	}
+	// DeepSpeed-MoE convention: with MoEEvery=2, odd layers (1,3,5,...)
+	// carry the MoE FFN.
+	return i%c.MoEEvery == c.MoEEvery-1
+}
+
+// NumMoELayers returns the number of MoE layers in the model.
+func (c Config) NumMoELayers() int {
+	n := 0
+	for i := 0; i < c.NumLayers; i++ {
+		if c.IsMoELayer(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Modules enumerates every checkpointing unit of the model in a stable
+// order: embeddings, per-layer attention, per-layer FFN-or-MoE, head.
+func (c Config) Modules() []Module {
+	var mods []Module
+	h := int64(c.HiddenSize)
+	mods = append(mods, Module{
+		Name: "embed.token", Kind: KindNonExpert, Layer: -1, MoELayer: -1, Expert: -1,
+		Params: int64(c.VocabSize) * h,
+	})
+	if c.SeqLen > 0 {
+		mods = append(mods, Module{
+			Name: "embed.pos", Kind: KindNonExpert, Layer: -1, MoELayer: -1, Expert: -1,
+			Params: int64(c.SeqLen) * h,
+		})
+	}
+	moeIdx := 0
+	for i := 0; i < c.NumLayers; i++ {
+		mods = append(mods, Module{
+			Name: fmt.Sprintf("layer%d.atten", i), Kind: KindNonExpert,
+			Layer: i, MoELayer: -1, Expert: -1, Params: c.attnParams(),
+		})
+		if c.IsMoELayer(i) {
+			mods = append(mods, Module{
+				Name: fmt.Sprintf("layer%d.moe.gate", i), Kind: KindNonExpert,
+				Layer: i, MoELayer: moeIdx, Expert: -1, Params: c.gateParams(),
+			})
+			for e := 0; e < c.NumExperts; e++ {
+				mods = append(mods, Module{
+					Name: fmt.Sprintf("layer%d.moe.expert%d", i, e), Kind: KindExpert,
+					Layer: i, MoELayer: moeIdx, Expert: e, Params: c.ffnParams(),
+				})
+			}
+			moeIdx++
+		} else {
+			mods = append(mods, Module{
+				Name: fmt.Sprintf("layer%d.ffn", i), Kind: KindNonExpert,
+				Layer: i, MoELayer: -1, Expert: -1, Params: c.ffnParams(),
+			})
+		}
+	}
+	mods = append(mods, Module{
+		Name: "head", Kind: KindNonExpert, Layer: -1, MoELayer: -1, Expert: -1,
+		Params: h*int64(c.VocabSize) + 2*h, // output projection + final norm
+	})
+	return mods
+}
+
+// ParamCounts returns (non-expert, expert) parameter totals.
+func (c Config) ParamCounts() (nonExpert, expert int64) {
+	for _, m := range c.Modules() {
+		if m.Kind == KindExpert {
+			expert += m.Params
+		} else {
+			nonExpert += m.Params
+		}
+	}
+	return
+}
+
+// TotalParams returns the total parameter count.
+func (c Config) TotalParams() int64 {
+	ne, e := c.ParamCounts()
+	return ne + e
+}
+
+// FullCheckpointBytes evaluates Eq. 5: the size of a conventional
+// checkpoint saving all model states.
+func (c Config) FullCheckpointBytes() int64 {
+	ne, e := c.ParamCounts()
+	return (ne + e) * (BytesWeight + BytesOptimizer)
+}
+
+// PECCheckpointBytes evaluates Eq. 6: the size of a PEC checkpoint that
+// saves kpec of the NumExperts experts per MoE layer.
+func (c Config) PECCheckpointBytes(kpec int) int64 {
+	if c.MoEEvery == 0 || kpec >= c.NumExperts {
+		return c.FullCheckpointBytes()
+	}
+	if kpec < 0 {
+		panic("model: negative kpec")
+	}
+	ne, e := c.ParamCounts()
+	expertPart := e * int64(kpec) / int64(c.NumExperts)
+	return (ne + expertPart) * (BytesWeight + BytesOptimizer)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

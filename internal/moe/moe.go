@@ -1,0 +1,157 @@
+// Package moe implements the sparse Mixture-of-Experts gating of §2.1: the
+// noisy top-k softmax router (Eq. 2) with the capacity-based token dropping
+// of GShard-style expert parallelism. It produces, besides the routing
+// decisions themselves, the per-expert token counts that feed the PLT
+// metric (Eq. 7) and the load-aware PEC selector (§3.2).
+package moe
+
+import (
+	"fmt"
+	"math"
+
+	"moc/internal/rng"
+	"moc/internal/tensor"
+)
+
+// RouterConfig parameterizes one MoE layer's gate.
+type RouterConfig struct {
+	NumExperts int
+	TopK       int
+	// CapacityFactor bounds each expert's per-batch token count to
+	// ceil(CapacityFactor · T · TopK / NumExperts); 0 disables dropping.
+	CapacityFactor float64
+	// NoiseStd is the standard deviation of the Gaussian gate noise ε of
+	// Eq. 2, applied during training only.
+	NoiseStd float64
+}
+
+// Validate checks the configuration.
+func (c RouterConfig) Validate() error {
+	if c.NumExperts <= 0 {
+		return fmt.Errorf("moe: NumExperts must be positive")
+	}
+	if c.TopK <= 0 || c.TopK > c.NumExperts {
+		return fmt.Errorf("moe: TopK %d out of range 1..%d", c.TopK, c.NumExperts)
+	}
+	if c.CapacityFactor < 0 || c.NoiseStd < 0 {
+		return fmt.Errorf("moe: negative capacity factor or noise")
+	}
+	return nil
+}
+
+// Slot is one (token, expert) dispatch decision.
+type Slot struct {
+	Expert  int
+	Gate    float32 // renormalized top-k gate weight
+	Dropped bool    // true if the expert was at capacity
+}
+
+// Routing is the outcome of routing one batch through a gate.
+type Routing struct {
+	// Slots[t] lists the TopK dispatch slots of token t in gate order.
+	Slots [][]Slot
+	// Probs[t] is the full softmax distribution over experts for token t
+	// (computed from the noisy logits), needed by gate backpropagation.
+	Probs [][]float32
+	// PerExpert[e] counts the tokens expert e actually processed
+	// (after capacity dropping).
+	PerExpert []int
+	// RoutedSlots is tokens × TopK, the PLT denominator contribution.
+	RoutedSlots int
+	// DroppedSlots counts slots lost to expert capacity.
+	DroppedSlots int
+	// Capacity is the per-expert token bound used (0 = unlimited).
+	Capacity int
+}
+
+// Route computes the routing of a batch given each token's raw gate logits
+// (length NumExperts). When r is non-nil and NoiseStd > 0, Gaussian noise
+// is added to the logits before the softmax — the ε of Eq. 2. Tokens are
+// served in batch order; an expert beyond capacity drops the slot (the
+// token then contributes only through the residual path, as in GShard).
+func Route(cfg RouterConfig, logits [][]float32, r *rng.RNG) (*Routing, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NumExperts
+	out := &Routing{
+		Slots:       make([][]Slot, len(logits)),
+		Probs:       make([][]float32, len(logits)),
+		PerExpert:   make([]int, n),
+		RoutedSlots: len(logits) * cfg.TopK,
+	}
+	if cfg.CapacityFactor > 0 {
+		out.Capacity = int(math.Ceil(cfg.CapacityFactor * float64(len(logits)) * float64(cfg.TopK) / float64(n)))
+		if out.Capacity < 1 {
+			out.Capacity = 1
+		}
+	}
+	noisy := make([]float32, n)
+	for t, lg := range logits {
+		if len(lg) != n {
+			return nil, fmt.Errorf("moe: token %d has %d logits, want %d", t, len(lg), n)
+		}
+		copy(noisy, lg)
+		if r != nil && cfg.NoiseStd > 0 {
+			for e := range noisy {
+				noisy[e] += r.NormFloat32(0, cfg.NoiseStd)
+			}
+		}
+		probs := make([]float32, n)
+		tensor.Softmax(probs, noisy)
+		out.Probs[t] = probs
+
+		top := tensor.TopK(probs, cfg.TopK)
+		var denom float32
+		for _, e := range top {
+			denom += probs[e]
+		}
+		if denom <= 0 {
+			denom = 1
+		}
+		slots := make([]Slot, 0, cfg.TopK)
+		for _, e := range top {
+			s := Slot{Expert: e, Gate: probs[e] / denom}
+			if out.Capacity > 0 && out.PerExpert[e] >= out.Capacity {
+				s.Dropped = true
+				out.DroppedSlots++
+			} else {
+				out.PerExpert[e]++
+			}
+			slots = append(slots, s)
+		}
+		out.Slots[t] = slots
+	}
+	return out, nil
+}
+
+// LoadImbalance returns the ratio between the busiest expert's token count
+// and the mean, a standard routing-health diagnostic (1.0 = perfectly
+// balanced).
+func (r *Routing) LoadImbalance() float64 {
+	if len(r.PerExpert) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, c := range r.PerExpert {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.PerExpert))
+	return float64(max) / mean
+}
+
+// PerExpertFloat returns the processed-token counts as float64, the shape
+// the PLT tracker and load-aware selector consume.
+func (r *Routing) PerExpertFloat() []float64 {
+	out := make([]float64, len(r.PerExpert))
+	for i, c := range r.PerExpert {
+		out[i] = float64(c)
+	}
+	return out
+}

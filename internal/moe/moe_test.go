@@ -1,0 +1,199 @@
+package moe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moc/internal/rng"
+)
+
+func mkLogits(r *rng.RNG, tokens, experts int) [][]float32 {
+	out := make([][]float32, tokens)
+	for t := range out {
+		lg := make([]float32, experts)
+		for e := range lg {
+			lg[e] = r.NormFloat32(0, 1)
+		}
+		out[t] = lg
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	bad := []RouterConfig{
+		{NumExperts: 0, TopK: 1},
+		{NumExperts: 4, TopK: 0},
+		{NumExperts: 4, TopK: 5},
+		{NumExperts: 4, TopK: 1, CapacityFactor: -1},
+		{NumExperts: 4, TopK: 1, NoiseStd: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestRouteBasicShape(t *testing.T) {
+	r := rng.New(1)
+	cfg := RouterConfig{NumExperts: 8, TopK: 2}
+	routing, err := Route(cfg, mkLogits(r, 32, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routing.Slots) != 32 || routing.RoutedSlots != 64 {
+		t.Fatalf("shape: %d tokens, %d slots", len(routing.Slots), routing.RoutedSlots)
+	}
+	total := 0
+	for _, c := range routing.PerExpert {
+		total += c
+	}
+	if total != 64 || routing.DroppedSlots != 0 {
+		t.Fatalf("unlimited capacity: processed %d, dropped %d", total, routing.DroppedSlots)
+	}
+}
+
+func TestGatesRenormalized(t *testing.T) {
+	r := rng.New(2)
+	cfg := RouterConfig{NumExperts: 8, TopK: 2}
+	routing, err := Route(cfg, mkLogits(r, 16, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, slots := range routing.Slots {
+		var sum float64
+		for _, s := range slots {
+			if s.Gate < 0 || s.Gate > 1 {
+				t.Fatalf("gate %v out of range", s.Gate)
+			}
+			sum += float64(s.Gate)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("token %d gate sum %v", ti, sum)
+		}
+	}
+}
+
+func TestTopKPicksHighestProb(t *testing.T) {
+	cfg := RouterConfig{NumExperts: 4, TopK: 1}
+	logits := [][]float32{{0, 5, 0, 0}}
+	routing, err := Route(cfg, logits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routing.Slots[0][0].Expert != 1 {
+		t.Fatalf("routed to %d, want 1", routing.Slots[0][0].Expert)
+	}
+	if routing.Slots[0][0].Gate != 1 {
+		t.Fatalf("top-1 gate = %v, want 1", routing.Slots[0][0].Gate)
+	}
+}
+
+func TestCapacityDropsExcessTokens(t *testing.T) {
+	// All tokens prefer expert 0; capacity factor 1 with 4 experts and
+	// top-1 bounds expert 0 to ceil(16·1/4) = 4 tokens.
+	cfg := RouterConfig{NumExperts: 4, TopK: 1, CapacityFactor: 1}
+	logits := make([][]float32, 16)
+	for i := range logits {
+		logits[i] = []float32{10, 0, 0, 0}
+	}
+	routing, err := Route(cfg, logits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routing.Capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", routing.Capacity)
+	}
+	if routing.PerExpert[0] != 4 {
+		t.Fatalf("expert 0 processed %d, want 4", routing.PerExpert[0])
+	}
+	if routing.DroppedSlots != 12 {
+		t.Fatalf("dropped %d, want 12", routing.DroppedSlots)
+	}
+	// Earlier tokens win slots (batch order).
+	if routing.Slots[0][0].Dropped || !routing.Slots[15][0].Dropped {
+		t.Fatal("capacity should favour earlier tokens")
+	}
+}
+
+func TestNoiseRequiresRNGAndChangesRouting(t *testing.T) {
+	base := RouterConfig{NumExperts: 8, TopK: 1}
+	noisy := RouterConfig{NumExperts: 8, TopK: 1, NoiseStd: 5}
+	logits := mkLogits(rng.New(3), 64, 8)
+	r1, _ := Route(base, logits, nil)
+	r2, _ := Route(base, logits, rng.New(7)) // no noise configured: rng unused
+	for t2 := range r1.Slots {
+		if r1.Slots[t2][0].Expert != r2.Slots[t2][0].Expert {
+			t.Fatal("rng without noise changed routing")
+		}
+	}
+	r3, _ := Route(noisy, logits, rng.New(7))
+	diff := 0
+	for t3 := range r1.Slots {
+		if r1.Slots[t3][0].Expert != r3.Slots[t3][0].Expert {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("strong noise never changed routing")
+	}
+}
+
+func TestRouteRejectsBadLogitWidth(t *testing.T) {
+	cfg := RouterConfig{NumExperts: 4, TopK: 1}
+	if _, err := Route(cfg, [][]float32{{1, 2}}, nil); err == nil {
+		t.Fatal("narrow logits accepted")
+	}
+}
+
+func TestPerExpertConservation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%7)
+		k := 1 + int(seed>>8)%n
+		cfg := RouterConfig{NumExperts: n, TopK: k, CapacityFactor: 1.25}
+		tokens := 8 + int(seed>>16)%24
+		routing, err := Route(cfg, mkLogits(r, tokens, n), r)
+		if err != nil {
+			return false
+		}
+		processed := 0
+		for _, c := range routing.PerExpert {
+			if c < 0 || (routing.Capacity > 0 && c > routing.Capacity) {
+				return false
+			}
+			processed += c
+		}
+		// processed + dropped must equal routed slots.
+		return processed+routing.DroppedSlots == routing.RoutedSlots
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	r := &Routing{PerExpert: []int{10, 10, 10, 10}}
+	if r.LoadImbalance() != 1 {
+		t.Fatalf("balanced load imbalance = %v", r.LoadImbalance())
+	}
+	r2 := &Routing{PerExpert: []int{40, 0, 0, 0}}
+	if r2.LoadImbalance() != 4 {
+		t.Fatalf("skewed load imbalance = %v", r2.LoadImbalance())
+	}
+	if (&Routing{}).LoadImbalance() != 0 {
+		t.Fatal("empty routing imbalance")
+	}
+	if (&Routing{PerExpert: []int{0, 0}}).LoadImbalance() != 0 {
+		t.Fatal("zero-token imbalance")
+	}
+}
+
+func TestPerExpertFloat(t *testing.T) {
+	r := &Routing{PerExpert: []int{1, 2, 3}}
+	f := r.PerExpertFloat()
+	if len(f) != 3 || f[2] != 3 {
+		t.Fatalf("PerExpertFloat: %v", f)
+	}
+}

@@ -1,0 +1,243 @@
+// Package perf provides the analytic cost models the timing simulations
+// are built on — the role ASTRA-sim plays in the paper's §6.2.4. It
+// estimates, for one training iteration of a distributed MoE model:
+//
+//   - T_F&B: forward+backward compute plus All-to-All dispatch/combine and
+//     ZeRO-2 gradient reduce-scatter;
+//   - T_update: optimizer step plus parameter all-gather;
+//   - T_snapshot: GPU→CPU copy of the bottleneck rank's checkpoint shard;
+//   - T_persist: CPU→distributed-storage write of the bottleneck shard.
+//
+// GPU profiles follow the constants the paper calibrates its own
+// simulations with (§6.2.4): A800 = 312 TFLOPS at 20% utilization with a
+// 1 GB/s GPU-to-CPU snapshot path; H100 = 989 TFLOPS at 20% with 2 GB/s.
+package perf
+
+import (
+	"fmt"
+
+	"moc/internal/cluster"
+	"moc/internal/model"
+)
+
+// GPUProfile describes one accelerator generation.
+type GPUProfile struct {
+	Name string
+	// PeakFLOPS is the peak throughput in FLOP/s (e.g. 312e12).
+	PeakFLOPS float64
+	// Utilization is the achieved fraction of peak (the paper uses 0.20).
+	Utilization float64
+	// SnapshotBW is the effective GPU→CPU copy bandwidth in bytes/s.
+	SnapshotBW float64
+	// IntraNodeBW is the per-GPU NVLink bandwidth in bytes/s.
+	IntraNodeBW float64
+	// InterNodeBW is the per-GPU share of cross-node network bandwidth
+	// in bytes/s.
+	InterNodeBW float64
+	// MsgLatency is the per-message latency for collective steps.
+	MsgLatency float64
+	// CongestionBeta inflates cross-node All-to-All cost per extra node,
+	// modelling fabric contention at scale.
+	CongestionBeta float64
+}
+
+// A800 returns the paper's A800 calibration.
+func A800() GPUProfile {
+	return GPUProfile{
+		Name:           "A800",
+		PeakFLOPS:      312e12,
+		Utilization:    0.20,
+		SnapshotBW:     1e9,
+		IntraNodeBW:    200e9,
+		InterNodeBW:    3e9,
+		MsgLatency:     20e-6,
+		CongestionBeta: 0.12,
+	}
+}
+
+// H100 returns the paper's H100 calibration.
+func H100() GPUProfile {
+	return GPUProfile{
+		Name:           "H100",
+		PeakFLOPS:      989e12,
+		Utilization:    0.20,
+		SnapshotBW:     2e9,
+		IntraNodeBW:    450e9,
+		InterNodeBW:    6e9,
+		MsgLatency:     15e-6,
+		CongestionBeta: 0.12,
+	}
+}
+
+// StorageProfile describes the distributed persistent filesystem.
+type StorageProfile struct {
+	Name string
+	// PersistBWPerRank is the effective per-rank write bandwidth to the
+	// distributed filesystem in bytes/s.
+	PersistBWPerRank float64
+	// ReadBWPerRank is the per-rank recovery read bandwidth in bytes/s.
+	ReadBWPerRank float64
+}
+
+// DefaultStorage returns a cluster-filesystem calibration in which the
+// persist path is slightly slower than the PCIe snapshot path, matching
+// the relative bar lengths of Fig. 11.
+func DefaultStorage() StorageProfile {
+	return StorageProfile{Name: "cephfs", PersistBWPerRank: 0.8e9, ReadBWPerRank: 1.2e9}
+}
+
+// Workload binds a model, a topology, hardware profiles, and a batch size.
+type Workload struct {
+	Model   model.Config
+	Topo    cluster.Topology
+	GPU     GPUProfile
+	Storage StorageProfile
+	// GlobalBatch is the number of sequences per iteration across the
+	// whole cluster (split over DP ranks).
+	GlobalBatch int
+}
+
+// Validate checks the workload is simulable.
+func (w Workload) Validate() error {
+	if err := w.Model.Validate(); err != nil {
+		return err
+	}
+	if err := w.Topo.Validate(); err != nil {
+		return err
+	}
+	if w.GlobalBatch <= 0 {
+		return fmt.Errorf("perf: GlobalBatch must be positive")
+	}
+	if w.GPU.PeakFLOPS <= 0 || w.GPU.SnapshotBW <= 0 {
+		return fmt.Errorf("perf: GPU profile incomplete")
+	}
+	if w.Storage.PersistBWPerRank <= 0 {
+		return fmt.Errorf("perf: storage profile incomplete")
+	}
+	return nil
+}
+
+// TokensPerRank returns the tokens processed per DP rank per iteration.
+func (w Workload) TokensPerRank() float64 {
+	seq := w.Model.SeqLen
+	if seq <= 0 {
+		seq = 1
+	}
+	return float64(w.GlobalBatch) * float64(seq) / float64(w.Topo.DP)
+}
+
+// ActiveParamsPerToken returns the parameters touched by each token:
+// all non-expert matmul parameters plus TopK experts per MoE layer.
+func (w Workload) ActiveParamsPerToken() float64 {
+	var active float64
+	for _, m := range w.Model.Modules() {
+		switch {
+		case m.Kind == model.KindExpert:
+			// Each token activates TopK of the NumExperts experts.
+			active += float64(m.Params) * float64(w.Model.TopK) / float64(w.Model.NumExperts)
+		case m.Layer >= 0:
+			active += float64(m.Params)
+		default:
+			// Embedding lookups are gathers, not matmuls; the head
+			// projection is a matmul.
+			if m.Name == "head" {
+				active += float64(m.Params)
+			}
+		}
+	}
+	return active
+}
+
+// ComputeTime returns the pure compute portion of T_F&B: forward+backward
+// ≈ 6 FLOPs per active parameter per token, divided over the TP degree.
+func (w Workload) ComputeTime() float64 {
+	flops := 6 * w.ActiveParamsPerToken() * w.TokensPerRank()
+	eff := w.GPU.PeakFLOPS * w.GPU.Utilization * float64(w.Topo.TP)
+	return flops / eff
+}
+
+// AllToAllTime returns the expert-dispatch/combine communication time per
+// iteration: two All-to-Alls forward and two backward per MoE layer. The
+// effective bandwidth is NVLink when the EP group fits in a node, or the
+// congested cross-node share otherwise.
+func (w Workload) AllToAllTime() float64 {
+	nmoe := w.Model.NumMoELayers()
+	if nmoe == 0 || w.Topo.EP == 1 {
+		return 0
+	}
+	bytesPerPass := w.TokensPerRank() * float64(w.Model.HiddenSize) *
+		float64(model.BytesWeight) * float64(w.Model.TopK)
+	passes := 4.0 * float64(nmoe)
+	bw := w.GPU.IntraNodeBW
+	latency := w.GPU.MsgLatency * float64(minInt(w.Topo.EP, 64)) * passes
+	if !w.Topo.EPIsIntraNode() {
+		bw = w.GPU.InterNodeBW
+		nodesSpanned := float64(w.Topo.NumNodes)
+		bw /= 1 + w.GPU.CongestionBeta*(nodesSpanned-1)
+	}
+	return bytesPerPass*passes/bw + latency
+}
+
+// GradSyncTime returns the ZeRO-2 gradient reduce-scatter time: non-expert
+// gradients across DP, expert gradients across EP groups.
+func (w Workload) GradSyncTime() float64 {
+	ne, e := w.Model.ParamCounts()
+	bw := w.GPU.IntraNodeBW
+	if w.Topo.NumNodes > 1 {
+		bw = w.GPU.InterNodeBW
+	}
+	neBytes := float64(ne) * model.BytesWeight
+	t := neBytes / bw * 2 * float64(w.Topo.DP-1) / float64(w.Topo.DP)
+	if groups := w.Topo.NumEPGroups(); groups > 1 {
+		eBytes := float64(e) * model.BytesWeight / float64(w.Topo.EP)
+		t += eBytes / bw * 2 * float64(groups-1) / float64(groups)
+	}
+	return t
+}
+
+// FBTime returns T_F&B: compute + All-to-All + gradient sync.
+func (w Workload) FBTime() float64 {
+	return w.ComputeTime() + w.AllToAllTime() + w.GradSyncTime()
+}
+
+// UpdateTime returns T_update: the optimizer step over the local partition
+// (memory-bandwidth bound, folded into a constant per-byte cost) plus the
+// fp16 parameter all-gather that ZeRO-2 performs after the step.
+func (w Workload) UpdateTime() float64 {
+	ne, e := w.Model.ParamCounts()
+	partitionBytes := float64(ne+e) * model.BytesOptimizer / float64(w.Topo.DP)
+	const memBW = 1.0e12 // effective optimizer-step byte throughput
+	step := partitionBytes * 3 / memBW
+	bw := w.GPU.IntraNodeBW
+	if w.Topo.NumNodes > 1 {
+		bw = w.GPU.InterNodeBW
+	}
+	gather := float64(ne) * model.BytesWeight / bw
+	return step + gather
+}
+
+// SnapshotTime returns the GPU→CPU copy duration for a per-rank shard of
+// the given size.
+func (w Workload) SnapshotTime(shardBytes int64) float64 {
+	return float64(shardBytes) / w.GPU.SnapshotBW
+}
+
+// PersistTime returns the CPU→storage write duration for a per-rank shard
+// of the given size.
+func (w Workload) PersistTime(shardBytes int64) float64 {
+	return float64(shardBytes) / w.Storage.PersistBWPerRank
+}
+
+// RestartTime estimates O_restart: process restart plus reading the
+// recovery shard back from storage.
+func (w Workload) RestartTime(shardBytes int64) float64 {
+	const processRestart = 60.0 // seconds: scheduler + NCCL re-init
+	return processRestart + float64(shardBytes)/w.Storage.ReadBWPerRank
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

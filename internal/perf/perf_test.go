@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"testing"
+
+	"moc/internal/cluster"
+	"moc/internal/model"
+)
+
+func caseWorkload(topo cluster.Topology) Workload {
+	return Workload{
+		Model:       model.GPT350M16E(),
+		Topo:        topo,
+		GPU:         A800(),
+		Storage:     DefaultStorage(),
+		GlobalBatch: 256,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	w := caseWorkload(cluster.Case1())
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.GlobalBatch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	bad2 := w
+	bad2.GPU.PeakFLOPS = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty GPU profile accepted")
+	}
+	bad3 := w
+	bad3.Storage.PersistBWPerRank = 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("empty storage profile accepted")
+	}
+}
+
+func TestTokensSplitAcrossDP(t *testing.T) {
+	w1 := caseWorkload(cluster.Case1()) // DP=8
+	w2 := caseWorkload(cluster.Case2()) // DP=16
+	if w1.TokensPerRank() != 2*w2.TokensPerRank() {
+		t.Fatalf("tokens per rank: %v vs %v, want 2x", w1.TokensPerRank(), w2.TokensPerRank())
+	}
+}
+
+func TestActiveParamsBetweenDenseAndFull(t *testing.T) {
+	w := caseWorkload(cluster.Case1())
+	active := w.ActiveParamsPerToken()
+	ne, e := w.Model.ParamCounts()
+	if active <= float64(ne)/2 {
+		t.Fatalf("active params %v suspiciously small", active)
+	}
+	if active >= float64(ne+e) {
+		t.Fatalf("active params %v should be far below total %d (sparsity)", active, ne+e)
+	}
+	// With TopK=1 of 16 experts, active expert params are 1/16 of P_e.
+	if active > float64(ne)+1.5*float64(e)/16 {
+		t.Fatalf("active params %v exceed non-expert + topK experts", active)
+	}
+}
+
+func TestFBTimeReasonableRange(t *testing.T) {
+	// Fig. 11: per-iteration F&B on the real cluster is seconds-scale.
+	for _, topo := range cluster.Cases() {
+		w := caseWorkload(topo)
+		fb := w.FBTime()
+		if fb < 0.2 || fb > 10 {
+			t.Errorf("%s: F&B = %.2fs out of plausible range", topo.Name, fb)
+		}
+	}
+}
+
+func TestCase3FasterThanCase2(t *testing.T) {
+	// §6.2.2: Case3 (intra-node EP) trains ~0.5s faster than Case2
+	// (cross-node EP) because All-to-All stays on NVLink.
+	fb2 := caseWorkload(cluster.Case2()).FBTime()
+	fb3 := caseWorkload(cluster.Case3()).FBTime()
+	if fb3 >= fb2 {
+		t.Fatalf("Case3 F&B %.3fs should be < Case2 %.3fs", fb3, fb2)
+	}
+	if diff := fb2 - fb3; diff < 0.1 || diff > 2.0 {
+		t.Errorf("Case2-Case3 gap %.3fs, want roughly half a second", diff)
+	}
+}
+
+func TestH100FasterComputeAndSnapshot(t *testing.T) {
+	wA := caseWorkload(cluster.Case1())
+	wH := wA
+	wH.GPU = H100()
+	if wH.ComputeTime() >= wA.ComputeTime() {
+		t.Fatal("H100 compute should be faster")
+	}
+	if wH.SnapshotTime(1e9) >= wA.SnapshotTime(1e9) {
+		t.Fatal("H100 snapshot should be faster")
+	}
+}
+
+func TestSnapshotPersistProportionalToBytes(t *testing.T) {
+	w := caseWorkload(cluster.Case1())
+	if w.SnapshotTime(2e9) != 2*w.SnapshotTime(1e9) {
+		t.Fatal("snapshot time not linear in bytes")
+	}
+	if w.PersistTime(2e9) != 2*w.PersistTime(1e9) {
+		t.Fatal("persist time not linear in bytes")
+	}
+	if w.PersistTime(1e9) <= w.SnapshotTime(1e9) {
+		t.Fatal("persist path should be slower than snapshot path")
+	}
+}
+
+func TestSeqLenAffectsOnlyFB(t *testing.T) {
+	// Fig. 13(d): sequence length changes F&B but not checkpoint times.
+	short := Workload{Model: model.LLaMAMoE(model.LLaMAMoEMedium, 32, 512),
+		Topo: cluster.Scaled(32, 1), GPU: A800(), Storage: DefaultStorage(), GlobalBatch: 64}
+	long := short
+	long.Model = model.LLaMAMoE(model.LLaMAMoEMedium, 32, 4096)
+	if long.FBTime() <= short.FBTime() {
+		t.Fatal("longer sequences should lengthen F&B")
+	}
+	if long.SnapshotTime(1e9) != short.SnapshotTime(1e9) {
+		t.Fatal("sequence length must not affect snapshot time")
+	}
+}
+
+func TestLargerModelSlowerEverywhere(t *testing.T) {
+	// Fig. 13(e): larger models increase both F&B and snapshot volume.
+	mk := func(s model.LLaMAMoESize) Workload {
+		return Workload{Model: model.LLaMAMoE(s, 256, 1024),
+			Topo: cluster.Scaled(256, 1), GPU: A800(), Storage: DefaultStorage(), GlobalBatch: 512}
+	}
+	small, large := mk(model.LLaMAMoESmall), mk(model.LLaMAMoELarge)
+	if large.FBTime() <= small.FBTime() {
+		t.Fatal("larger model should have longer F&B")
+	}
+}
+
+func TestAllToAllGrowsWithScale(t *testing.T) {
+	// Fig. 13(a): cross-node All-to-All grows with GPU count (congestion),
+	// driving F&B up at scale.
+	mk := func(gpus int) Workload {
+		return Workload{Model: model.LLaMAMoE(model.LLaMAMoEMedium, gpus, 1024),
+			Topo: cluster.Scaled(gpus, 1), GPU: A800(), Storage: DefaultStorage(),
+			GlobalBatch: 2 * gpus}
+	}
+	prev := 0.0
+	for _, gpus := range []int{32, 128, 512, 1024} {
+		fb := mk(gpus).FBTime()
+		if fb <= prev {
+			t.Fatalf("F&B at %d GPUs = %.2fs did not grow (prev %.2fs)", gpus, fb, prev)
+		}
+		prev = fb
+	}
+}
+
+func TestUpdateTimeSmallButPositive(t *testing.T) {
+	w := caseWorkload(cluster.Case1())
+	u := w.UpdateTime()
+	if u <= 0 || u > w.FBTime() {
+		t.Fatalf("update time %.3fs should be positive and below F&B %.3fs", u, w.FBTime())
+	}
+}
+
+func TestRestartDominatedByProcessRestart(t *testing.T) {
+	w := caseWorkload(cluster.Case1())
+	if w.RestartTime(1e9) < 60 {
+		t.Fatal("restart should include the constant process restart cost")
+	}
+	if w.RestartTime(2e9) <= w.RestartTime(1e9) {
+		t.Fatal("restart should grow with recovery bytes")
+	}
+}
+
+func TestDenseModelNoAllToAll(t *testing.T) {
+	dense := model.Config{Name: "dense", NumLayers: 12, HiddenSize: 1024,
+		NumHeads: 16, FFNMult: 4, VocabSize: 32000, SeqLen: 1024}
+	w := Workload{Model: dense, Topo: cluster.Case1(), GPU: A800(),
+		Storage: DefaultStorage(), GlobalBatch: 64}
+	if w.AllToAllTime() != 0 {
+		t.Fatal("dense model should have zero All-to-All time")
+	}
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Value")
+	tb.Row("alpha", "1")
+	tb.Row("a-much-longer-name", "22")
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns must align: every row's second column starts at the same
+	// offset.
+	idx := strings.Index(lines[1], "Value")
+	for _, ln := range lines[3:] {
+		if len(ln) < idx {
+			t.Fatalf("row too short: %q", ln)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.Row("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("empty title rendered")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.423) != "42.3%" {
+		t.Fatalf("Pct: %s", Pct(0.423))
+	}
+	if GB(2_500_000_000) != "2.50 GB" {
+		t.Fatalf("GB: %s", GB(2_500_000_000))
+	}
+	if Secs(1.234) != "1.23s" {
+		t.Fatalf("Secs: %s", Secs(1.234))
+	}
+	if F2(3.14159) != "3.14" {
+		t.Fatalf("F2: %s", F2(3.14159))
+	}
+	if F(0.5) != "0.5" {
+		t.Fatalf("F: %s", F(0.5))
+	}
+}

@@ -1,0 +1,151 @@
+package simtime
+
+import (
+	"fmt"
+
+	"moc/internal/fault"
+)
+
+// FaultConfig extends the pipeline simulation with fault injection,
+// measuring the total fault-tolerance overhead O_ckpt of §2.3 (Eq. 3):
+// per-checkpoint save overhead during normal training, plus restart cost
+// and lost progress whenever a fault strikes. It is the measured
+// counterpart of the closed-form model in internal/core (Eqs. 12–13).
+type FaultConfig struct {
+	Config
+	// Restart is O_restart: the constant restart cost per fault, in
+	// seconds (process restart + checkpoint read-back).
+	Restart float64
+	// Faults schedules faults by iteration index.
+	Faults *fault.Plan
+}
+
+// FaultResult extends Result with fault accounting.
+type FaultResult struct {
+	Result
+	// Faults is the number of injected faults.
+	Faults int
+	// LostIterations counts iterations re-executed after rollbacks.
+	LostIterations int
+	// RestartTime is the cumulative restart cost.
+	RestartTime float64
+	// OverheadTotal is the measured O_ckpt: TotalTime minus the
+	// fault-free, checkpoint-free training time of the productive
+	// iterations.
+	OverheadTotal float64
+}
+
+// RunWithFaults simulates training with checkpointing and faults. On a
+// fault, the run rolls back to the last fully persisted checkpoint
+// (re-executing the lost iterations), pays the restart cost, and clears
+// the in-flight pipeline — snapshots in CPU memory die with the node.
+func RunWithFaults(cfg FaultConfig) (FaultResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FaultResult{}, err
+	}
+	if cfg.Restart < 0 {
+		return FaultResult{}, fmt.Errorf("simtime: negative restart cost")
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = fault.None()
+	}
+	plain := cfg.FB + cfg.Update
+	var res FaultResult
+
+	// State of the async pipeline (mirrors Run; faults reset it).
+	t := 0.0
+	snapEnd := -1.0
+	persistQueue := 0
+	persistBusyUntil := 0.0
+	persistEndTimes := []float64{}
+	recoveryHeld := false
+	lastPersistedIter := -1 // iteration of the newest complete checkpoint
+	pendingIter := -1       // iteration the in-flight snapshot belongs to
+	queuedIters := []int{}
+
+	drain := func(now float64) {
+		if snapEnd >= 0 && snapEnd <= now {
+			start := snapEnd
+			if persistBusyUntil > start {
+				start = persistBusyUntil
+			}
+			persistBusyUntil = start + cfg.Persist
+			persistEndTimes = append(persistEndTimes, persistBusyUntil)
+			queuedIters = append(queuedIters, pendingIter)
+			persistQueue++
+			snapEnd = -1
+			pendingIter = -1
+		}
+		for len(persistEndTimes) > 0 && persistEndTimes[0] <= now {
+			persistEndTimes = persistEndTimes[1:]
+			lastPersistedIter = queuedIters[0]
+			queuedIters = queuedIters[1:]
+			persistQueue--
+			res.Persisted++
+			recoveryHeld = true
+		}
+	}
+	buffersInUse := func() int {
+		n := persistQueue
+		if snapEnd >= 0 {
+			n++
+		}
+		if recoveryHeld {
+			n++
+		}
+		return n
+	}
+
+	fired := make(map[int]bool) // each scheduled fault strikes once
+	it := 1
+	for it <= cfg.Iterations {
+		t += cfg.FB
+		drain(t)
+		if !cfg.Blocking && snapEnd > t {
+			stall := snapEnd - t
+			res.Stalls++
+			res.StallTime += stall
+			res.OSavePerCkpt += stall
+			t = snapEnd
+			drain(t)
+		}
+		t += cfg.Update
+		drain(t)
+		if it%cfg.Interval == 0 {
+			res.Triggered++
+			if cfg.Blocking {
+				cost := cfg.Snapshot + cfg.Persist
+				t += cost
+				res.OSavePerCkpt += cost
+				res.Persisted++
+				lastPersistedIter = it
+			} else if snapEnd < 0 && buffersInUse() < cfg.Buffers {
+				snapEnd = t + cfg.Snapshot
+				pendingIter = it
+			} else {
+				res.Skipped++
+			}
+		}
+		if cfg.Faults.IsFault(it) && !fired[it] && lastPersistedIter >= 0 {
+			fired[it] = true
+			res.Faults++
+			res.RestartTime += cfg.Restart
+			t += cfg.Restart
+			res.LostIterations += it - lastPersistedIter
+			it = lastPersistedIter
+			// The node's in-flight pipeline dies with it; the persisted
+			// checkpoint remains.
+			snapEnd = -1
+			pendingIter = -1
+			persistQueue = 0
+			persistEndTimes = persistEndTimes[:0]
+			queuedIters = queuedIters[:0]
+			persistBusyUntil = t
+		}
+		it++
+	}
+	res.TotalTime = t
+	res.OverheadTotal = t - float64(cfg.Iterations)*plain
+	finalize(&res.Result, cfg.Config, 0)
+	return res, nil
+}

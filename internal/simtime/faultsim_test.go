@@ -1,0 +1,173 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+
+	"moc/internal/core"
+	"moc/internal/fault"
+)
+
+func TestFaultSimNoFaultsMatchesRun(t *testing.T) {
+	base := Config{FB: 2, Update: 0.5, Snapshot: 1.5, Persist: 3,
+		Interval: 5, Iterations: 200, Buffers: 3}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withF, err := RunWithFaults(FaultConfig{Config: base, Restart: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.TotalTime-withF.TotalTime) > 1e-9 {
+		t.Fatalf("fault-free totals differ: %v vs %v", plain.TotalTime, withF.TotalTime)
+	}
+	if withF.Faults != 0 || withF.LostIterations != 0 {
+		t.Fatalf("phantom faults: %+v", withF)
+	}
+}
+
+func TestFaultSimRollbackAccounting(t *testing.T) {
+	// Blocking checkpoints every 10 iterations; fault after iteration 25
+	// rolls back to 20 (5 lost iterations) and pays the restart cost.
+	cfg := FaultConfig{
+		Config: Config{FB: 1, Update: 0, Snapshot: 1, Persist: 1,
+			Interval: 10, Iterations: 100, Buffers: 3, Blocking: true},
+		Restart: 30,
+		Faults:  fault.At(25),
+	}
+	res, err := RunWithFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 1 || res.LostIterations != 5 {
+		t.Fatalf("fault accounting: %+v", res)
+	}
+	if res.RestartTime != 30 {
+		t.Fatalf("restart time %v", res.RestartTime)
+	}
+	// Total = 100 productive + 5 re-executed + 30 restart + ~12 ckpts × 2s.
+	want := 100.0 + 5 + 30 + 2*float64(res.Persisted)
+	if math.Abs(res.TotalTime-want) > 1e-9 {
+		t.Fatalf("total %v, want %v (persisted %d)", res.TotalTime, want, res.Persisted)
+	}
+	if math.Abs(res.OverheadTotal-(res.TotalTime-100)) > 1e-9 {
+		t.Fatalf("overhead %v inconsistent", res.OverheadTotal)
+	}
+}
+
+func TestFaultSimAsyncLosesInFlightWork(t *testing.T) {
+	// Async: the round-20 checkpoint's persist (ending ~t=25.5) has not
+	// completed when the fault strikes after iteration 25, so recovery
+	// must fall back to round 10 — in-flight work dies with the node.
+	cfg := FaultConfig{
+		Config: Config{FB: 1, Update: 0, Snapshot: 0.5, Persist: 5,
+			Interval: 10, Iterations: 40, Buffers: 3},
+		Restart: 10,
+		Faults:  fault.At(25),
+	}
+	res, err := RunWithFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 1 {
+		t.Fatalf("faults %d", res.Faults)
+	}
+	if res.LostIterations != 15 {
+		t.Fatalf("lost %d iterations, want 15 (rollback past the in-flight persist)", res.LostIterations)
+	}
+}
+
+func TestFaultSimSkipsFaultWithoutCheckpoint(t *testing.T) {
+	// No checkpoint can complete before the fault (persist takes longer
+	// than the whole run): the fault is unrecoverable in this model and
+	// is skipped rather than looping forever.
+	cfg := FaultConfig{
+		Config: Config{FB: 1, Update: 0, Snapshot: 0.5, Persist: 1000,
+			Interval: 10, Iterations: 40, Buffers: 3},
+		Restart: 10,
+		Faults:  fault.At(25),
+	}
+	res, err := RunWithFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 0 || res.LostIterations != 0 {
+		t.Fatalf("unrecoverable fault fired: %+v", res)
+	}
+}
+
+func TestFaultSimMoCBeatsFullUnderFaults(t *testing.T) {
+	// The end-to-end claim (§6.2.5): with the same fault schedule, the
+	// MoC configuration (small O_save, short interval) accumulates less
+	// total overhead than blocking full checkpointing at a long interval.
+	faults := fault.Poisson(0.002, 2000, 5)
+	if faults.Count() == 0 {
+		t.Fatal("test needs faults")
+	}
+	full := FaultConfig{
+		Config: Config{FB: 2, Update: 0.3, Snapshot: 3.4, Persist: 4.2,
+			Interval: 50, Iterations: 2000, Buffers: 3, Blocking: true},
+		Restart: 120, Faults: faults,
+	}
+	mocCfg := FaultConfig{
+		Config: Config{FB: 2, Update: 0.3, Snapshot: 0.7, Persist: 0.9,
+			Interval: 5, Iterations: 2000, Buffers: 3},
+		Restart: 120, Faults: faults,
+	}
+	fr, err := RunWithFaults(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := RunWithFaults(mocCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.OverheadTotal >= fr.OverheadTotal {
+		t.Fatalf("MoC overhead %v not below full %v", mr.OverheadTotal, fr.OverheadTotal)
+	}
+	if mr.LostIterations >= fr.LostIterations {
+		t.Fatalf("MoC lost %d iterations, full %d — shorter interval should lose less",
+			mr.LostIterations, fr.LostIterations)
+	}
+}
+
+func TestFaultSimMatchesClosedFormModel(t *testing.T) {
+	// The measured overhead should track Eq. 13 within a modest factor
+	// for a blocking configuration (where the model is exact up to the
+	// randomness of fault positions).
+	const (
+		iters    = 5000
+		interval = 25
+		lambda   = 0.001
+	)
+	faults := fault.Poisson(lambda, iters, 4)
+	cfg := FaultConfig{
+		Config: Config{FB: 2, Update: 0.5, Snapshot: 2, Persist: 3,
+			Interval: interval, Iterations: iters, Buffers: 3, Blocking: true},
+		Restart: 100, Faults: faults,
+	}
+	res, err := RunWithFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.OverheadParams{
+		OSave: 5, ORestart: 100, IterTime: 2.5,
+		Lambda: float64(faults.Count()) / iters, ITotal: iters,
+	}
+	predicted := model.TotalOverhead(interval)
+	ratio := res.OverheadTotal / predicted
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Fatalf("measured overhead %v vs Eq.13 %v (ratio %.2f)", res.OverheadTotal, predicted, ratio)
+	}
+}
+
+func TestFaultSimValidation(t *testing.T) {
+	if _, err := RunWithFaults(FaultConfig{Config: Config{}, Restart: 1}); err == nil {
+		t.Fatal("invalid base config accepted")
+	}
+	good := Config{FB: 1, Update: 0, Interval: 1, Iterations: 1, Buffers: 3}
+	if _, err := RunWithFaults(FaultConfig{Config: good, Restart: -1}); err == nil {
+		t.Fatal("negative restart accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package simtime
+
+import (
+	"testing"
+
+	"moc/internal/cluster"
+	"moc/internal/model"
+	"moc/internal/perf"
+)
+
+func scenario(topo cluster.Topology) Scenario {
+	return Scenario{W: perf.Workload{
+		Model:       model.GPT350M16E(),
+		Topo:        topo,
+		GPU:         perf.A800(),
+		Storage:     perf.DefaultStorage(),
+		GlobalBatch: 256,
+	}}
+}
+
+func TestFig11SnapshotShrinksWithK(t *testing.T) {
+	s := scenario(cluster.Case1())
+	prevSnap := -1.0
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b, err := s.Evaluate(ShardedMethod(k, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevSnap >= 0 && b.Snapshot <= prevSnap {
+			t.Fatalf("snapshot at K=%d (%.2fs) not > previous (%.2fs)", k, b.Snapshot, prevSnap)
+		}
+		if b.Persist <= 0 {
+			t.Fatalf("persist duration zero at K=%d", k)
+		}
+		prevSnap = b.Snapshot
+	}
+}
+
+func TestFig11FullyShardedBeatsBaseline(t *testing.T) {
+	// Fig. 11: "even the full savings (K = 16) outperform the baseline"
+	// because fully sharded checkpointing shrinks the bottleneck rank.
+	for _, topo := range cluster.Cases() {
+		s := scenario(topo)
+		base, err := s.Evaluate(BaselineMethod())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := s.Evaluate(ShardedMethod(16, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Snapshot >= base.Snapshot {
+			t.Errorf("%s: sharded full snapshot %.2fs not < baseline %.2fs",
+				topo.Name, full.Snapshot, base.Snapshot)
+		}
+		if full.IterTime() >= base.IterTime() {
+			t.Errorf("%s: sharded full iteration %.2fs not < baseline %.2fs",
+				topo.Name, full.IterTime(), base.IterTime())
+		}
+	}
+}
+
+func TestFig12MoCAsyncReductions(t *testing.T) {
+	// Fig. 12: MoC-Async reduces per-checkpoint overhead by ≥95% versus
+	// the blocking baseline and speeds up checkpoint iterations by ≥3×.
+	for _, topo := range cluster.Cases() {
+		s := scenario(topo)
+		base, err := s.Evaluate(BaselineMethod())
+		if err != nil {
+			t.Fatal(err)
+		}
+		moc, err := s.Evaluate(MoCAsyncMethod(4, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.OSave() <= 0 {
+			t.Fatalf("%s: baseline O_save should be positive", topo.Name)
+		}
+		reduction := 1 - moc.OSave()/base.OSave()
+		if reduction < 0.95 {
+			t.Errorf("%s: O_save reduction %.3f, want ≥ 0.95", topo.Name, reduction)
+		}
+		speedup := base.IterTime() / moc.IterTime()
+		if speedup < 2.5 || speedup > 8 {
+			t.Errorf("%s: checkpoint-iteration speedup %.2f×, want ~3–5×", topo.Name, speedup)
+		}
+	}
+}
+
+func TestFig12MoCAsyncBeatsBaseAsync(t *testing.T) {
+	for _, topo := range cluster.Cases() {
+		s := scenario(topo)
+		ba, err := s.Evaluate(BaseAsyncMethod())
+		if err != nil {
+			t.Fatal(err)
+		}
+		moc, err := s.Evaluate(MoCAsyncMethod(4, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moc.IterTime() > ba.IterTime() {
+			t.Errorf("%s: MoC-Async %.2fs slower than Base-Async %.2fs",
+				topo.Name, moc.IterTime(), ba.IterTime())
+		}
+		if moc.MinInterval() > ba.MinInterval() {
+			t.Errorf("%s: MoC min interval %.2f should be ≤ Base-Async %.2f",
+				topo.Name, moc.MinInterval(), ba.MinInterval())
+		}
+	}
+}
+
+func TestPersistPECShrinksPersistOnly(t *testing.T) {
+	s := scenario(cluster.Case2())
+	wide, err := s.Evaluate(MoCAsyncMethod(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := s.Evaluate(MoCAsyncMethod(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Snapshot != wide.Snapshot {
+		t.Fatal("K_persist must not change the snapshot volume")
+	}
+	if narrow.Persist >= wide.Persist {
+		t.Fatal("smaller K_persist must shrink the persist duration")
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	s := scenario(cluster.Case3())
+	_, res, err := s.Simulate(MoCAsyncMethod(2, 1), 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Persisted == 0 {
+		t.Fatal("no checkpoints persisted in end-to-end simulation")
+	}
+	b, resBase, err := s.Simulate(BaselineMethod(), 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime >= resBase.TotalTime {
+		t.Fatalf("MoC-Async total %.1fs not faster than baseline %.1fs (breakdown %+v)",
+			res.TotalTime, resBase.TotalTime, b)
+	}
+}
+
+func TestMethodLabels(t *testing.T) {
+	if BaselineMethod().Name != "Baseline" || !BaselineMethod().Blocking {
+		t.Fatal("baseline method malformed")
+	}
+	if BaseAsyncMethod().Blocking {
+		t.Fatal("Base-Async must be asynchronous")
+	}
+	if MoCAsyncMethod(4, 1).KSnapshot != 4 {
+		t.Fatal("MoC method fan-outs not propagated")
+	}
+	if ShardedMethod(8, true).Name != "K=8" {
+		t.Fatal("sharded method label")
+	}
+}
+
+func TestEvaluateErrorsOnBadWorkload(t *testing.T) {
+	s := Scenario{}
+	if _, err := s.Evaluate(BaselineMethod()); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}

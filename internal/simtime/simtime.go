@@ -1,0 +1,213 @@
+// Package simtime simulates the checkpointing timeline of distributed MoE
+// training at iteration granularity (Figs. 3 and 9 of the paper). It
+// models:
+//
+//   - blocking checkpointing (training halts for snapshot + persist);
+//   - asynchronous two-phase checkpointing, where the GPU→CPU snapshot
+//     overlaps the next iteration's forward+backward window and stalls the
+//     weight update only if it outlasts it (Eq. 10), while the CPU→storage
+//     persist proceeds fully in the background;
+//   - the triple-buffer state machine (§5.2): snapshot, persist, and
+//     recovery buffers; a checkpoint trigger is skipped when no buffer is
+//     free, which bounds the achievable checkpoint cadence.
+//
+// The simulator is deterministic and purely computational; it is validated
+// against the closed-form overhead model in internal/core.
+package simtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	// FB and Update are the per-iteration phase durations in seconds.
+	FB, Update float64
+	// Snapshot and Persist are the per-checkpoint bottleneck-rank phase
+	// durations in seconds.
+	Snapshot, Persist float64
+	// Interval is the checkpoint trigger interval in iterations (≥ 1).
+	Interval int
+	// Iterations is the number of training iterations to simulate.
+	Iterations int
+	// Buffers is the number of host-memory checkpoint buffers
+	// (the paper uses 3; must be ≥ 2).
+	Buffers int
+	// Blocking selects the synchronous baseline instead of the
+	// asynchronous two-phase pipeline.
+	Blocking bool
+}
+
+// Validate checks simulability.
+func (c Config) Validate() error {
+	if c.FB <= 0 || c.Update < 0 {
+		return fmt.Errorf("simtime: FB must be positive, Update non-negative")
+	}
+	if c.Snapshot < 0 || c.Persist < 0 {
+		return fmt.Errorf("simtime: phase durations must be non-negative")
+	}
+	if c.Interval <= 0 || c.Iterations <= 0 {
+		return fmt.Errorf("simtime: interval and iterations must be positive")
+	}
+	if !c.Blocking && c.Buffers < 2 {
+		return fmt.Errorf("simtime: async pipeline needs at least 2 buffers")
+	}
+	return nil
+}
+
+// Result aggregates the simulated run.
+type Result struct {
+	// TotalTime is the simulated wall-clock duration.
+	TotalTime float64
+	// AvgIterTime is TotalTime / Iterations.
+	AvgIterTime float64
+	// CkptIterTime is the average duration of an iteration in which a
+	// checkpoint is triggered (the Fig. 12 "training iteration with
+	// checkpointing" metric, with the stall attributed to it).
+	CkptIterTime float64
+	// OSavePerCkpt is the average per-checkpoint overhead beyond plain
+	// training time (Eq. 10 for async; snapshot+persist for blocking).
+	OSavePerCkpt float64
+	// Stalls counts iterations delayed by an unfinished snapshot.
+	Stalls int
+	// StallTime is the cumulative checkpoint-stall duration.
+	StallTime float64
+	// Triggered, Skipped, Persisted count checkpoint attempts, triggers
+	// dropped for lack of a free buffer, and fully persisted checkpoints.
+	Triggered, Skipped, Persisted int
+	// EffectiveInterval is Iterations / Persisted: the achieved
+	// checkpoint cadence in iterations (∞ if nothing persisted).
+	EffectiveInterval float64
+}
+
+// Run simulates the configured training run.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	plain := cfg.FB + cfg.Update
+
+	if cfg.Blocking {
+		// Synchronous baseline: the trigger iteration pays the full
+		// snapshot + persist cost inline.
+		t := 0.0
+		var ckptTime float64
+		for i := 1; i <= cfg.Iterations; i++ {
+			t += plain
+			if i%cfg.Interval == 0 {
+				cost := cfg.Snapshot + cfg.Persist
+				t += cost
+				res.Triggered++
+				res.Persisted++
+				ckptTime += plain + cost
+				res.OSavePerCkpt += cost
+			}
+		}
+		res.TotalTime = t
+		finalize(&res, cfg, ckptTime)
+		return res, nil
+	}
+
+	// Asynchronous two-phase pipeline with a buffer pool.
+	t := 0.0
+	snapEnd := -1.0      // completion time of the in-flight snapshot, <0 if none
+	var persistQueue int // snapshots waiting for the persist channel
+	persistBusyUntil := 0.0
+	persistEndTimes := []float64{}
+	recoveryHeld := false // one buffer pinned as the latest recovery checkpoint
+	var ckptTime float64
+
+	buffersInUse := func() int {
+		n := persistQueue
+		if snapEnd >= 0 {
+			n++
+		}
+		if recoveryHeld {
+			n++
+		}
+		return n
+	}
+	// drain moves completed snapshots to the persist channel and retires
+	// completed persists as of time now.
+	drain := func(now float64) {
+		if snapEnd >= 0 && snapEnd <= now {
+			start := snapEnd
+			if persistBusyUntil > start {
+				start = persistBusyUntil
+			}
+			persistBusyUntil = start + cfg.Persist
+			persistEndTimes = append(persistEndTimes, persistBusyUntil)
+			persistQueue++
+			snapEnd = -1
+		}
+		for len(persistEndTimes) > 0 && persistEndTimes[0] <= now {
+			persistEndTimes = persistEndTimes[1:]
+			persistQueue--
+			res.Persisted++
+			// The newly persisted buffer becomes the recovery buffer;
+			// the previous recovery buffer (if any) is freed. Net
+			// effect: recoveryHeld stays true, pool usage decreases
+			// by the persist slot.
+			recoveryHeld = true
+		}
+	}
+
+	for i := 1; i <= cfg.Iterations; i++ {
+		iterStart := t
+		// Forward + backward; an in-flight snapshot overlaps this window.
+		t += cfg.FB
+		drain(t)
+		// The weight update must wait for the snapshot (Fig. 3).
+		if snapEnd > t {
+			stall := snapEnd - t
+			res.Stalls++
+			res.StallTime += stall
+			res.OSavePerCkpt += stall
+			t = snapEnd
+			drain(t)
+		}
+		t += cfg.Update
+		drain(t)
+		if i%cfg.Interval == 0 {
+			res.Triggered++
+			if snapEnd < 0 && buffersInUse() < cfg.Buffers {
+				snapEnd = t + cfg.Snapshot
+			} else {
+				res.Skipped++
+			}
+			ckptTime += t - iterStart
+			// The stall induced by this snapshot lands on the next
+			// iteration; attribute it there via OSavePerCkpt (already
+			// accumulated when it happens) and add the projected stall
+			// to the checkpoint-iteration metric for reporting.
+			if snapEnd >= 0 {
+				projected := cfg.Snapshot - cfg.FB
+				if projected > 0 {
+					ckptTime += projected
+				}
+			}
+		}
+	}
+	// Let in-flight work finish in the background: it does not extend
+	// training time, but the final snapshot/persist still complete and
+	// count toward the persisted-checkpoint tally.
+	res.TotalTime = t
+	drain(math.Inf(1))
+	finalize(&res, cfg, ckptTime)
+	return res, nil
+}
+
+func finalize(res *Result, cfg Config, ckptTime float64) {
+	res.AvgIterTime = res.TotalTime / float64(cfg.Iterations)
+	if res.Triggered > 0 {
+		res.CkptIterTime = ckptTime / float64(res.Triggered)
+		res.OSavePerCkpt /= float64(res.Triggered)
+	}
+	if res.Persisted > 0 {
+		res.EffectiveInterval = float64(cfg.Iterations) / float64(res.Persisted)
+	} else {
+		res.EffectiveInterval = float64(cfg.Iterations)
+	}
+}

@@ -1,0 +1,153 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+
+	"moc/internal/core"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{FB: 0, Update: 1, Interval: 1, Iterations: 1, Buffers: 3},
+		{FB: 1, Update: 1, Interval: 0, Iterations: 1, Buffers: 3},
+		{FB: 1, Update: 1, Interval: 1, Iterations: 0, Buffers: 3},
+		{FB: 1, Update: 1, Interval: 1, Iterations: 1, Buffers: 1},
+		{FB: 1, Update: -1, Interval: 1, Iterations: 1, Buffers: 3},
+		{FB: 1, Update: 1, Snapshot: -1, Interval: 1, Iterations: 1, Buffers: 3},
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBlockingPaysFullCost(t *testing.T) {
+	res := run(t, Config{FB: 2, Update: 0.5, Snapshot: 3, Persist: 4,
+		Interval: 10, Iterations: 100, Buffers: 3, Blocking: true})
+	// 100 iterations × 2.5s + 10 checkpoints × 7s = 320s.
+	if math.Abs(res.TotalTime-320) > 1e-9 {
+		t.Fatalf("blocking total = %v, want 320", res.TotalTime)
+	}
+	if res.OSavePerCkpt != 7 {
+		t.Fatalf("blocking O_save = %v, want 7", res.OSavePerCkpt)
+	}
+	if res.Persisted != 10 || res.Skipped != 0 {
+		t.Fatalf("blocking persisted %d skipped %d", res.Persisted, res.Skipped)
+	}
+}
+
+func TestAsyncFullyOverlappedHasZeroOverhead(t *testing.T) {
+	res := run(t, Config{FB: 2, Update: 0.5, Snapshot: 1.5, Persist: 4,
+		Interval: 10, Iterations: 100, Buffers: 3})
+	if res.StallTime != 0 || res.Stalls != 0 {
+		t.Fatalf("overlappable snapshot stalled: %+v", res)
+	}
+	if math.Abs(res.TotalTime-250) > 1e-9 {
+		t.Fatalf("async total = %v, want plain 250", res.TotalTime)
+	}
+	if res.OSavePerCkpt != 0 {
+		t.Fatalf("async O_save = %v, want 0", res.OSavePerCkpt)
+	}
+}
+
+func TestAsyncStallMatchesEq10(t *testing.T) {
+	// Snapshot 3 > FB 2 ⇒ each checkpoint stalls the next update by 1s.
+	// The final trigger (iteration 100) has no next iteration to stall,
+	// so 9 of the 10 checkpoints stall.
+	res := run(t, Config{FB: 2, Update: 0.5, Snapshot: 3, Persist: 1,
+		Interval: 10, Iterations: 100, Buffers: 3})
+	if res.Stalls != 9 {
+		t.Fatalf("stalls = %d, want 9", res.Stalls)
+	}
+	wantStall := core.SaveOverhead(3, 2) * 9
+	if math.Abs(res.StallTime-wantStall) > 1e-9 {
+		t.Fatalf("stall time = %v, want %v", res.StallTime, wantStall)
+	}
+	if math.Abs(res.OSavePerCkpt-0.9) > 1e-9 {
+		t.Fatalf("O_save = %v, want 0.9 (Eq. 10 averaged over triggers)", res.OSavePerCkpt)
+	}
+}
+
+func TestAsyncBeatsBlocking(t *testing.T) {
+	base := Config{FB: 2, Update: 0.5, Snapshot: 3, Persist: 4,
+		Interval: 5, Iterations: 200, Buffers: 3}
+	blocking := base
+	blocking.Blocking = true
+	a := run(t, base)
+	b := run(t, blocking)
+	if a.TotalTime >= b.TotalTime {
+		t.Fatalf("async %v not faster than blocking %v", a.TotalTime, b.TotalTime)
+	}
+	// Fig. 12: overhead reduction should be large.
+	if a.OSavePerCkpt > 0.2*b.OSavePerCkpt {
+		t.Fatalf("async O_save %v vs blocking %v: reduction too small", a.OSavePerCkpt, b.OSavePerCkpt)
+	}
+}
+
+func TestSlowPersistSkipsTriggers(t *testing.T) {
+	// Persist takes 25s; iterations take 2.5s; triggering every iteration
+	// must skip most checkpoints because buffers drain slowly, bounding
+	// the achieved cadence near the persist duration.
+	res := run(t, Config{FB: 2, Update: 0.5, Snapshot: 1, Persist: 25,
+		Interval: 1, Iterations: 200, Buffers: 3})
+	if res.Skipped == 0 {
+		t.Fatal("expected skipped triggers with a slow persist channel")
+	}
+	if res.Persisted == 0 {
+		t.Fatal("some checkpoints must still complete")
+	}
+	// Achieved interval ≈ persist / iteration = 10; allow slack for
+	// pipeline fill.
+	if res.EffectiveInterval < 5 || res.EffectiveInterval > 15 {
+		t.Fatalf("effective interval = %v, want ~10", res.EffectiveInterval)
+	}
+}
+
+func TestTripleBufferOutpacesDoubleBuffer(t *testing.T) {
+	// With persist ≈ 2 iterations, a third buffer lets a new snapshot
+	// start while one buffer persists and one holds the recovery copy.
+	base := Config{FB: 2, Update: 0.5, Snapshot: 1, Persist: 5,
+		Interval: 2, Iterations: 400}
+	three := base
+	three.Buffers = 3
+	two := base
+	two.Buffers = 2
+	r3 := run(t, three)
+	r2 := run(t, two)
+	if r3.Persisted <= r2.Persisted {
+		t.Fatalf("triple buffer persisted %d ≤ double buffer %d", r3.Persisted, r2.Persisted)
+	}
+}
+
+func TestZeroCostCheckpointNoop(t *testing.T) {
+	res := run(t, Config{FB: 1, Update: 0, Snapshot: 0, Persist: 0,
+		Interval: 1, Iterations: 50, Buffers: 3})
+	if res.TotalTime != 50 || res.StallTime != 0 {
+		t.Fatalf("zero-cost checkpoints perturbed the run: %+v", res)
+	}
+	if res.Persisted != 50 {
+		t.Fatalf("persisted %d, want 50", res.Persisted)
+	}
+}
+
+func TestEffectiveIntervalMatchesTriggers(t *testing.T) {
+	res := run(t, Config{FB: 2, Update: 0.5, Snapshot: 1, Persist: 1,
+		Interval: 4, Iterations: 100, Buffers: 3})
+	if res.Triggered != 25 {
+		t.Fatalf("triggered %d, want 25", res.Triggered)
+	}
+	if math.Abs(res.EffectiveInterval-4) > 0.2 {
+		t.Fatalf("effective interval %v, want ~4", res.EffectiveInterval)
+	}
+}

@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"moc/internal/rng"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := map[string][]float32{
+		"layer0.moe.expert1/w": {1, -2.5, 3.25},
+		"embed.token/w":        {},
+		"head/opt.m":           {math.MaxFloat32, -math.MaxFloat32, 0},
+	}
+	out, err := DecodeTensors(EncodeTensors(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d tensors, want %d", len(out), len(in))
+	}
+	for k, v := range in {
+		got := out[k]
+		if len(got) != len(v) {
+			t.Fatalf("%s: length %d, want %d", k, len(got), len(v))
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				t.Fatalf("%s[%d] = %v, want %v", k, i, got[i], v[i])
+			}
+		}
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	in := map[string][]float32{"b": {2}, "a": {1}, "c": {3}}
+	b1 := EncodeTensors(in)
+	b2 := EncodeTensors(in)
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	blob := EncodeTensors(map[string][]float32{"x": {1, 2, 3}})
+	for _, i := range []int{0, 5, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0xff
+		if _, err := DecodeTensors(bad); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+	if _, err := DecodeTensors(blob[:8]); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	if _, err := DecodeTensors(nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(5) + 1
+		in := make(map[string][]float32, n)
+		for i := 0; i < n; i++ {
+			name := string(rune('a'+i)) + "/tensor"
+			vals := make([]float32, r.Intn(20))
+			for j := range vals {
+				vals[j] = r.NormFloat32(0, 100)
+			}
+			in[name] = vals
+		}
+		out, err := DecodeTensors(EncodeTensors(in))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotStoreBasics(t *testing.T) {
+	s := NewSnapshotStore()
+	if err := s.Put("r0/moduleA", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("r0/moduleB", []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != 4 {
+		t.Fatalf("bytes = %d, want 4", s.Bytes())
+	}
+	got, err := s.Get("r0/moduleA")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	// Mutating the returned slice must not affect the store.
+	got[0] = 99
+	again, _ := s.Get("r0/moduleA")
+	if again[0] != 1 {
+		t.Fatal("Get returned aliased storage")
+	}
+	keys, _ := s.Keys("r0/")
+	if len(keys) != 2 || keys[0] != "r0/moduleA" {
+		t.Fatalf("Keys: %v", keys)
+	}
+	// Overwrite adjusts the byte count.
+	s.Put("r0/moduleB", []byte{1, 2, 3, 4, 5})
+	if s.Bytes() != 8 {
+		t.Fatalf("bytes after overwrite = %d, want 8", s.Bytes())
+	}
+	s.Delete("r0/moduleA")
+	if _, err := s.Get("r0/moduleA"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key error = %v", err)
+	}
+	s.Clear()
+	if s.Bytes() != 0 {
+		t.Fatal("Clear left bytes behind")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMemStore()
+	if err := m.Put("ckpt/1/a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("ckpt/2/a", []byte("world!")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Get("ckpt/1/a")
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("Get: %q %v", b, err)
+	}
+	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key error = %v", err)
+	}
+	keys, _ := m.Keys("ckpt/")
+	if len(keys) != 2 {
+		t.Fatalf("Keys: %v", keys)
+	}
+	puts, bytes := m.Stats()
+	if puts != 2 || bytes != 11 {
+		t.Fatalf("Stats: %d puts %d bytes", puts, bytes)
+	}
+	if err := m.Delete("ckpt/1/a"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = m.Keys("ckpt/")
+	if len(keys) != 1 {
+		t.Fatalf("Keys after delete: %v", keys)
+	}
+}
+
+func TestFSStore(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := EncodeTensors(map[string][]float32{"w": {1, 2}})
+	if err := f.Put("round0/rank0/expert1", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get("round0/rank0/expert1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeTensors(got)
+	if err != nil || dec["w"][1] != 2 {
+		t.Fatalf("round trip through FS failed: %v %v", dec, err)
+	}
+	keys, err := f.Keys("round0/")
+	if err != nil || len(keys) != 1 || keys[0] != "round0/rank0/expert1" {
+		t.Fatalf("Keys: %v %v", keys, err)
+	}
+	if _, err := f.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key error = %v", err)
+	}
+	if err := f.Delete("round0/rank0/expert1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete("round0/rank0/expert1"); err != nil {
+		t.Fatal("double delete should be a no-op")
+	}
+	if _, err := f.Get("round0/rank0/expert1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestFSStoreRejectsEscapingKeys(t *testing.T) {
+	f, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"../evil", "/abs/path", "a/../../b"} {
+		if err := f.Put(k, []byte("x")); err == nil {
+			t.Errorf("key %q accepted", k)
+		}
+	}
+}
+
+func TestMemStoreBandwidthSimulation(t *testing.T) {
+	m := NewMemStore()
+	m.BandwidthBps = 1e12 // effectively instant, but exercises the path
+	if err := m.Put("k", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotStoreConcurrency(t *testing.T) {
+	s := NewSnapshotStore()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			s.Put("a", []byte{byte(i)})
+		}
+		close(done)
+	}()
+	for i := 0; i < 500; i++ {
+		s.Get("a")
+		s.Keys("")
+		s.Bytes()
+	}
+	<-done
+}

@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when a key is absent from a store.
+var ErrNotFound = fmt.Errorf("storage: key not found")
+
+// PersistStore is the persistent-checkpoint interface: a durable key-value
+// blob store standing in for the cluster's distributed filesystem.
+type PersistStore interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	// Keys returns the stored keys with the given prefix, sorted.
+	Keys(prefix string) ([]string, error)
+}
+
+// SnapshotStore is a CPU-memory key-value store holding in-memory
+// checkpoint snapshots on one node. Contents are lost when the node fails
+// (simulated via Clear).
+type SnapshotStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	bytes int64
+}
+
+// NewSnapshotStore creates an empty snapshot store.
+func NewSnapshotStore() *SnapshotStore {
+	return &SnapshotStore{blobs: make(map[string][]byte)}
+}
+
+// Put stores a blob (copying it, as a DMA into host memory would).
+func (s *SnapshotStore) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.blobs[key]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.blobs[key] = cp
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get retrieves a blob or ErrNotFound.
+func (s *SnapshotStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Delete removes a key (no error if absent).
+func (s *SnapshotStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.blobs[key]; ok {
+		s.bytes -= int64(len(old))
+		delete(s.blobs, key)
+	}
+	return nil
+}
+
+// Keys lists keys with the prefix, sorted.
+func (s *SnapshotStore) Keys(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Clear simulates a node failure: all in-memory snapshots are lost.
+func (s *SnapshotStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs = make(map[string][]byte)
+	s.bytes = 0
+}
+
+// Bytes returns the resident snapshot volume.
+func (s *SnapshotStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// MemStore is an in-memory PersistStore with optional simulated write
+// bandwidth, used to model the distributed filesystem in tests and
+// examples without touching disk.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	// BandwidthBps, when positive, makes Put sleep len(data)/Bandwidth
+	// seconds to emulate the persist channel.
+	BandwidthBps float64
+	puts         int
+	putBytes     int64
+}
+
+// NewMemStore creates an empty memory-backed persist store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements PersistStore.
+func (m *MemStore) Put(key string, data []byte) error {
+	if m.BandwidthBps > 0 {
+		time.Sleep(time.Duration(float64(len(data)) / m.BandwidthBps * float64(time.Second)))
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[key] = cp
+	m.puts++
+	m.putBytes += int64(len(cp))
+	return nil
+}
+
+// Get implements PersistStore.
+func (m *MemStore) Get(key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Delete implements PersistStore.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, key)
+	return nil
+}
+
+// Keys implements PersistStore.
+func (m *MemStore) Keys(prefix string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for k := range m.blobs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats returns the number of Put calls and total bytes written.
+func (m *MemStore) Stats() (puts int, bytes int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.puts, m.putBytes
+}
+
+// FSStore is a PersistStore on the local filesystem: each key becomes a
+// file under the root directory (path separators in keys map to
+// directories). Writes go through a temporary file and rename so a crash
+// never leaves a torn blob behind.
+type FSStore struct {
+	root string
+}
+
+// NewFSStore creates (if needed) and opens a filesystem store rooted at
+// dir.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &FSStore{root: dir}, nil
+}
+
+func (f *FSStore) path(key string) (string, error) {
+	clean := filepath.Clean(key)
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("storage: invalid key %q", key)
+	}
+	return filepath.Join(f.root, clean), nil
+}
+
+// Put implements PersistStore with atomic rename semantics.
+func (f *FSStore) Put(key string, data []byte) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements PersistStore.
+func (f *FSStore) Get(key string) ([]byte, error) {
+	p, err := f.path(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return b, err
+}
+
+// Delete implements PersistStore.
+func (f *FSStore) Delete(key string) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Keys implements PersistStore.
+func (f *FSStore) Keys(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.Walk(f.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return err
+		}
+		rel, err := filepath.Rel(f.root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			out = append(out, rel)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+var (
+	_ PersistStore = (*MemStore)(nil)
+	_ PersistStore = (*FSStore)(nil)
+)

@@ -1,0 +1,255 @@
+// Package tensor provides the small dense linear-algebra kernel used by the
+// MoE trainer: float32 vectors and row-major matrices with the handful of
+// operations a hand-written backpropagation pass needs (matrix-vector
+// products in both orientations, rank-1 accumulation, softmax, ReLU).
+//
+// The package favours clarity and determinism over raw speed: all loops are
+// straightforward and allocation-free variants take destination slices so
+// the trainer can reuse buffers across steps.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix of float32.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMat allocates a zero matrix of the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("tensor: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero resets all elements to 0.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// NumParams returns the number of elements, used by checkpoint accounting.
+func (m *Mat) NumParams() int { return len(m.Data) }
+
+// MatVec computes dst = m · x where x has length Cols and dst length Rows.
+func MatVec(dst []float32, m *Mat, x []float32) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVec computes dst = mᵀ · x where x has length Rows and dst length Cols.
+func MatTVec(dst []float32, m *Mat, x []float32) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MatTVec shape mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// AddOuter accumulates dst += a ⊗ b (rank-1 update), where dst is
+// len(a) × len(b). This is the gradient of a MatVec with respect to the
+// matrix: dW += dy ⊗ x.
+func AddOuter(dst *Mat, a, b []float32) {
+	if dst.Rows != len(a) || dst.Cols != len(b) {
+		panic("tensor: AddOuter shape mismatch")
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// Axpy computes dst += alpha * x element-wise.
+func Axpy(dst []float32, alpha float32, x []float32) {
+	if len(dst) != len(x) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(x []float32, alpha float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Softmax writes the softmax of x into dst (may alias x). It is numerically
+// stabilised by subtracting the maximum.
+func Softmax(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic("tensor: Softmax length mismatch")
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - maxv))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float32) float64 {
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(float64(v - maxv))
+	}
+	return float64(maxv) + math.Log(sum)
+}
+
+// ReLU writes max(0, x) into dst (may alias x).
+func ReLU(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic("tensor: ReLU length mismatch")
+	}
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ReLUGrad writes grad * 1[pre > 0] into dst, the backward pass of ReLU.
+func ReLUGrad(dst, grad, pre []float32) {
+	if len(dst) != len(grad) || len(dst) != len(pre) {
+		panic("tensor: ReLUGrad length mismatch")
+	}
+	for i := range dst {
+		if pre[i] > 0 {
+			dst[i] = grad[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element.
+func ArgMax(x []float32) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements in descending order of
+// value. Ties resolve to the lower index, which keeps routing deterministic.
+func TopK(x []float32, k int) []int {
+	if k <= 0 || k > len(x) {
+		panic(fmt.Sprintf("tensor: TopK k=%d over %d elements", k, len(x)))
+	}
+	idx := make([]int, 0, k)
+	taken := make([]bool, len(x))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range x {
+			if taken[i] {
+				continue
+			}
+			if best < 0 || v > x[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,270 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moc/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatVecIdentity(t *testing.T) {
+	m := NewMat(3, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, 1)
+	}
+	x := []float32{1, 2, 3}
+	dst := make([]float32, 3)
+	MatVec(dst, m, x)
+	for i := range x {
+		if dst[i] != x[i] {
+			t.Fatalf("identity MatVec: got %v", dst)
+		}
+	}
+}
+
+func TestMatVecKnown(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float32{1, 2, 3, 4, 5, 6})
+	x := []float32{1, 0, -1}
+	dst := make([]float32, 2)
+	MatVec(dst, m, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVec known case: got %v", dst)
+	}
+}
+
+func TestMatTVecTransposeConsistency(t *testing.T) {
+	r := rng.New(5)
+	m := NewMat(4, 7)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32(0, 1)
+	}
+	// <Mx, y> must equal <x, Mᵀy>.
+	x := make([]float32, 7)
+	y := make([]float32, 4)
+	for i := range x {
+		x[i] = r.NormFloat32(0, 1)
+	}
+	for i := range y {
+		y[i] = r.NormFloat32(0, 1)
+	}
+	mx := make([]float32, 4)
+	mty := make([]float32, 7)
+	MatVec(mx, m, x)
+	MatTVec(mty, m, y)
+	lhs := float64(Dot(mx, y))
+	rhs := float64(Dot(x, mty))
+	if !almostEq(lhs, rhs, 1e-3) {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestAddOuterMatchesMatVecGradient(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 4, 5}
+	m := NewMat(2, 3)
+	AddOuter(m, a, b)
+	want := []float32{3, 4, 5, 6, 8, 10}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddOuter: got %v want %v", m.Data, want)
+		}
+	}
+	// Accumulation: second call doubles.
+	AddOuter(m, a, b)
+	if m.Data[0] != 6 {
+		t.Fatalf("AddOuter did not accumulate")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + int(seed%16)
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = r.NormFloat32(0, 5)
+		}
+		dst := make([]float32, n)
+		Softmax(dst, x)
+		var sum float64
+		for _, v := range dst {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return almostEq(sum, 1, 1e-4)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	x := []float32{1000, 1000, 1000}
+	dst := make([]float32, 3)
+	Softmax(dst, x)
+	for _, v := range dst {
+		if !almostEq(float64(v), 1.0/3, 1e-5) {
+			t.Fatalf("softmax with large logits: %v", dst)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	x := []float32{0, 0}
+	got := LogSumExp(x)
+	want := math.Log(2)
+	if !almostEq(got, want, 1e-9) {
+		t.Fatalf("LogSumExp = %v, want %v", got, want)
+	}
+	// stability with huge values
+	x2 := []float32{10000, 10000}
+	got2 := LogSumExp(x2)
+	if !almostEq(got2, 10000+math.Log(2), 1e-6) {
+		t.Fatalf("LogSumExp large = %v", got2)
+	}
+}
+
+func TestReLUAndGrad(t *testing.T) {
+	pre := []float32{-1, 0, 2}
+	out := make([]float32, 3)
+	ReLU(out, pre)
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("ReLU: %v", out)
+	}
+	grad := []float32{5, 5, 5}
+	back := make([]float32, 3)
+	ReLUGrad(back, grad, pre)
+	if back[0] != 0 || back[1] != 0 || back[2] != 5 {
+		t.Fatalf("ReLUGrad: %v", back)
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	x := []float32{0.1, 0.9, 0.9, 0.5}
+	idx := TopK(x, 3)
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 3 {
+		t.Fatalf("TopK tie-breaking: %v", idx)
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%20)
+		k := 1 + int(seed>>8)%n
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = r.NormFloat32(0, 1)
+		}
+		idx := TopK(x, k)
+		if len(idx) != k {
+			return false
+		}
+		// Values must be non-increasing and indices distinct.
+		seen := map[int]bool{}
+		for i, id := range idx {
+			if id < 0 || id >= n || seen[id] {
+				return false
+			}
+			seen[id] = true
+			if i > 0 && x[idx[i-1]] < x[id] {
+				return false
+			}
+		}
+		// Every selected value >= every unselected value.
+		minSel := x[idx[len(idx)-1]]
+		for i, v := range x {
+			if !seen[i] && v > minSel {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float32{-3, -1, -2}) != 1 {
+		t.Fatal("ArgMax basic case")
+	}
+}
+
+func TestAxpyScaleDot(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{1, 1, 1}
+	Axpy(y, 2, x)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Fatalf("Axpy: %v", y)
+	}
+	Scale(y, 0.5)
+	if y[0] != 1.5 {
+		t.Fatalf("Scale: %v", y)
+	}
+	if Dot(x, x) != 14 {
+		t.Fatalf("Dot: %v", Dot(x, x))
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+	m.CopyFrom(c)
+	if m.At(0, 0) != 9 {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MatVec(make([]float32, 2), NewMat(2, 3), make([]float32, 2)) },
+		func() { MatTVec(make([]float32, 2), NewMat(2, 3), make([]float32, 3)) },
+		func() { AddOuter(NewMat(2, 2), make([]float32, 3), make([]float32, 2)) },
+		func() { Dot(make([]float32, 1), make([]float32, 2)) },
+		func() { TopK(make([]float32, 2), 3) },
+		func() { NewMat(0, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	if !almostEq(L2Norm([]float32{3, 4}), 5, 1e-9) {
+		t.Fatal("L2Norm")
+	}
+}
+
+func BenchmarkMatVec256(b *testing.B) {
+	m := NewMat(256, 256)
+	x := make([]float32, 256)
+	dst := make([]float32, 256)
+	r := rng.New(1)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(dst, m, x)
+	}
+}

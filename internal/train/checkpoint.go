@@ -1,0 +1,209 @@
+package train
+
+import (
+	"fmt"
+	"strings"
+
+	"moc/internal/core"
+	"moc/internal/storage"
+)
+
+// Checkpoint keys: each module contributes a "<module>/w" blob (weights)
+// and a "<module>/opt" blob (Adam m and v). Splitting weight and optimizer
+// state lets the "W" and "O" PEC variants of §6.3 apply partial-expert
+// saving to one of the two independently. A synthetic "meta/state" blob
+// carries the global Adam step and training iteration.
+
+const (
+	weightSuffix = "/w"
+	optSuffix    = "/opt"
+	metaKey      = "meta/state"
+)
+
+// Variant selects which state classes PEC filtering applies to (§6.3,
+// Table 3): weights, optimizer states, or both. State classes not under
+// PEC are saved in full at every checkpoint.
+type Variant struct {
+	PECOnWeights   bool
+	PECOnOptimizer bool
+}
+
+// VariantW applies PEC to weights only (row "W" of Table 3).
+func VariantW() Variant { return Variant{PECOnWeights: true} }
+
+// VariantO applies PEC to optimizer states only (row "O").
+func VariantO() Variant { return Variant{PECOnOptimizer: true} }
+
+// VariantWO applies PEC to both (rows "WO" and "WO-2L").
+func VariantWO() Variant { return Variant{PECOnWeights: true, PECOnOptimizer: true} }
+
+// VariantFull applies PEC to nothing: every checkpoint saves all state.
+func VariantFull() Variant { return Variant{} }
+
+// moduleTensors flattens a module's parameters to named tensors.
+func (m *Model) moduleTensors(name string, weights bool) map[string][]float32 {
+	ps, ok := m.modules[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[string][]float32)
+	for i, p := range ps {
+		if weights {
+			out[fmt.Sprintf("p%d", i)] = append([]float32(nil), p.W.Data...)
+		} else {
+			out[fmt.Sprintf("p%d.m", i)] = append([]float32(nil), p.M.Data...)
+			out[fmt.Sprintf("p%d.v", i)] = append([]float32(nil), p.V.Data...)
+		}
+	}
+	return out
+}
+
+// Capture builds the checkpoint payload for one round. sel restricts which
+// experts are included (nil = all); the variant decides whether the expert
+// restriction applies to weights, optimizer state, or both. Non-expert
+// modules are always captured in full. The returned data is a deep copy,
+// safe to hand to the asynchronous agent.
+func (m *Model) Capture(sel *core.Selection, v Variant) core.CheckpointData {
+	out := make(core.CheckpointData, 2*len(m.moduleOrder)+1)
+	for _, name := range m.moduleOrder {
+		moeLayer, expert, isExpert := m.IsExpertModule(name)
+		saveW, saveO := true, true
+		if isExpert {
+			selected := sel.Contains(moeLayer, expert)
+			if v.PECOnWeights && !selected {
+				saveW = false
+			}
+			if v.PECOnOptimizer && !selected {
+				saveO = false
+			}
+		}
+		if saveW {
+			out[name+weightSuffix] = storage.EncodeTensors(m.moduleTensors(name, true))
+		}
+		if saveO {
+			out[name+optSuffix] = storage.EncodeTensors(m.moduleTensors(name, false))
+		}
+	}
+	out[metaKey] = storage.EncodeTensors(map[string][]float32{
+		"step": {float32(m.step)},
+		"iter": {float32(m.iter)},
+	})
+	return out
+}
+
+// restoreModule loads tensors into a module's weights or optimizer state.
+func (m *Model) restoreModule(name string, tensors map[string][]float32, weights bool) error {
+	ps, ok := m.modules[name]
+	if !ok {
+		return fmt.Errorf("train: unknown module %q", name)
+	}
+	for i, p := range ps {
+		if weights {
+			vals, ok := tensors[fmt.Sprintf("p%d", i)]
+			if !ok || len(vals) != len(p.W.Data) {
+				return fmt.Errorf("train: module %q param %d weight shape mismatch", name, i)
+			}
+			copy(p.W.Data, vals)
+		} else {
+			mv, ok1 := tensors[fmt.Sprintf("p%d.m", i)]
+			vv, ok2 := tensors[fmt.Sprintf("p%d.v", i)]
+			if !ok1 || !ok2 || len(mv) != len(p.M.Data) || len(vv) != len(p.V.Data) {
+				return fmt.Errorf("train: module %q param %d optimizer shape mismatch", name, i)
+			}
+			copy(p.M.Data, mv)
+			copy(p.V.Data, vv)
+		}
+	}
+	return nil
+}
+
+// Restore applies recovered checkpoint state to the model. Modules absent
+// from the recovery keep their current (post-initialization) state — with
+// PEC this is exactly the stale-experts semantics, since recovery follows
+// initialization on a restarted job. It returns the training iteration
+// recorded in the recovered metadata; the caller rewinds its loop there.
+func (m *Model) Restore(rec map[string]core.RecoveredModule) (iteration int, err error) {
+	meta, ok := rec[metaKey]
+	if !ok {
+		return 0, fmt.Errorf("train: recovery lacks %q", metaKey)
+	}
+	metaT, err := storage.DecodeTensors(meta.Blob)
+	if err != nil {
+		return 0, fmt.Errorf("train: decode meta: %w", err)
+	}
+	for key, rm := range rec {
+		if key == metaKey {
+			continue
+		}
+		var name string
+		var weights bool
+		switch {
+		case strings.HasSuffix(key, weightSuffix):
+			name, weights = strings.TrimSuffix(key, weightSuffix), true
+		case strings.HasSuffix(key, optSuffix):
+			name, weights = strings.TrimSuffix(key, optSuffix), false
+		default:
+			return 0, fmt.Errorf("train: unrecognized checkpoint key %q", key)
+		}
+		tensors, err := storage.DecodeTensors(rm.Blob)
+		if err != nil {
+			return 0, fmt.Errorf("train: decode %q: %w", key, err)
+		}
+		if err := m.restoreModule(name, tensors, weights); err != nil {
+			return 0, err
+		}
+	}
+	if s, ok := metaT["step"]; ok && len(s) == 1 {
+		m.step = int(s[0])
+	}
+	if it, ok := metaT["iter"]; ok && len(it) == 1 {
+		m.iter = int(it[0])
+		return m.iter, nil
+	}
+	return 0, fmt.Errorf("train: recovery meta lacks iteration")
+}
+
+// PersistFilter builds the keep-for-persist predicate implementing
+// persist-PEC: of the snapshot's content, persist non-expert state fully
+// but expert state only for experts in persistSel. A nil persistSel keeps
+// everything.
+func (m *Model) PersistFilter(persistSel *core.Selection, v Variant) func(string) bool {
+	if persistSel == nil {
+		return nil
+	}
+	return func(key string) bool {
+		var name string
+		var isWeight bool
+		switch {
+		case strings.HasSuffix(key, weightSuffix):
+			name, isWeight = strings.TrimSuffix(key, weightSuffix), true
+		case strings.HasSuffix(key, optSuffix):
+			name = strings.TrimSuffix(key, optSuffix)
+		default:
+			return true // meta
+		}
+		moeLayer, expert, isExpert := m.IsExpertModule(name)
+		if !isExpert {
+			return true
+		}
+		if isWeight && !v.PECOnWeights {
+			return true
+		}
+		if !isWeight && !v.PECOnOptimizer {
+			return true
+		}
+		return persistSel.Contains(moeLayer, expert)
+	}
+}
+
+// CloneState deep-copies all weights (not optimizer state), used by tests
+// to compare recovery outcomes.
+func (m *Model) CloneState() map[string][]float32 {
+	out := make(map[string][]float32)
+	for name, ps := range m.modules {
+		for i, p := range ps {
+			out[fmt.Sprintf("%s#%d", name, i)] = append([]float32(nil), p.W.Data...)
+		}
+	}
+	return out
+}

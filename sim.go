@@ -1,0 +1,277 @@
+package moc
+
+import (
+	"fmt"
+
+	"moc/internal/cluster"
+	"moc/internal/core"
+	"moc/internal/model"
+	"moc/internal/perf"
+	"moc/internal/simtime"
+)
+
+// MethodSpec names a checkpointing method for the efficiency simulations
+// (Figs. 11–13).
+type MethodSpec struct {
+	// Name is "baseline" (blocking full save with the Megatron-DeepSpeed
+	// layout), "base-async" (asynchronous, unsharded, full save),
+	// "moc-async" (asynchronous, fully sharded, two-level PEC), or
+	// "sharded" (fully sharded single-level PEC, blocking or async via
+	// the Blocking flag — the Fig. 11 sweep).
+	Name string
+	// KSnapshot/KPersist are expert fan-outs where applicable (0 = all).
+	KSnapshot, KPersist int
+	// Blocking applies to "sharded" only.
+	Blocking bool
+}
+
+func (m MethodSpec) toInternal() (simtime.Method, error) {
+	switch m.Name {
+	case "baseline":
+		return simtime.BaselineMethod(), nil
+	case "base-async":
+		return simtime.BaseAsyncMethod(), nil
+	case "moc-async":
+		ks, kp := m.KSnapshot, m.KPersist
+		if ks == 0 {
+			ks = 4
+		}
+		if kp == 0 {
+			kp = 1
+		}
+		return simtime.MoCAsyncMethod(ks, kp), nil
+	case "sharded":
+		k := m.KSnapshot
+		if k == 0 {
+			return simtime.Method{}, fmt.Errorf("moc: sharded method needs KSnapshot")
+		}
+		return simtime.ShardedMethod(k, m.Blocking), nil
+	default:
+		return simtime.Method{}, fmt.Errorf("moc: unknown method %q", m.Name)
+	}
+}
+
+// IterationBreakdown is the per-iteration decomposition of one method on
+// one workload (the Fig. 11 bars).
+type IterationBreakdown struct {
+	Method   string
+	FB       float64 // forward+backward seconds (the overlap window)
+	Update   float64 // weight-update seconds
+	Snapshot float64 // bottleneck-rank GPU→CPU seconds
+	Persist  float64 // bottleneck-rank CPU→storage seconds
+	// IterTime is a checkpointing iteration's duration; OSave its
+	// overhead beyond plain training (Eq. 10).
+	IterTime float64
+	OSave    float64
+	// MinIntervalIters is the lower bound on the checkpoint interval.
+	MinIntervalIters float64
+	// SnapshotBytes/PersistBytes are the bottleneck-rank shard volumes;
+	// TotalPersistBytes is the cluster-wide persisted volume (Fig. 13f).
+	SnapshotBytes, PersistBytes, TotalPersistBytes int64
+}
+
+func fromBreakdown(b simtime.Breakdown) IterationBreakdown {
+	return IterationBreakdown{
+		Method:            b.Method.Name,
+		FB:                b.FB,
+		Update:            b.Update,
+		Snapshot:          b.Snapshot,
+		Persist:           b.Persist,
+		IterTime:          b.IterTime(),
+		OSave:             b.OSave(),
+		MinIntervalIters:  b.MinInterval(),
+		SnapshotBytes:     b.SnapshotBytes,
+		PersistBytes:      b.PersistBytes,
+		TotalPersistBytes: b.TotalPersist,
+	}
+}
+
+// WorkloadSpec describes a cluster-scale training deployment for the
+// simulations.
+type WorkloadSpec struct {
+	// Case selects a Table 2 configuration ("case1", "case2", "case3")
+	// with the GPT-350M-16E model. Leave empty to use the scaling knobs.
+	Case string
+	// GPUs, TP configure a Fig. 13-style DP+EP(+TP) deployment of a
+	// LLaMA-like MoE model with one expert per GPU.
+	GPUs, TP int
+	// GPU is "A800" (default) or "H100".
+	GPU string
+	// SeqLen overrides the sequence length (Fig. 13d); 0 = default.
+	SeqLen int
+	// ModelSize is "small", "medium" (default) or "large" (Fig. 13e).
+	ModelSize string
+	// GlobalBatch in sequences per iteration (0 = a sensible default).
+	GlobalBatch int
+}
+
+func (w WorkloadSpec) toWorkload() (perf.Workload, error) {
+	gpu := perf.A800()
+	if w.GPU == "H100" {
+		gpu = perf.H100()
+	} else if w.GPU != "" && w.GPU != "A800" {
+		return perf.Workload{}, fmt.Errorf("moc: unknown GPU %q", w.GPU)
+	}
+	out := perf.Workload{GPU: gpu, Storage: perf.DefaultStorage()}
+	switch w.Case {
+	case "case1":
+		out.Topo = cluster.Case1()
+	case "case2":
+		out.Topo = cluster.Case2()
+	case "case3":
+		out.Topo = cluster.Case3()
+	case "":
+		if w.GPUs <= 0 {
+			return perf.Workload{}, fmt.Errorf("moc: workload needs Case or GPUs")
+		}
+		tp := w.TP
+		if tp == 0 {
+			tp = 1
+		}
+		out.Topo = cluster.Scaled(w.GPUs, tp)
+	default:
+		return perf.Workload{}, fmt.Errorf("moc: unknown case %q", w.Case)
+	}
+	if w.Case != "" {
+		out.Model = model.GPT350M16E()
+		out.GlobalBatch = 256
+	} else {
+		size := model.LLaMAMoEMedium
+		switch w.ModelSize {
+		case "", "medium":
+		case "small":
+			size = model.LLaMAMoESmall
+		case "large":
+			size = model.LLaMAMoELarge
+		default:
+			return perf.Workload{}, fmt.Errorf("moc: unknown model size %q", w.ModelSize)
+		}
+		seq := w.SeqLen
+		if seq == 0 {
+			seq = 1024
+		}
+		out.Model = model.LLaMAMoE(size, out.Topo.DP, seq)
+		out.GlobalBatch = 2 * out.Topo.DP
+	}
+	if w.GlobalBatch > 0 {
+		out.GlobalBatch = w.GlobalBatch
+	}
+	if w.SeqLen > 0 && w.Case != "" {
+		out.Model.SeqLen = w.SeqLen
+	}
+	return out, nil
+}
+
+// SimulateWorkload evaluates one method's per-iteration timing on a
+// workload.
+func SimulateWorkload(w WorkloadSpec, m MethodSpec) (IterationBreakdown, error) {
+	wl, err := w.toWorkload()
+	if err != nil {
+		return IterationBreakdown{}, err
+	}
+	mm, err := m.toInternal()
+	if err != nil {
+		return IterationBreakdown{}, err
+	}
+	b, err := simtime.Scenario{W: wl}.Evaluate(mm)
+	if err != nil {
+		return IterationBreakdown{}, err
+	}
+	return fromBreakdown(b), nil
+}
+
+// SimulateCase evaluates a method on one of the Table 2 configurations.
+func SimulateCase(caseName string, m MethodSpec) (IterationBreakdown, error) {
+	return SimulateWorkload(WorkloadSpec{Case: caseName}, m)
+}
+
+// PipelineResult summarizes a discrete-event simulation of a training run
+// with checkpointing (Fig. 9's pipeline, measured over many iterations).
+type PipelineResult struct {
+	TotalSeconds      float64
+	AvgIterSeconds    float64
+	OSavePerCkpt      float64
+	Checkpoints       int
+	SkippedTriggers   int
+	Stalls            int
+	EffectiveInterval float64
+}
+
+// SimulatePipeline runs the discrete-event simulator for a method over the
+// given horizon and checkpoint interval.
+func SimulatePipeline(w WorkloadSpec, m MethodSpec, interval, iterations int) (PipelineResult, error) {
+	wl, err := w.toWorkload()
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	mm, err := m.toInternal()
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	_, res, err := simtime.Scenario{W: wl}.Simulate(mm, interval, iterations)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	return PipelineResult{
+		TotalSeconds:      res.TotalTime,
+		AvgIterSeconds:    res.AvgIterTime,
+		OSavePerCkpt:      res.OSavePerCkpt,
+		Checkpoints:       res.Persisted,
+		SkippedTriggers:   res.Skipped,
+		Stalls:            res.Stalls,
+		EffectiveInterval: res.EffectiveInterval,
+	}, nil
+}
+
+// CheckpointSizeRatio returns C_pec/C_full (Eq. 6) for saving kpec of n
+// experts, under the paper-calibrated GPT-350M-16E composition
+// (reproducing Fig. 10a exactly) when calibrated is true, or the analytic
+// Table-1 composition otherwise.
+func CheckpointSizeRatio(kpec, n int, calibrated bool) float64 {
+	comp := core.CompositionFromConfig(model.GPT350M16E())
+	if calibrated {
+		comp = core.Composition{ExpertShare: core.PaperMeasuredExpertShare}
+	}
+	return comp.PECRatio(kpec, n)
+}
+
+// BottleneckShard returns the bottleneck rank's checkpoint bytes for the
+// given Table 2 case, sharding strategy ("baseline", "ee", "ee+en",
+// "ee+an") and PEC fan-out (0 = full) — the Fig. 10(b–d) bars.
+func BottleneckShard(caseName, strategy string, kpec int) (int64, error) {
+	var topo cluster.Topology
+	switch caseName {
+	case "case1":
+		topo = cluster.Case1()
+	case "case2":
+		topo = cluster.Case2()
+	case "case3":
+		topo = cluster.Case3()
+	default:
+		return 0, fmt.Errorf("moc: unknown case %q", caseName)
+	}
+	var strat core.Strategy
+	switch strategy {
+	case "baseline":
+		strat = core.StrategyBaseline
+	case "ee":
+		strat = core.StrategyEE
+	case "ee+en":
+		strat = core.StrategyEEEN
+	case "ee+an":
+		strat = core.StrategyEEAN
+	default:
+		return 0, fmt.Errorf("moc: unknown strategy %q", strategy)
+	}
+	cfg := model.GPT350M16E()
+	var sel *core.Selection
+	if kpec > 0 && kpec < cfg.NumExperts {
+		sel = core.NewSequentialSelector(cfg.NumMoELayers(), cfg.NumExperts).Select(0, kpec)
+	}
+	plan, err := core.PlanCheckpoint(topo, cfg, sel, strat)
+	if err != nil {
+		return 0, err
+	}
+	b, _ := plan.Bottleneck()
+	return b, nil
+}

@@ -1,0 +1,154 @@
+package moc_test
+
+import (
+	"math"
+	"testing"
+
+	moc "moc"
+)
+
+func TestSimulateCaseMethods(t *testing.T) {
+	for _, c := range []string{"case1", "case2", "case3"} {
+		base, err := moc.SimulateCase(c, moc.MethodSpec{Name: "baseline"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mocAsync, err := moc.SimulateCase(c, moc.MethodSpec{Name: "moc-async", KSnapshot: 4, KPersist: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mocAsync.IterTime >= base.IterTime {
+			t.Errorf("%s: MoC-Async %.2fs not faster than baseline %.2fs", c, mocAsync.IterTime, base.IterTime)
+		}
+		reduction := 1 - mocAsync.OSave/base.OSave
+		if reduction < 0.95 {
+			t.Errorf("%s: O_save reduction %.3f < 0.95", c, reduction)
+		}
+	}
+}
+
+func TestSimulateWorkloadScaling(t *testing.T) {
+	prev := 0.0
+	for _, gpus := range []int{32, 128, 512} {
+		b, err := moc.SimulateWorkload(
+			moc.WorkloadSpec{GPUs: gpus},
+			moc.MethodSpec{Name: "base-async"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.FB <= prev {
+			t.Fatalf("F&B at %d GPUs = %.2f did not grow", gpus, b.FB)
+		}
+		prev = b.FB
+	}
+}
+
+func TestSimulateWorkloadH100(t *testing.T) {
+	a, err := moc.SimulateWorkload(moc.WorkloadSpec{GPUs: 64}, moc.MethodSpec{Name: "moc-async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := moc.SimulateWorkload(moc.WorkloadSpec{GPUs: 64, GPU: "H100"}, moc.MethodSpec{Name: "moc-async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Snapshot >= a.Snapshot {
+		t.Fatal("H100 snapshot should be faster (2 GB/s vs 1 GB/s)")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := moc.SimulateCase("case9", moc.MethodSpec{Name: "baseline"}); err == nil {
+		t.Fatal("bad case accepted")
+	}
+	if _, err := moc.SimulateCase("case1", moc.MethodSpec{Name: "warp"}); err == nil {
+		t.Fatal("bad method accepted")
+	}
+	if _, err := moc.SimulateWorkload(moc.WorkloadSpec{}, moc.MethodSpec{Name: "baseline"}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := moc.SimulateWorkload(moc.WorkloadSpec{GPUs: 32, GPU: "TPU"}, moc.MethodSpec{Name: "baseline"}); err == nil {
+		t.Fatal("bad GPU accepted")
+	}
+	if _, err := moc.SimulateWorkload(moc.WorkloadSpec{GPUs: 32, ModelSize: "xl"}, moc.MethodSpec{Name: "baseline"}); err == nil {
+		t.Fatal("bad model size accepted")
+	}
+	if _, err := moc.SimulateCase("case1", moc.MethodSpec{Name: "sharded"}); err == nil {
+		t.Fatal("sharded without K accepted")
+	}
+}
+
+func TestSimulatePipeline(t *testing.T) {
+	res, err := moc.SimulatePipeline(moc.WorkloadSpec{Case: "case2"},
+		moc.MethodSpec{Name: "moc-async"}, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints == 0 || res.TotalSeconds <= 0 {
+		t.Fatalf("pipeline result: %+v", res)
+	}
+	blocking, err := moc.SimulatePipeline(moc.WorkloadSpec{Case: "case2"},
+		moc.MethodSpec{Name: "baseline"}, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds >= blocking.TotalSeconds {
+		t.Fatal("MoC pipeline not faster than blocking baseline")
+	}
+}
+
+func TestCheckpointSizeRatioFig10a(t *testing.T) {
+	// Calibrated composition reproduces the published bars exactly.
+	want := map[int]float64{16: 1.0, 8: 0.692, 4: 0.538, 2: 0.461, 1: 0.423}
+	for k, w := range want {
+		got := moc.CheckpointSizeRatio(k, 16, true)
+		if math.Abs(got-w) > 0.002 {
+			t.Errorf("calibrated K=%d: %.4f, want %.3f", k, got, w)
+		}
+	}
+	// Analytic composition gives an even stronger reduction.
+	if a := moc.CheckpointSizeRatio(1, 16, false); a >= 0.423 {
+		t.Errorf("analytic K=1 ratio %.3f should be below the measured 0.423", a)
+	}
+}
+
+func TestBottleneckShardOrdering(t *testing.T) {
+	for _, c := range []string{"case1", "case2", "case3"} {
+		base, err := moc.BottleneckShard(c, "baseline", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := moc.BottleneckShard(c, "ee+an", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an >= base {
+			t.Errorf("%s: EE+AN@K=1 bottleneck %d not below baseline %d", c, an, base)
+		}
+	}
+	if _, err := moc.BottleneckShard("case1", "magic", 0); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	if _, err := moc.BottleneckShard("case0", "baseline", 0); err == nil {
+		t.Fatal("bad case accepted")
+	}
+}
+
+func TestSimulateCaseSeqLenOverride(t *testing.T) {
+	short, err := moc.SimulateWorkload(moc.WorkloadSpec{Case: "case1", SeqLen: 512}, moc.MethodSpec{Name: "base-async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := moc.SimulateWorkload(moc.WorkloadSpec{Case: "case1", SeqLen: 4096}, moc.MethodSpec{Name: "base-async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.FB <= short.FB {
+		t.Fatal("longer sequences should lengthen F&B")
+	}
+	// Checkpointed state is (almost) independent of sequence length: only
+	// the positional-embedding table scales, a sub-2% effect (Fig. 13d).
+	if rel := math.Abs(long.Snapshot-short.Snapshot) / short.Snapshot; rel > 0.02 {
+		t.Fatalf("sequence length changed snapshot volume by %.1f%%", 100*rel)
+	}
+}

@@ -1,0 +1,607 @@
+package moc
+
+import (
+	"fmt"
+
+	"moc/internal/core"
+	"moc/internal/data"
+	"moc/internal/eval"
+	"moc/internal/model"
+	"moc/internal/storage"
+	"moc/internal/train"
+)
+
+// PersistStore is the durable checkpoint backend. The built-in
+// NewMemStore and NewFSStore constructors satisfy it; callers may supply
+// their own (e.g. an object-store adapter).
+type PersistStore interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	Keys(prefix string) ([]string, error)
+}
+
+// NewMemStore returns an in-memory persistent store (checkpoints survive
+// faults but not process exit) — convenient for experiments.
+func NewMemStore() PersistStore { return storage.NewMemStore() }
+
+// NewFSStore returns a persistent store on the local filesystem rooted at
+// dir.
+func NewFSStore(dir string) (PersistStore, error) { return storage.NewFSStore(dir) }
+
+// Variant names which state classes PEC applies to (§6.3 of the paper):
+// "full" (no PEC), "W" (weights only), "O" (optimizer states only), or
+// "WO" (both).
+type Variant string
+
+// Variant values.
+const (
+	VariantFull Variant = "full"
+	VariantW    Variant = "W"
+	VariantO    Variant = "O"
+	VariantWO   Variant = "WO"
+)
+
+func (v Variant) toTrain() (train.Variant, error) {
+	switch v {
+	case VariantFull, "":
+		return train.VariantFull(), nil
+	case VariantW:
+		return train.VariantW(), nil
+	case VariantO:
+		return train.VariantO(), nil
+	case VariantWO:
+		return train.VariantWO(), nil
+	default:
+		return train.Variant{}, fmt.Errorf("moc: unknown variant %q", v)
+	}
+}
+
+// Selection names the partial-experts selection policy (§3.2).
+type Selection string
+
+// Selection values.
+const (
+	SelectSequential Selection = "sequential"
+	SelectLoadAware  Selection = "load-aware"
+)
+
+// Config configures a training System.
+type Config struct {
+	// --- model & optimization ---
+
+	// Layers, Hidden, Experts, TopK shape the MoE model: Layers
+	// transformer blocks (all carrying MoE FFNs), Hidden units, Experts
+	// experts per MoE layer, TopK gating fan-out.
+	Layers, Hidden, Experts, TopK int
+	// Vocab is the token vocabulary size (≥ 8).
+	Vocab int
+	// Window is the context length; BatchSize the examples per step.
+	Window, BatchSize int
+	// LR is the Adam learning rate.
+	LR float64
+	// CapacityFactor bounds per-expert tokens per batch (0 = unlimited);
+	// GateNoise is the ε std of the noisy gate (Eq. 2).
+	CapacityFactor, GateNoise float64
+	// AuxLossCoeff weights the auxiliary load-balancing loss (0 = off).
+	AuxLossCoeff float64
+	// Seed fixes all randomness.
+	Seed uint64
+	// FreezeExperts disables expert updates (Table 4's FT-w.o.E).
+	FreezeExperts bool
+
+	// --- checkpointing ---
+
+	// Interval is the checkpoint interval in iterations (0 disables
+	// checkpointing).
+	Interval int
+	// KSnapshot and KPersist are the two-level PEC fan-outs: experts per
+	// MoE layer captured at the snapshot and persist levels (0 = all).
+	// KPersist must not exceed KSnapshot (persist reads from snapshots).
+	KSnapshot, KPersist int
+	// Variant selects which state classes PEC filters (default "WO"
+	// when a K is set, "full" otherwise).
+	Variant Variant
+	// Selection picks the expert-selection policy (default sequential).
+	Selection Selection
+	// Buffers is the host-buffer count (default 3, the triple buffer).
+	Buffers int
+	// Nodes is the simulated node count for two-level recovery (default
+	// 2); experts are distributed round-robin across nodes.
+	Nodes int
+	// TwoLevelRecovery restores surviving experts from in-memory
+	// snapshots on faults (§5.1) instead of storage only.
+	TwoLevelRecovery bool
+	// DynamicK doubles the PEC fan-out as faults accumulate to keep the
+	// PLT under the 3.75% threshold (§5.3).
+	DynamicK bool
+	// Resume restores the model from the store's latest complete
+	// checkpoint at construction — the process-restart workflow: a fresh
+	// process reopens the same PersistStore and continues where the
+	// previous incarnation's checkpoints left off. Construction fails if
+	// the store holds no complete checkpoint.
+	Resume bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Buffers == 0 {
+		c.Buffers = 3
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.Variant == "" {
+		if c.KSnapshot > 0 || c.KPersist > 0 {
+			c.Variant = VariantWO
+		} else {
+			c.Variant = VariantFull
+		}
+	}
+	if c.Selection == "" {
+		c.Selection = SelectSequential
+	}
+	if c.KSnapshot == 0 {
+		c.KSnapshot = c.Experts
+	}
+	if c.KPersist == 0 {
+		c.KPersist = c.KSnapshot
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Layers <= 0 || c.Hidden <= 0 || c.Experts <= 0 || c.TopK <= 0 {
+		return fmt.Errorf("moc: model shape must be positive")
+	}
+	if c.TopK > c.Experts {
+		return fmt.Errorf("moc: TopK %d exceeds Experts %d", c.TopK, c.Experts)
+	}
+	if c.KPersist > c.KSnapshot && c.KSnapshot != 0 {
+		return fmt.Errorf("moc: KPersist %d exceeds KSnapshot %d", c.KPersist, c.KSnapshot)
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("moc: negative checkpoint interval")
+	}
+	return nil
+}
+
+// Stats summarizes a System's fault-tolerance activity.
+type Stats struct {
+	Iteration           int
+	Checkpoints         int // persisted checkpoint rounds
+	Skipped             int // triggers dropped for lack of a free buffer
+	Faults              int
+	PLT                 float64 // Proportion of Lost Tokens (Eq. 7)
+	KCurrent            int     // current PEC fan-out (changes under Dynamic-K)
+	SnapshotWaitSeconds float64
+}
+
+// System trains a sparse-MoE model with MoC checkpointing and fault
+// injection.
+type System struct {
+	cfg     Config
+	model   *train.Model
+	agent   *core.Agent
+	corpus  *data.Corpus
+	plt     *core.PLTTracker
+	seq     *core.SequentialSelector
+	aware   *core.LoadAwareSelector
+	dynamic *core.DynamicK
+	variant train.Variant
+
+	round         int
+	nextFaultNode int
+	faults        int
+	kSnapshot     int
+	kPersist      int
+	closed        bool
+}
+
+// NewSystem builds a System over the given persistent store. The training
+// corpus is the deterministic pre-training stream; use NewSystemOn to
+// train on a different corpus.
+func NewSystem(cfg Config, store PersistStore) (*System, error) {
+	return NewSystemOn(cfg, store, nil)
+}
+
+// Corpus is a deterministic token stream for training and evaluation.
+type Corpus struct{ c *data.Corpus }
+
+// NewCorpus builds a corpus over the given vocabulary; the domain seed
+// selects its topic structure.
+func NewCorpus(name string, vocab int, domain uint64) *Corpus {
+	return &Corpus{c: data.NewCorpus(name, vocab, domain)}
+}
+
+// Name returns the corpus label.
+func (c *Corpus) Name() string { return c.c.Name() }
+
+// NewSystemOn builds a System training on the provided corpus (nil = the
+// default pre-training corpus).
+func NewSystemOn(cfg Config, store PersistStore, corpus *Corpus) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	mc := model.TinyMoE(cfg.Layers, cfg.Hidden, cfg.Experts, cfg.TopK)
+	if cfg.Vocab > 0 {
+		mc.VocabSize = cfg.Vocab
+	}
+	tcfg := train.Config{
+		Model:          mc,
+		Window:         cfg.Window,
+		BatchSize:      cfg.BatchSize,
+		LR:             cfg.LR,
+		CapacityFactor: cfg.CapacityFactor,
+		NoiseStd:       cfg.GateNoise,
+		Seed:           cfg.Seed,
+		FreezeExperts:  cfg.FreezeExperts,
+		AuxLossCoeff:   cfg.AuxLossCoeff,
+	}
+	if tcfg.Window == 0 {
+		tcfg.Window = 8
+	}
+	if tcfg.BatchSize == 0 {
+		tcfg.BatchSize = 32
+	}
+	if tcfg.LR == 0 {
+		tcfg.LR = 0.01
+	}
+	m, err := train.New(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	variant, err := cfg.Variant.toTrain()
+	if err != nil {
+		return nil, err
+	}
+	agent, err := core.NewAgent(storage.NewSnapshotStore(), store, cfg.Buffers)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:       cfg,
+		model:     m,
+		agent:     agent,
+		plt:       core.NewPLTTracker(m.NumMoELayers(), cfg.Experts),
+		seq:       core.NewSequentialSelector(m.NumMoELayers(), cfg.Experts),
+		aware:     core.NewLoadAwareSelector(m.NumMoELayers(), cfg.Experts),
+		variant:   variant,
+		kSnapshot: cfg.KSnapshot,
+		kPersist:  cfg.KPersist,
+	}
+	if corpus != nil {
+		s.corpus = corpus.c
+	} else {
+		s.corpus = data.NewCorpus("pretrain", mc.VocabSize, data.PretrainDomain)
+	}
+	if cfg.DynamicK {
+		s.dynamic = core.NewDynamicK(cfg.Experts, maxInt(1, cfg.KPersist))
+	}
+	if cfg.Resume {
+		latest := agent.LatestCompleteRound()
+		if latest < 0 {
+			agent.Close()
+			return nil, fmt.Errorf("moc: Resume requested but the store holds no complete checkpoint")
+		}
+		rec, err := agent.Recover(nil)
+		if err != nil {
+			agent.Close()
+			return nil, fmt.Errorf("moc: resume: %w", err)
+		}
+		if _, err := m.Restore(rec); err != nil {
+			agent.Close()
+			return nil, fmt.Errorf("moc: resume restore: %w", err)
+		}
+		s.round = latest + 1
+	}
+	return s, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Model exposes shape information about the trained model.
+func (s *System) NumMoELayers() int { return s.model.NumMoELayers() }
+
+// Iteration returns the completed training iterations.
+func (s *System) Iteration() int { return s.model.Iteration() }
+
+// Step runs one training iteration (and a checkpoint when the interval
+// elapses), returning the batch loss.
+func (s *System) Step() (float64, error) {
+	if s.closed {
+		return 0, fmt.Errorf("moc: system closed")
+	}
+	it := s.model.Iteration()
+	tc := s.model.Config()
+	batch := s.corpus.Batch(s.cfg.Seed, it, tc.BatchSize, tc.Window)
+	st, err := s.model.TrainBatch(batch)
+	if err != nil {
+		return 0, err
+	}
+	for l, r := range st.Routings {
+		s.plt.RecordBatch(l, r.PerExpertFloat(), float64(r.RoutedSlots))
+		s.aware.Observe(l, r.PerExpertFloat())
+	}
+	done := s.model.Iteration()
+	if s.cfg.Interval > 0 && done%s.cfg.Interval == 0 {
+		if err := s.checkpoint(); err != nil {
+			return st.Loss, err
+		}
+	}
+	return st.Loss, nil
+}
+
+// selector returns the configured expert selector.
+func (s *System) selector() core.Selector {
+	if s.cfg.Selection == SelectLoadAware {
+		return s.aware
+	}
+	return s.seq
+}
+
+// checkpoint triggers one two-level checkpoint round. The first round is
+// always a full checkpoint (the bootstrap save every real deployment
+// performs), so every expert exists in some complete checkpoint and a
+// restart can always rebuild the whole model; subsequent rounds apply the
+// PEC selections.
+func (s *System) checkpoint() error {
+	// The snapshot copy must be consistent: capture synchronously (the
+	// GPU→CPU copy), then serialize and persist asynchronously.
+	var snapSel, persistSel *core.Selection
+	if s.round > 0 && s.kSnapshot < s.cfg.Experts {
+		if s.cfg.Selection == SelectLoadAware {
+			snapSel = s.aware.Select(s.round, s.kSnapshot)
+		} else {
+			// Advance the window by the persist fan-out so the persist
+			// level (the window's first K_persist experts) rotates
+			// fairly through every expert.
+			snapSel = s.seq.SelectWithStride(s.round, s.kSnapshot, minInt(s.kPersist, s.kSnapshot))
+		}
+	}
+	persistSel = snapSel
+	if s.round > 0 && s.kPersist < s.kSnapshot {
+		if snapSel != nil {
+			persistSel = snapSel.Subset(s.kPersist)
+		} else {
+			persistSel = s.selector().Select(s.round, s.kPersist)
+		}
+	}
+	payload := s.model.Capture(snapSel, s.variant)
+	filter := s.model.PersistFilter(persistSel, s.variant)
+	capture := func() (core.CheckpointData, error) { return payload, nil }
+	if !s.agent.TrySnapshot(s.round, capture, filter) {
+		// Buffers busy (an earlier persist still in flight). The timing
+		// simulator models this as a skipped trigger; the accuracy
+		// harness instead drains the pipeline and retries so the
+		// checkpoint cadence stays deterministic.
+		if err := s.agent.Flush(); err != nil {
+			return fmt.Errorf("moc: drain buffers: %w", err)
+		}
+		if !s.agent.TrySnapshot(s.round, capture, filter) {
+			return fmt.Errorf("moc: checkpoint trigger refused after drain")
+		}
+	}
+	if err := s.agent.WaitSnapshot(); err != nil {
+		return fmt.Errorf("moc: snapshot: %w", err)
+	}
+	// Under the "W"/"O" variants PEC applies only to one state class;
+	// the other class is saved in full, which the PLT tracker models as
+	// a full save only when both classes are full. Token-update loss
+	// follows the filtered class, so track with the PEC selections.
+	s.plt.RecordSnapshot(snapSel)
+	s.plt.RecordPersist(persistSel)
+	s.aware.Committed(snapSel)
+	s.round++
+	return nil
+}
+
+// CheckpointNow forces a checkpoint round regardless of the interval.
+func (s *System) CheckpointNow() error { return s.checkpoint() }
+
+// RunTo trains until the given iteration, returning the last loss.
+func (s *System) RunTo(iteration int) (float64, error) {
+	var loss float64
+	for s.model.Iteration() < iteration {
+		l, err := s.Step()
+		if err != nil {
+			return loss, err
+		}
+		loss = l
+	}
+	return loss, nil
+}
+
+// expertNode maps an expert module to its simulated node.
+func (s *System) expertNode(moeLayer, expert int) int {
+	_ = moeLayer
+	return expert % s.cfg.Nodes
+}
+
+// InjectFault simulates a node failure followed by recovery: in-flight
+// checkpoints complete, the failed node's in-memory snapshots are lost,
+// the model is restored (two-level when configured), training rewinds to
+// the recovered iteration, and the PLT ledger records the loss. Failed
+// nodes rotate round-robin across calls.
+func (s *System) InjectFault() error {
+	if s.closed {
+		return fmt.Errorf("moc: system closed")
+	}
+	if err := s.agent.Flush(); err != nil {
+		return fmt.Errorf("moc: flush before fault: %w", err)
+	}
+	if s.agent.LatestCompleteRound() < 0 {
+		return fmt.Errorf("moc: no complete checkpoint to recover from")
+	}
+	failed := s.nextFaultNode % s.cfg.Nodes
+	s.nextFaultNode++
+	s.faults++
+
+	var surviving func(module string) bool
+	if s.cfg.TwoLevelRecovery {
+		surviving = func(module string) bool {
+			name := module
+			if idx := len(name) - len("/w"); idx > 0 && name[idx:] == "/w" {
+				name = name[:idx]
+			} else if idx := len(name) - len("/opt"); idx > 0 && name[idx:] == "/opt" {
+				name = name[:idx]
+			}
+			if l, e, ok := s.model.IsExpertModule(name); ok {
+				return s.expertNode(l, e) != failed
+			}
+			return true // non-expert state is replicated; some node survives
+		}
+	}
+	rec, err := s.agent.Recover(surviving)
+	if err != nil {
+		return fmt.Errorf("moc: recover: %w", err)
+	}
+	if _, err := s.model.Restore(rec); err != nil {
+		return fmt.Errorf("moc: restore: %w", err)
+	}
+	var delta float64
+	if s.cfg.TwoLevelRecovery {
+		delta = s.plt.RecordFaultTwoLevel(func(l, e int) bool {
+			return s.expertNode(l, e) != failed
+		})
+	} else {
+		delta = s.plt.RecordFault()
+	}
+	if s.dynamic != nil {
+		k := s.dynamic.OnFault(delta)
+		s.kPersist = k
+		if s.kSnapshot < k {
+			s.kSnapshot = k
+		}
+	}
+	return nil
+}
+
+// ForkOn clones the trained model into a new System that continues
+// training on a different corpus with different checkpointing settings —
+// the fine-tuning workflow of Table 4. The clone gets a fresh in-memory
+// persistent store; model weights, optimizer state, and the iteration
+// counter carry over. Checkpointing fields of overrides (Interval,
+// KSnapshot/KPersist, Variant, Selection, TwoLevelRecovery, DynamicK,
+// FreezeExperts) replace the parent's; model-shape fields are inherited.
+func (s *System) ForkOn(corpus *Corpus, overrides Config) (*System, error) {
+	cfg := s.cfg
+	cfg.Interval = overrides.Interval
+	cfg.KSnapshot = overrides.KSnapshot
+	cfg.KPersist = overrides.KPersist
+	cfg.Variant = overrides.Variant
+	cfg.Selection = overrides.Selection
+	cfg.TwoLevelRecovery = overrides.TwoLevelRecovery
+	cfg.DynamicK = overrides.DynamicK
+	cfg.FreezeExperts = overrides.FreezeExperts
+	ns, err := NewSystemOn(cfg, NewMemStore(), corpus)
+	if err != nil {
+		return nil, err
+	}
+	payload := s.model.Capture(nil, train.VariantFull())
+	rec := make(map[string]core.RecoveredModule, len(payload))
+	for k, b := range payload {
+		rec[k] = core.RecoveredModule{Blob: b}
+	}
+	if _, err := ns.model.Restore(rec); err != nil {
+		ns.Close()
+		return nil, fmt.Errorf("moc: fork: %w", err)
+	}
+	return ns, nil
+}
+
+// Evaluate returns loss and next-token accuracy on a held-out sample of
+// the training corpus.
+func (s *System) Evaluate(samples int) (loss, accuracy float64, err error) {
+	tc := s.model.Config()
+	held := s.corpus.Heldout(s.cfg.Seed, samples, tc.Window)
+	return s.model.Evaluate(held)
+}
+
+// EvaluateOn returns loss and accuracy on a held-out sample of another
+// corpus.
+func (s *System) EvaluateOn(c *Corpus, samples int) (loss, accuracy float64, err error) {
+	tc := s.model.Config()
+	held := c.c.Heldout(s.cfg.Seed, samples, tc.Window)
+	return s.model.Evaluate(held)
+}
+
+// TaskScore is one downstream task's result.
+type TaskScore struct {
+	Task     string
+	Accuracy float64
+}
+
+// Downstream scores the model on the eight-task downstream proxy suite
+// (Table 3) and returns per-task accuracies plus the average.
+func (s *System) Downstream(samples int) ([]TaskScore, float64, error) {
+	tc := s.model.Config()
+	suite := eval.NewSuite(tc.Model.VocabSize, tc.Window, samples)
+	results, avg, err := suite.Evaluate(s.model)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]TaskScore, len(results))
+	for i, r := range results {
+		out[i] = TaskScore{Task: r.Name, Accuracy: r.Accuracy}
+	}
+	return out, avg, nil
+}
+
+// PLT returns the current Proportion of Lost Tokens.
+func (s *System) PLT() float64 { return s.plt.PLT() }
+
+// Stats returns the fault-tolerance counters.
+func (s *System) Stats() Stats {
+	as := s.agent.Stats()
+	return Stats{
+		Iteration:           s.model.Iteration(),
+		Checkpoints:         as.Persisted,
+		Skipped:             as.Skipped,
+		Faults:              s.faults,
+		PLT:                 s.plt.PLT(),
+		KCurrent:            s.kPersist,
+		SnapshotWaitSeconds: as.SnapshotWait.Seconds(),
+	}
+}
+
+// CompactStorage deletes persisted blobs superseded by newer checkpoint
+// rounds (PEC keeps old rounds alive only while they hold some expert's
+// newest copy). It returns the number of blobs deleted. Recovery outcomes
+// are unaffected.
+func (s *System) CompactStorage() (int, error) {
+	if err := s.agent.Flush(); err != nil {
+		return 0, err
+	}
+	return s.agent.Compact()
+}
+
+// VerifyStorage reads back and checksum-verifies every blob a recovery
+// could use, returning the number verified.
+func (s *System) VerifyStorage() (int, error) {
+	if err := s.agent.Flush(); err != nil {
+		return 0, err
+	}
+	return s.agent.Verify()
+}
+
+// Close flushes outstanding checkpoints and releases the agent.
+func (s *System) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.agent.Close()
+}
