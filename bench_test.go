@@ -23,6 +23,7 @@ package moc_test
 // selection policy, sharding strategy, and buffer count.
 
 import (
+	"fmt"
 	"testing"
 
 	moc "moc"
@@ -31,6 +32,8 @@ import (
 	"moc/internal/experiments"
 	"moc/internal/model"
 	"moc/internal/simtime"
+	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 func BenchmarkFig05PLTGrid(b *testing.B) {
@@ -274,6 +277,88 @@ func BenchmarkCheckpointRound(b *testing.B) {
 		if err := s.CheckpointNow(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkDedupRatio(b *testing.B) {
+	// Content-addressed dedup on the PEC round shape: checkpoint rounds
+	// of an unchanged model persist zero new chunk bytes. Reports the
+	// achieved dedup ratio and the physical bytes per (deduplicated)
+	// round.
+	cfg := moc.Config{
+		Layers: 4, Hidden: 32, Experts: 8, TopK: 2,
+		Vocab: 64, Window: 8, BatchSize: 32,
+		LR: 0.01, Seed: 1,
+		KSnapshot: 4, KPersist: 1, Variant: moc.VariantWO,
+	}
+	s, err := moc.NewSystem(cfg, moc.NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.RunTo(5); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.FlushCheckpoints(); err != nil {
+		b.Fatal(err)
+	}
+	base := s.Stats() // exclude warmup rounds (incl. the round-0 full save)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.CheckpointNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.FlushCheckpoints(); err != nil {
+		b.Fatal(err)
+	}
+	st := s.Stats()
+	logical := st.LogicalBytesPersisted - base.LogicalBytesPersisted
+	physical := st.PhysicalBytesPersisted - base.PhysicalBytesPersisted
+	if logical > 0 {
+		b.ReportMetric(float64(logical-physical)/float64(logical), "dedup_ratio")
+	}
+	b.ReportMetric(float64(physical)/float64(b.N), "physical_B/round")
+}
+
+func BenchmarkStripedPersist(b *testing.B) {
+	// Parallel striped chunk writes against a bandwidth-limited backend:
+	// throughput should scale with the worker fan-out until the persist
+	// channel saturates.
+	const (
+		moduleCount = 16
+		moduleBytes = 1 << 16
+		chunkSize   = 1 << 12
+	)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			backend := storage.NewMemStore()
+			backend.BandwidthBps = 256 << 20 // 256 MB/s per writer stream
+			store, err := cas.Open(backend, cas.Options{ChunkSize: chunkSize, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := func(round int) map[string][]byte {
+				mods := make(map[string][]byte, moduleCount)
+				for m := 0; m < moduleCount; m++ {
+					blob := make([]byte, moduleBytes)
+					for i := range blob {
+						// Unique bytes per (round, module): no dedup, every
+						// chunk is a real write.
+						blob[i] = byte(i ^ m ^ (round << 3))
+					}
+					mods[fmt.Sprintf("m%02d", m)] = blob
+				}
+				return mods
+			}
+			b.SetBytes(moduleCount * moduleBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.WriteRound(i, payload(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

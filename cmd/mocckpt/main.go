@@ -1,21 +1,23 @@
-// Command mocckpt inspects, verifies, and compacts MoC checkpoint
-// directories (the FSStore layout written by moc.NewFSStore + System):
+// Command mocckpt inspects, verifies, and garbage-collects MoC
+// checkpoint directories (the content-addressed store layout written by
+// moc.NewFSStore + System):
 //
-//	mocckpt -dir /path/to/ckpts list     # rounds and per-round volumes
-//	mocckpt -dir /path/to/ckpts verify   # checksum every recoverable blob
-//	mocckpt -dir /path/to/ckpts compact  # drop superseded PEC blobs
+//	mocckpt -dir /path/to/ckpts list     # rounds, modules, volumes
+//	mocckpt -dir /path/to/ckpts inspect  # chunk-level detail + dedup stats
+//	mocckpt -dir /path/to/ckpts verify   # read back + refcount audit
+//	mocckpt -dir /path/to/ckpts gc       # refcount GC of superseded state
+//
+// "compact" is accepted as an alias of "gc".
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"moc/internal/core"
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 func main() {
@@ -23,7 +25,7 @@ func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt -dir <path> {list|verify|compact}")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt -dir <path> {list|inspect|verify|gc}")
 		os.Exit(2)
 	}
 	store, err := storage.NewFSStore(*dir)
@@ -32,26 +34,37 @@ func main() {
 	}
 	switch cmd {
 	case "list":
-		if err := list(store); err != nil {
+		if err := list(store, false); err != nil {
+			fatal(err)
+		}
+	case "inspect":
+		if err := list(store, true); err != nil {
 			fatal(err)
 		}
 	case "verify":
 		agent := openAgent(store)
 		defer agent.Close()
-		n, err := agent.Verify()
+		n, rep, err := agent.VerifyAudit()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("OK: %d recoverable blobs verified (latest complete round %d)\n",
 			n, agent.LatestCompleteRound())
-	case "compact":
+		fmt.Printf("refcount audit: %d rounds, %d manifests, %d module entries\n",
+			rep.Rounds, rep.Manifests, rep.Modules)
+		fmt.Printf("  %d chunks stored, %d referenced (%d references total)\n",
+			rep.ChunksStored, rep.ChunksReferenced, rep.RefTotal)
+		if len(rep.Orphans) > 0 {
+			fmt.Printf("  %d orphan chunks (unreferenced; reclaim with 'gc')\n", len(rep.Orphans))
+		}
+	case "gc", "compact":
 		agent := openAgent(store)
 		defer agent.Close()
 		before, err := agent.PersistedBytes()
 		if err != nil {
 			fatal(err)
 		}
-		deleted, err := agent.Compact()
+		st, err := agent.CompactStats()
 		if err != nil {
 			fatal(err)
 		}
@@ -59,7 +72,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("compacted: %d blobs deleted, %d -> %d bytes\n", deleted, before, after)
+		fmt.Printf("gc: %d manifest entries dropped, %d manifests deleted, %d chunks swept\n",
+			st.EntriesDropped, st.ManifestsDeleted, st.ChunksDeleted)
+		fmt.Printf("    %d -> %d physical bytes\n", before, after)
 	default:
 		fmt.Fprintf(os.Stderr, "mocckpt: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -74,60 +89,58 @@ func openAgent(store storage.PersistStore) *core.Agent {
 	return agent
 }
 
-func list(store storage.PersistStore) error {
-	keys, err := store.Keys("ckpt/")
+// list prints the per-round manifest summary; detailed mode adds
+// per-module chunk breakdowns and store-wide dedup accounting.
+func list(store storage.PersistStore, detailed bool) error {
+	cs, err := cas.Open(store, cas.Options{})
 	if err != nil {
 		return err
 	}
-	type roundInfo struct {
-		blobs    int
-		bytes    int64
-		complete bool
-	}
-	rounds := map[int]*roundInfo{}
-	for _, k := range keys {
-		parts := strings.SplitN(k, "/", 3)
-		if len(parts) < 3 {
-			continue
-		}
-		r, err := strconv.Atoi(parts[1])
-		if err != nil {
-			continue
-		}
-		info := rounds[r]
-		if info == nil {
-			info = &roundInfo{}
-			rounds[r] = info
-		}
-		if parts[2] == "_complete" {
-			info.complete = true
-			continue
-		}
-		blob, err := store.Get(k)
-		if err != nil {
-			return err
-		}
-		info.blobs++
-		info.bytes += int64(len(blob))
-	}
-	var order []int
-	for r := range rounds {
-		order = append(order, r)
-	}
-	sort.Ints(order)
-	if len(order) == 0 {
+	rounds := cs.Rounds()
+	if len(rounds) == 0 {
 		fmt.Println("no checkpoints")
 		return nil
 	}
-	fmt.Printf("%-8s %-8s %-12s %s\n", "round", "blobs", "bytes", "status")
-	for _, r := range order {
-		info := rounds[r]
-		status := "INCOMPLETE"
-		if info.complete {
-			status = "complete"
+	// Chunks shared across rounds are the dedup evidence: count
+	// references vs unique chunks.
+	refs := map[cas.Hash]int64{}
+	chunkSize := map[cas.Hash]int64{}
+	fmt.Printf("%-8s %-10s %-8s %-8s %-12s %s\n", "round", "writers", "modules", "chunks", "bytes", "status")
+	for _, r := range rounds {
+		ms := cs.ManifestsForRound(r)
+		var modules, chunks int
+		var logical int64
+		for _, m := range ms {
+			modules += len(m.Modules)
+			logical += m.LogicalBytes()
+			for _, e := range m.Modules {
+				chunks += len(e.Chunks)
+				for _, c := range e.Chunks {
+					refs[c.Hash]++
+					chunkSize[c.Hash] = int64(c.Size)
+				}
+			}
 		}
-		fmt.Printf("%-8d %-8d %-12d %s\n", r, info.blobs, info.bytes, status)
+		fmt.Printf("%-8d %-10d %-8d %-8d %-12d complete\n", r, len(ms), modules, chunks, logical)
+		if detailed {
+			for _, m := range ms {
+				for _, e := range m.Modules {
+					fmt.Printf("    %-40s %8d bytes  %4d chunks  (writer %s)\n",
+						e.Module, e.Size, len(e.Chunks), m.Writer)
+				}
+			}
+		}
 	}
+	var logicalTotal, physicalTotal int64
+	for h, n := range refs {
+		logicalTotal += int64(n) * chunkSize[h]
+		physicalTotal += chunkSize[h]
+	}
+	fmt.Printf("\n%d unique chunks; %d logical -> %d physical chunk bytes", len(refs), logicalTotal, physicalTotal)
+	if logicalTotal > 0 {
+		fmt.Printf(" (dedup %.1f%%)", 100*float64(logicalTotal-physicalTotal)/float64(logicalTotal))
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module moc
+
+go 1.22

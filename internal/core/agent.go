@@ -3,12 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 // CheckpointData maps module keys (model module names) to serialized
@@ -38,8 +37,12 @@ type AgentStats struct {
 // and while it serves as the recovery buffer; it is freed when a newer
 // persist completes and takes over the recovery role.
 type Agent struct {
-	snap    *storage.SnapshotStore
-	persist storage.PersistStore
+	snap *storage.SnapshotStore
+	// store is the content-addressed checkpoint store over the persist
+	// backend: module blobs are chunked, deduplicated across rounds, and
+	// committed through per-round manifests (the _complete marker of the
+	// naive layout is subsumed by manifest presence).
+	store *cas.Store
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -72,23 +75,37 @@ type persistJob struct {
 
 // NewAgent builds an agent over the given snapshot (CPU memory) and
 // persistent stores with the given buffer count (the paper uses 3; minimum
-// 2). It recovers the persisted-round index from the store, so reopening
-// over an existing PersistStore resumes where a previous agent stopped.
+// 2). The persist backend is wrapped in a content-addressed store
+// (NewAgentWithOptions tunes it). It recovers the persisted-round index
+// from the store's manifests, so reopening over an existing PersistStore
+// resumes where a previous agent stopped.
 func NewAgent(snap *storage.SnapshotStore, persist storage.PersistStore, buffers int) (*Agent, error) {
+	return NewAgentWithOptions(snap, persist, buffers, cas.Options{})
+}
+
+// NewAgentWithOptions is NewAgent with explicit checkpoint-store tuning
+// (chunk size, striped-writer fan-out, writer id).
+func NewAgentWithOptions(snap *storage.SnapshotStore, persist storage.PersistStore, buffers int, opts cas.Options) (*Agent, error) {
 	if buffers < 2 {
 		return nil, fmt.Errorf("core: agent needs at least 2 buffers, got %d", buffers)
 	}
+	store, err := cas.Open(persist, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: open checkpoint store: %w", err)
+	}
 	a := &Agent{
 		snap:         snap,
-		persist:      persist,
+		store:        store,
 		nbuf:         buffers,
 		snapRound:    make(map[string]int),
 		persistIndex: make(map[string][]int),
 		jobs:         make(chan persistJob, buffers),
 	}
 	a.cond = sync.NewCond(&a.mu)
-	if err := a.loadIndex(); err != nil {
-		return nil, err
+	a.loadIndex()
+	if len(a.completeRounds) > 0 {
+		a.recovery = true
+		a.inUse = 1
 	}
 	a.wg.Add(1)
 	go a.persistLoop()
@@ -96,51 +113,43 @@ func NewAgent(snap *storage.SnapshotStore, persist storage.PersistStore, buffers
 }
 
 // loadIndex rebuilds the complete-round and per-module indices from the
-// persistent store.
-func (a *Agent) loadIndex() error {
-	keys, err := a.persist.Keys("ckpt/")
-	if err != nil {
-		return fmt.Errorf("core: scan persist store: %w", err)
-	}
-	complete := map[int]bool{}
-	byRound := map[int][]string{}
-	for _, k := range keys {
-		parts := strings.SplitN(k, "/", 3)
-		if len(parts) < 3 {
-			continue
+// checkpoint store's manifests. Caller must hold a.mu (or have exclusive
+// access during construction).
+func (a *Agent) loadIndex() {
+	a.completeRounds = a.completeRounds[:0]
+	a.persistIndex = make(map[string][]int)
+	seen := map[int]bool{}
+	for _, m := range a.store.Manifests() {
+		if !seen[m.Round] {
+			seen[m.Round] = true
+			a.completeRounds = append(a.completeRounds, m.Round)
 		}
-		round, err := strconv.Atoi(parts[1])
-		if err != nil {
-			continue
-		}
-		if parts[2] == completeMarker {
-			complete[round] = true
-			continue
-		}
-		byRound[round] = append(byRound[round], parts[2])
-	}
-	for round := range complete {
-		a.completeRounds = append(a.completeRounds, round)
-		for _, mod := range byRound[round] {
-			a.persistIndex[mod] = append(a.persistIndex[mod], round)
+		for _, e := range m.Modules {
+			a.persistIndex[e.Module] = append(a.persistIndex[e.Module], m.Round)
 		}
 	}
 	sort.Ints(a.completeRounds)
 	for mod := range a.persistIndex {
-		sort.Ints(a.persistIndex[mod])
+		rounds := a.persistIndex[mod]
+		sort.Ints(rounds)
+		// A round may carry the module in several writers' manifests;
+		// index it once.
+		dedup := rounds[:0]
+		for i, r := range rounds {
+			if i == 0 || rounds[i-1] != r {
+				dedup = append(dedup, r)
+			}
+		}
+		a.persistIndex[mod] = dedup
 	}
-	if len(a.completeRounds) > 0 {
-		a.recovery = true
-		a.inUse = 1
-	}
-	return nil
 }
 
-const completeMarker = "_complete"
+// Store exposes the underlying content-addressed checkpoint store
+// (read-side: manifests, audit, stats).
+func (a *Agent) Store() *cas.Store { return a.store }
 
-func persistKeyFor(round int, module string) string {
-	return fmt.Sprintf("ckpt/%06d/%s", round, module)
-}
+// StorageStats returns the checkpoint store's dedup and write counters.
+func (a *Agent) StorageStats() cas.Stats { return a.store.Stats() }
 
 // TrySnapshot starts an asynchronous checkpoint of the given round. The
 // capture callback runs on the snapshot goroutine and must return a
@@ -210,7 +219,11 @@ func (a *Agent) runSnapshot(round int, capture func() (CheckpointData, error), k
 	a.jobs <- persistJob{round: round, data: toPersist}
 }
 
-// persistLoop is the background CPU→storage worker.
+// persistLoop is the background CPU→storage worker: each job's payload
+// goes through the content-addressed store, which dedups unchanged
+// modules against every earlier round and fans new chunks across its
+// striped writer pool. The manifest write inside WriteRound is the
+// round's commit point.
 func (a *Agent) persistLoop() {
 	defer a.wg.Done()
 	for job := range a.jobs {
@@ -219,15 +232,8 @@ func (a *Agent) persistLoop() {
 		for k := range job.data {
 			mods = append(mods, k)
 		}
-		sort.Strings(mods)
-		for _, k := range mods {
-			if err := a.persist.Put(persistKeyFor(job.round, k), job.data[k]); err != nil {
-				failed = err
-				break
-			}
-		}
-		if failed == nil {
-			failed = a.persist.Put(persistKeyFor(job.round, completeMarker), []byte{1})
+		if _, err := a.store.WriteRound(job.round, job.data); err != nil {
+			failed = err
 		}
 		a.mu.Lock()
 		if failed != nil {
@@ -369,7 +375,7 @@ func (a *Agent) Recover(snapshotSurvives func(module string) bool) (map[string]R
 		if persistedRound < 0 {
 			continue // never made it to a complete checkpoint
 		}
-		blob, err := a.persist.Get(persistKeyFor(persistedRound, k))
+		blob, err := a.store.ReadModule(persistedRound, k)
 		if err != nil {
 			return nil, fmt.Errorf("core: recover %s@%d: %w", k, persistedRound, err)
 		}

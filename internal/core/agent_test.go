@@ -44,10 +44,15 @@ func TestAgentSnapshotAndPersist(t *testing.T) {
 	if b, err := snap.Get("m1"); err != nil || string(b) != "v0-m1" {
 		t.Fatalf("snapshot m1: %q %v", b, err)
 	}
-	// Persist level holds both modules plus the completion marker.
-	keys, _ := persist.Keys("ckpt/000000/")
-	if len(keys) != 3 {
-		t.Fatalf("persisted keys: %v", keys)
+	// Persist level committed one manifest listing both modules (manifest
+	// presence is the round's completion marker).
+	keys, _ := persist.Keys("cas/manifests/000000.")
+	if len(keys) != 1 {
+		t.Fatalf("manifest keys: %v", keys)
+	}
+	ms := a.Store().ManifestsForRound(0)
+	if len(ms) != 1 || len(ms[0].Modules) != 2 {
+		t.Fatalf("round 0 manifests: %+v", ms)
 	}
 	if a.LatestCompleteRound() != 0 {
 		t.Fatalf("latest complete round = %d", a.LatestCompleteRound())
@@ -59,7 +64,7 @@ func TestAgentSnapshotAndPersist(t *testing.T) {
 }
 
 func TestAgentPersistFilterImplementsPersistPEC(t *testing.T) {
-	a, snap, persist := newTestAgent(t, 3)
+	a, snap, _ := newTestAgent(t, 3)
 	a.TrySnapshot(0, func() (CheckpointData, error) {
 		return blobData("expert0", "e0", "expert1", "e1", "nonexpert", "ne"), nil
 	}, func(module string) bool { return module != "expert1" })
@@ -70,10 +75,10 @@ func TestAgentPersistFilterImplementsPersistPEC(t *testing.T) {
 	if _, err := snap.Get("expert1"); err != nil {
 		t.Fatal("snapshot level should hold expert1")
 	}
-	if _, err := persist.Get(persistKeyFor(0, "expert1")); err == nil {
+	if _, err := a.Store().ReadModule(0, "expert1"); err == nil {
 		t.Fatal("persist level should not hold expert1")
 	}
-	if _, err := persist.Get(persistKeyFor(0, "expert0")); err != nil {
+	if _, err := a.Store().ReadModule(0, "expert0"); err != nil {
 		t.Fatal("persist level should hold expert0")
 	}
 }

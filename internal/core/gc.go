@@ -2,21 +2,35 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 // Checkpoint maintenance: because PEC persists different experts in
 // different rounds, old rounds stay load-bearing for as long as they hold
-// some module's newest copy. Compact deletes exactly the blobs that are
-// no longer the newest persisted version of their module, and Verify
-// checks the integrity of everything recovery could read.
+// some module's newest copy. Compact keeps exactly those copies and lets
+// the content-addressed store's refcount garbage collector reclaim
+// everything else: superseded manifest entries are dropped, emptied
+// manifests deleted, and chunks whose reference count reached zero are
+// swept. Chunks shared with a live round survive by construction — their
+// refcount never reaches zero — so compaction can never break recovery.
+// Verify reads back everything recovery could return (each chunk checked
+// against its content address, each blob against the codec CRC) and
+// audits the refcounts.
 
-// Compact removes persisted blobs superseded by newer rounds, plus
-// completion markers of rounds left empty. It never touches the blobs a
-// Recover call could return. It reports the number of blobs deleted.
+// Compact runs the refcount GC over the checkpoint store, retaining only
+// each module's newest persisted copy (the version Recover would read).
+// It reports the number of objects removed — superseded manifest entries,
+// emptied manifests, and swept chunks. Writers must be idle; callers go
+// through Flush first.
 func (a *Agent) Compact() (deleted int, err error) {
+	st, err := a.CompactStats()
+	return st.Removed(), err
+}
+
+// CompactStats is Compact with the full GC breakdown.
+func (a *Agent) CompactStats() (cas.GCStats, error) {
 	a.mu.Lock()
 	latest := -1
 	if len(a.completeRounds) > 0 {
@@ -32,99 +46,75 @@ func (a *Agent) Compact() (deleted int, err error) {
 			}
 		}
 	}
-	type target struct {
-		key    string
-		module string
-		round  int
-	}
-	var victims []target
-	roundAlive := map[int]bool{}
-	for k, rounds := range a.persistIndex {
-		for _, r := range rounds {
-			if nr, ok := newest[k]; ok && r < nr {
-				victims = append(victims, target{persistKeyFor(r, k), k, r})
-			} else {
-				roundAlive[r] = true
-			}
-		}
-	}
 	a.mu.Unlock()
 
-	for _, v := range victims {
-		if derr := a.persist.Delete(v.key); derr != nil {
-			return deleted, fmt.Errorf("core: compact %s: %w", v.key, derr)
-		}
-		deleted++
+	// Modules this agent never indexed (another writer's, on a shared
+	// backend) are kept conservatively — only their owner may judge them.
+	live := func(round int, module string) bool {
+		nr, ok := newest[module]
+		return !ok || round >= nr
+	}
+	st, err := a.store.Retain(live, latest)
+	if err != nil {
+		return st, fmt.Errorf("core: compact: %w", err)
 	}
 
 	a.mu.Lock()
-	for k, rounds := range a.persistIndex {
-		kept := rounds[:0]
-		for _, r := range rounds {
-			if nr, ok := newest[k]; !ok || r >= nr {
-				kept = append(kept, r)
+	a.loadIndex()
+	// The latest round's manifest survives even when emptied, anchoring
+	// LatestCompleteRound across the GC (and reopenings).
+	if latest >= 0 {
+		found := false
+		for _, r := range a.completeRounds {
+			if r == latest {
+				found = true
+				break
 			}
 		}
-		a.persistIndex[k] = kept
-	}
-	// Drop completion markers for rounds that no longer hold any blob,
-	// except the latest (which anchors LatestCompleteRound and the
-	// recovered iteration).
-	var keptRounds []int
-	var emptyRounds []int
-	for _, r := range a.completeRounds {
-		if roundAlive[r] || r == latest {
-			keptRounds = append(keptRounds, r)
-		} else {
-			emptyRounds = append(emptyRounds, r)
+		if !found {
+			a.completeRounds = append(a.completeRounds, latest)
 		}
 	}
-	a.completeRounds = keptRounds
 	a.mu.Unlock()
-
-	for _, r := range emptyRounds {
-		if derr := a.persist.Delete(persistKeyFor(r, completeMarker)); derr != nil {
-			return deleted, fmt.Errorf("core: compact marker %d: %w", r, derr)
-		}
-		deleted++
-	}
-	return deleted, nil
+	return st, nil
 }
 
-// Verify reads back every blob a Recover call could return and checks it
-// decodes cleanly (the storage codec carries a CRC32). It returns the
-// number of blobs verified, or an error naming the first corrupt one.
+// Verify reads back every blob a Recover call could return, checking
+// every chunk against its content address and the assembled blob against
+// the storage codec's CRC32, then audits the store's reference counts: a
+// chunk referenced by any manifest but absent from the backend fails the
+// verification. It returns the number of blobs verified and the audit.
 func (a *Agent) Verify() (checked int, err error) {
+	checked, _, err = a.VerifyAudit()
+	return checked, err
+}
+
+// VerifyAudit is Verify returning the refcount audit report alongside.
+func (a *Agent) VerifyAudit() (checked int, rep cas.AuditReport, err error) {
 	rec, err := a.Recover(nil)
 	if err != nil {
-		return 0, err
+		return 0, rep, err
 	}
 	for k, m := range rec {
 		if _, derr := storage.DecodeTensors(m.Blob); derr != nil {
-			return checked, fmt.Errorf("core: verify %s@%d: %w", k, m.Round, derr)
+			return checked, rep, fmt.Errorf("core: verify %s@%d: %w", k, m.Round, derr)
 		}
 		checked++
 	}
-	return checked, nil
+	rep, err = a.store.Audit()
+	if err != nil {
+		return checked, rep, fmt.Errorf("core: verify audit: %w", err)
+	}
+	if len(rep.Missing) > 0 {
+		return checked, rep, fmt.Errorf("core: verify: %d referenced chunks missing from the backend (first %s)",
+			len(rep.Missing), rep.Missing[0])
+	}
+	return checked, rep, nil
 }
 
-// PersistedBytes reports the total bytes currently held by the persistent
-// store under the checkpoint prefix (diagnostics for Compact).
+// PersistedBytes reports the physical bytes held by the checkpoint store
+// (chunks + manifests) — after dedup and GC, typically far below the
+// logical checkpoint volume.
 func (a *Agent) PersistedBytes() (int64, error) {
-	keys, err := a.persist.Keys("ckpt/")
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for _, k := range keys {
-		if strings.HasSuffix(k, completeMarker) {
-			continue
-		}
-		b, err := a.persist.Get(k)
-		if err != nil {
-			return 0, err
-		}
-		total += int64(len(b))
-	}
-	return total, nil
+	return a.store.PhysicalBytes()
 }

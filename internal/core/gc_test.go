@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 func TestCompactKeepsRecoverableState(t *testing.T) {
@@ -59,18 +60,31 @@ func TestCompactKeepsRecoverableState(t *testing.T) {
 			t.Fatalf("recovery changed for %s: %+v vs %+v", k, g, b)
 		}
 	}
-	// Superseded blobs are really gone: ne@0..2 and e0@0..1.
-	for _, gone := range []string{
-		persistKeyFor(0, "ne"), persistKeyFor(1, "ne"), persistKeyFor(2, "ne"),
-		persistKeyFor(0, "e0"), persistKeyFor(1, "e0"),
+	// Superseded copies are really gone: ne@0..2 and e0@0..1 are no
+	// longer readable through any manifest.
+	for _, gone := range []struct {
+		round  int
+		module string
+	}{
+		{0, "ne"}, {1, "ne"}, {2, "ne"}, {0, "e0"}, {1, "e0"},
 	} {
-		if _, err := persist.Get(gone); err == nil {
-			t.Fatalf("superseded blob %s survived compact", gone)
+		if _, err := a.Store().ReadModule(gone.round, gone.module); err == nil {
+			t.Fatalf("superseded %s@%d survived compact", gone.module, gone.round)
 		}
+	}
+	// The refcount audit is clean: no orphan chunks left behind, nothing
+	// referenced is missing.
+	rep, err := a.Store().Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Orphans) != 0 || len(rep.Missing) != 0 {
+		t.Fatalf("audit after compact: %d orphans, %d missing", len(rep.Orphans), len(rep.Missing))
 	}
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
+	_ = persist
 }
 
 func TestCompactIdempotent(t *testing.T) {
@@ -128,9 +142,10 @@ func TestCompactThenReopen(t *testing.T) {
 
 func TestVerifyDetectsCorruption(t *testing.T) {
 	a, _, persist := newTestAgent(t, 3)
-	good := storage.EncodeTensors(map[string][]float32{"w": {1, 2, 3}})
+	good1 := storage.EncodeTensors(map[string][]float32{"w": {1, 2, 3}})
+	good2 := storage.EncodeTensors(map[string][]float32{"w": {4, 5, 6}})
 	a.TrySnapshot(0, func() (CheckpointData, error) {
-		return CheckpointData{"m1": good, "m2": good}, nil
+		return CheckpointData{"m1": good1, "m2": good2}, nil
 	}, nil)
 	if err := a.Flush(); err != nil {
 		t.Fatal(err)
@@ -139,14 +154,81 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 	if err != nil || n != 2 {
 		t.Fatalf("verify clean store: n=%d err=%v", n, err)
 	}
-	// Corrupt one persisted blob behind the agent's back.
-	bad := append([]byte(nil), good...)
+	// Corrupt m2's chunk behind the agent's back: the content-address
+	// check must catch it and name the module.
+	m := a.Store().ManifestsForRound(0)[0]
+	e := m.Lookup("m2")
+	if e == nil || len(e.Chunks) == 0 {
+		t.Fatalf("manifest lacks m2: %+v", m)
+	}
+	bad := append([]byte(nil), good2...)
 	bad[len(bad)-1] ^= 0xff
-	if err := persist.Put(persistKeyFor(0, "m2"), bad); err != nil {
+	if err := persist.Put(cas.ChunkKey(e.Chunks[0].Hash), bad); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.Verify(); err == nil || !strings.Contains(err.Error(), "m2") {
 		t.Fatalf("verify missed corruption: %v", err)
 	}
 	a.Close()
+}
+
+func TestVerifyAuditDetectsMissingChunk(t *testing.T) {
+	a, _, persist := newTestAgent(t, 3)
+	a.TrySnapshot(0, func() (CheckpointData, error) {
+		return CheckpointData{"m": storage.EncodeTensors(map[string][]float32{"w": {1}})}, nil
+	}, nil)
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := a.Store().ManifestsForRound(0)[0]
+	if err := persist.Delete(cas.ChunkKey(m.Modules[0].Chunks[0].Hash)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(); err == nil {
+		t.Fatal("verify missed a missing chunk")
+	}
+	a.Close()
+}
+
+func TestPersistDedupsUnchangedModules(t *testing.T) {
+	// The PEC round shape: the non-expert module's bytes repeat across
+	// rounds while experts rotate. Unchanged payloads must persist zero
+	// new chunk bytes.
+	a, _, persist := newTestAgent(t, 3)
+	ne := storage.EncodeTensors(map[string][]float32{"w": {1, 2, 3, 4}})
+	experts := []CheckpointData{
+		{"ne": ne, "e0": storage.EncodeTensors(map[string][]float32{"w": {10}})},
+		{"ne": ne, "e1": storage.EncodeTensors(map[string][]float32{"w": {11}})},
+		{"ne": ne, "e0": storage.EncodeTensors(map[string][]float32{"w": {10}})},
+	}
+	for r, data := range experts {
+		d := data
+		if !a.TrySnapshot(r, func() (CheckpointData, error) { return d, nil }, nil) {
+			t.Fatalf("round %d refused", r)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.StorageStats()
+	// Rounds 1 and 2 re-present ne (and round 2 re-presents e0@0's exact
+	// bytes): all of it deduped.
+	wantDeduped := int64(2*len(ne)) + int64(len(experts[0]["e0"]))
+	if st.BytesDeduped != wantDeduped {
+		t.Fatalf("deduped %d bytes, want %d (stats %+v)", st.BytesDeduped, wantDeduped, st)
+	}
+	// Physically, each unique payload is stored exactly once.
+	var chunkBytes int64
+	keys, _ := persist.Keys("cas/chunks/")
+	for _, k := range keys {
+		b, _ := persist.Get(k)
+		chunkBytes += int64(len(b))
+	}
+	wantPhysical := int64(len(ne)) + int64(len(experts[0]["e0"])) + int64(len(experts[1]["e1"]))
+	if chunkBytes != wantPhysical {
+		t.Fatalf("physical chunk bytes %d, want %d", chunkBytes, wantPhysical)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

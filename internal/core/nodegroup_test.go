@@ -38,10 +38,11 @@ func TestNodeGroupSplitsByPlacement(t *testing.T) {
 	if err := g.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// Both nodes persisted into the shared store.
-	keys, _ := persist.Keys("ckpt/000000/")
-	if len(keys) < 4 { // 3 modules + at least one completion marker
-		t.Fatalf("persisted keys: %v", keys)
+	// Both nodes persisted into the shared store: two manifests for the
+	// round (one per node's writer id), no collision.
+	keys, _ := persist.Keys("cas/manifests/000000.")
+	if len(keys) != 2 {
+		t.Fatalf("round 0 manifests: %v", keys)
 	}
 	if g.LatestCompleteRound() != 0 {
 		t.Fatalf("latest round %d", g.LatestCompleteRound())

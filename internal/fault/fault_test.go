@@ -31,6 +31,23 @@ func TestEveryDegenerate(t *testing.T) {
 	}
 }
 
+func TestUnionMergesSchedules(t *testing.T) {
+	p := Union(At(10, 30), At(20, 30), nil, None())
+	got := p.Iterations()
+	want := []int{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("iterations %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterations %v, want %v", got, want)
+		}
+	}
+	if Union().Count() != 0 {
+		t.Fatal("empty union should schedule nothing")
+	}
+}
+
 func TestAtDeduplicatesAndSorts(t *testing.T) {
 	p := At(50, 10, 50, 0, -3)
 	got := p.Iterations()

@@ -18,6 +18,18 @@ type FaultConfig struct {
 	Restart float64
 	// Faults schedules faults by iteration index.
 	Faults *fault.Plan
+
+	// Replicas is the persist-backend replica count (default 1): how
+	// many independent backends the replicated checkpoint store writes
+	// through. Backend losses only endanger checkpoints once every
+	// replica is gone.
+	Replicas int
+	// BackendFaults schedules persist-backend losses by iteration. Each
+	// fault permanently removes one replica. When the last replica is
+	// lost, every persisted checkpoint is lost with it: a fresh empty
+	// backend is provisioned (costing Restart), and a subsequent node
+	// fault rolls training back to iteration 0.
+	BackendFaults *fault.Plan
 }
 
 // FaultResult extends Result with fault accounting.
@@ -33,6 +45,11 @@ type FaultResult struct {
 	// fault-free, checkpoint-free training time of the productive
 	// iterations.
 	OverheadTotal float64
+	// BackendFaults counts persist-backend losses; CheckpointsLost
+	// counts persisted checkpoints destroyed because the last replica
+	// was lost.
+	BackendFaults   int
+	CheckpointsLost int
 }
 
 // RunWithFaults simulates training with checkpointing and faults. On a
@@ -48,6 +65,15 @@ func RunWithFaults(cfg FaultConfig) (FaultResult, error) {
 	}
 	if cfg.Faults == nil {
 		cfg.Faults = fault.None()
+	}
+	if cfg.BackendFaults == nil {
+		cfg.BackendFaults = fault.None()
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas < 0 {
+		return FaultResult{}, fmt.Errorf("simtime: negative replica count")
 	}
 	plain := cfg.FB + cfg.Update
 	var res FaultResult
@@ -96,7 +122,11 @@ func RunWithFaults(cfg FaultConfig) (FaultResult, error) {
 		return n
 	}
 
-	fired := make(map[int]bool) // each scheduled fault strikes once
+	fired := make(map[int]bool)  // each scheduled fault strikes once
+	bfired := make(map[int]bool) // likewise for backend faults
+	healthy := cfg.Replicas
+	wiped := false      // the last replica was lost at least once
+	persistedWiped := 0 // persisted checkpoints destroyed so far
 	it := 1
 	for it <= cfg.Iterations {
 		t += cfg.FB
@@ -126,15 +156,46 @@ func RunWithFaults(cfg FaultConfig) (FaultResult, error) {
 				res.Skipped++
 			}
 		}
-		if cfg.Faults.IsFault(it) && !fired[it] && lastPersistedIter >= 0 {
+		if cfg.BackendFaults.IsFault(it) && !bfired[it] {
+			bfired[it] = true
+			res.BackendFaults++
+			if healthy > 0 {
+				healthy--
+			}
+			if healthy == 0 {
+				// The last replica is gone: every persisted checkpoint
+				// dies with it, along with the in-flight persist
+				// pipeline. A fresh empty backend is provisioned at
+				// restart cost; training state in GPU/CPU memory is
+				// untouched, so training itself continues.
+				wiped = true
+				res.CheckpointsLost += res.Persisted - persistedWiped
+				persistedWiped = res.Persisted
+				lastPersistedIter = -1
+				persistQueue = 0
+				persistEndTimes = persistEndTimes[:0]
+				queuedIters = queuedIters[:0]
+				res.RestartTime += cfg.Restart
+				t += cfg.Restart
+				persistBusyUntil = t
+				healthy = 1
+			}
+		}
+		if cfg.Faults.IsFault(it) && !fired[it] && (lastPersistedIter >= 0 || wiped) {
 			fired[it] = true
 			res.Faults++
 			res.RestartTime += cfg.Restart
 			t += cfg.Restart
-			res.LostIterations += it - lastPersistedIter
-			it = lastPersistedIter
+			// With every replica of every checkpoint destroyed, the node
+			// fault rolls training back to iteration 0.
+			rollTo := lastPersistedIter
+			if rollTo < 0 {
+				rollTo = 0
+			}
+			res.LostIterations += it - rollTo
+			it = rollTo
 			// The node's in-flight pipeline dies with it; the persisted
-			// checkpoint remains.
+			// checkpoint (if any replica survives) remains.
 			snapEnd = -1
 			pendingIter = -1
 			persistQueue = 0

@@ -171,3 +171,79 @@ func TestFaultSimValidation(t *testing.T) {
 		t.Fatal("negative restart accepted")
 	}
 }
+
+func TestFaultSimReplicationHidesBackendLoss(t *testing.T) {
+	// With 2 replicas, losing one backend changes nothing about recovery:
+	// the run matches the backend-fault-free run except the loss counter.
+	base := Config{FB: 1, Update: 0, Snapshot: 1, Persist: 1,
+		Interval: 10, Iterations: 100, Buffers: 3, Blocking: true}
+	noLoss, err := RunWithFaults(FaultConfig{Config: base, Restart: 30, Faults: fault.At(55)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLoss, err := RunWithFaults(FaultConfig{
+		Config: base, Restart: 30, Faults: fault.At(55),
+		Replicas: 2, BackendFaults: fault.At(25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withLoss.BackendFaults != 1 || withLoss.CheckpointsLost != 0 {
+		t.Fatalf("backend accounting: %+v", withLoss)
+	}
+	if withLoss.LostIterations != noLoss.LostIterations ||
+		math.Abs(withLoss.TotalTime-noLoss.TotalTime) > 1e-9 {
+		t.Fatalf("surviving replica did not hide the loss: %+v vs %+v", withLoss, noLoss)
+	}
+}
+
+func TestFaultSimLastReplicaLossForcesFullRollback(t *testing.T) {
+	// Single replica: losing the backend at iteration 25 destroys the 2
+	// persisted checkpoints, so the node fault at 27 — before the next
+	// checkpoint at 30 re-establishes protection — rolls training back
+	// to iteration 0.
+	cfg := FaultConfig{
+		Config: Config{FB: 1, Update: 0, Snapshot: 1, Persist: 1,
+			Interval: 10, Iterations: 100, Buffers: 3, Blocking: true},
+		Restart:       30,
+		Faults:        fault.At(27),
+		Replicas:      1,
+		BackendFaults: fault.At(25),
+	}
+	res, err := RunWithFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackendFaults != 1 || res.CheckpointsLost != 2 {
+		t.Fatalf("backend accounting: %+v", res)
+	}
+	if res.Faults != 1 || res.LostIterations != 27 {
+		t.Fatalf("rollback accounting (want 27 lost iterations): %+v", res)
+	}
+	// Both the provisioning of the fresh backend and the node restart
+	// pay the restart cost.
+	if res.RestartTime != 60 {
+		t.Fatalf("restart time %v, want 60", res.RestartTime)
+	}
+}
+
+func TestFaultSimBackendLossRecoversByNextCheckpoint(t *testing.T) {
+	// After a total backend loss, the next persisted checkpoint restores
+	// rollback protection: a later node fault rolls back to it, not to 0.
+	cfg := FaultConfig{
+		Config: Config{FB: 1, Update: 0, Snapshot: 1, Persist: 1,
+			Interval: 10, Iterations: 100, Buffers: 3, Blocking: true},
+		Restart:       10,
+		Faults:        fault.At(45),
+		Replicas:      1,
+		BackendFaults: fault.At(25),
+	}
+	res, err := RunWithFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints at 30 and 40 postdate the wipe; fault at 45 loses 5.
+	if res.LostIterations != 5 {
+		t.Fatalf("lost iterations %d, want 5: %+v", res.LostIterations, res)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cas is a content-addressed, deduplicating checkpoint store
+// layered on any storage.PersistStore backend. Checkpoint payloads are
+// split into fixed-size chunks addressed by their SHA-256 digest, so a
+// module whose bytes did not change between rounds persists zero new
+// bytes: its manifest entry simply references the chunks already in the
+// store. Per-round manifests (round → module → chunk list) are the commit
+// points — a round is complete exactly when its manifest is readable —
+// and every chunk read is verified against its address, so corruption
+// anywhere in the backend is detected before state is trusted.
+//
+// Layout under the backend key space:
+//
+//	cas/chunks/<sha256 hex>         chunk payload
+//	cas/manifests/<round>.<writer>  binary manifest (see manifest.go)
+//
+// Manifests are keyed by (round, writer) because several agents — one per
+// simulated node — may share one backend and persist disjoint module sets
+// for the same round; their manifests must not collide.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Hash is a chunk address: the SHA-256 digest of its payload.
+type Hash [sha256.Size]byte
+
+// HashBytes addresses a payload.
+func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
+
+// String returns the lowercase hex form.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash parses the hex form produced by String.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return h, fmt.Errorf("cas: bad hash %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+const (
+	chunkPrefix    = "cas/chunks/"
+	manifestPrefix = "cas/manifests/"
+)
+
+// ChunkKey returns the backend key holding the chunk with the given
+// address.
+func ChunkKey(h Hash) string { return chunkPrefix + h.String() }
+
+func manifestKey(round int, writer string) string {
+	return fmt.Sprintf("%s%06d.%s", manifestPrefix, round, writer)
+}
+
+// parseManifestKey inverts manifestKey.
+func parseManifestKey(key string) (round int, writer string, ok bool) {
+	rest, found := strings.CutPrefix(key, manifestPrefix)
+	if !found {
+		return 0, "", false
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return 0, "", false
+	}
+	r, err := strconv.Atoi(rest[:dot])
+	if err != nil || r < 0 {
+		return 0, "", false
+	}
+	return r, rest[dot+1:], true
+}
+
+// splitChunks cuts a payload into fixed-size chunks (the last may be
+// short). An empty payload yields no chunks.
+func splitChunks(blob []byte, size int) [][]byte {
+	if len(blob) == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, (len(blob)+size-1)/size)
+	for len(blob) > size {
+		out = append(out, blob[:size])
+		blob = blob[size:]
+	}
+	return append(out, blob)
+}

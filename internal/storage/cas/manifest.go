@@ -1,0 +1,197 @@
+package cas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// manifestMagic guards against decoding foreign blobs ("MoCm").
+const manifestMagic = 0x4d6f436d
+
+// ChunkRef references one chunk of a module payload.
+type ChunkRef struct {
+	Hash Hash
+	Size uint32
+}
+
+// ModuleEntry lists the chunks reassembling one module's payload for a
+// round, in order.
+type ModuleEntry struct {
+	Module string
+	// Size is the payload length; it must equal the sum of chunk sizes.
+	Size   int64
+	Chunks []ChunkRef
+}
+
+// Manifest is one writer's record of one checkpoint round: which modules
+// it persisted and the chunks holding their bytes. Its presence in the
+// store is the round's commit point for that writer.
+type Manifest struct {
+	Round  int
+	Writer string
+	// Modules is sorted by module name.
+	Modules []ModuleEntry
+}
+
+// Lookup returns the entry for a module, or nil.
+func (m *Manifest) Lookup(module string) *ModuleEntry {
+	i := sort.Search(len(m.Modules), func(i int) bool { return m.Modules[i].Module >= module })
+	if i < len(m.Modules) && m.Modules[i].Module == module {
+		return &m.Modules[i]
+	}
+	return nil
+}
+
+// LogicalBytes sums the module payload sizes.
+func (m *Manifest) LogicalBytes() int64 {
+	var n int64
+	for _, e := range m.Modules {
+		n += e.Size
+	}
+	return n
+}
+
+// EncodeManifest serializes a manifest into a self-describing blob with a
+// trailing CRC32, mirroring the tensor codec's framing. Entries are
+// written in sorted module order so encoding is deterministic.
+func EncodeManifest(m *Manifest) []byte {
+	entries := append([]ModuleEntry(nil), m.Modules...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Module < entries[j].Module })
+
+	var buf []byte
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	put64 := func(v uint64) {
+		var u64 [8]byte
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	put(manifestMagic)
+	put(uint32(m.Round))
+	put(uint32(len(m.Writer)))
+	buf = append(buf, m.Writer...)
+	put(uint32(len(entries)))
+	for _, e := range entries {
+		put(uint32(len(e.Module)))
+		buf = append(buf, e.Module...)
+		put64(uint64(e.Size))
+		put(uint32(len(e.Chunks)))
+		for _, c := range e.Chunks {
+			buf = append(buf, c.Hash[:]...)
+			put(c.Size)
+		}
+	}
+	put(crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// DecodeManifest parses a blob produced by EncodeManifest, verifying the
+// checksum and structural integrity (including that every entry's chunk
+// sizes sum to its payload size).
+func DecodeManifest(blob []byte) (*Manifest, error) {
+	if len(blob) < 20 { // magic + round + writer len + count + crc
+		return nil, fmt.Errorf("cas: manifest too short (%d bytes)", len(blob))
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("cas: manifest checksum mismatch")
+	}
+	pos := 0
+	next := func() (uint32, error) {
+		if pos+4 > len(body) {
+			return 0, fmt.Errorf("cas: truncated manifest at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint32(body[pos:])
+		pos += 4
+		return v, nil
+	}
+	next64 := func() (uint64, error) {
+		if pos+8 > len(body) {
+			return 0, fmt.Errorf("cas: truncated manifest at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(body[pos:])
+		pos += 8
+		return v, nil
+	}
+	str := func(n uint32) (string, error) {
+		if pos+int(n) > len(body) {
+			return "", fmt.Errorf("cas: truncated string in manifest")
+		}
+		s := string(body[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+	magic, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if magic != manifestMagic {
+		return nil, fmt.Errorf("cas: bad manifest magic %#x", magic)
+	}
+	round, err := next()
+	if err != nil {
+		return nil, err
+	}
+	wlen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	writer, err := str(wlen)
+	if err != nil {
+		return nil, err
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{Round: int(round), Writer: writer}
+	for i := uint32(0); i < count; i++ {
+		klen, err := next()
+		if err != nil {
+			return nil, err
+		}
+		module, err := str(klen)
+		if err != nil {
+			return nil, err
+		}
+		size, err := next64()
+		if err != nil {
+			return nil, err
+		}
+		nchunks, err := next()
+		if err != nil {
+			return nil, err
+		}
+		e := ModuleEntry{Module: module, Size: int64(size)}
+		var sum int64
+		for j := uint32(0); j < nchunks; j++ {
+			var c ChunkRef
+			if pos+len(c.Hash) > len(body) {
+				return nil, fmt.Errorf("cas: truncated chunk hash in %q", module)
+			}
+			copy(c.Hash[:], body[pos:])
+			pos += len(c.Hash)
+			csize, err := next()
+			if err != nil {
+				return nil, err
+			}
+			c.Size = csize
+			sum += int64(csize)
+			e.Chunks = append(e.Chunks, c)
+		}
+		if sum != e.Size {
+			return nil, fmt.Errorf("cas: manifest entry %q: chunks sum to %d bytes, payload is %d",
+				module, sum, e.Size)
+		}
+		m.Modules = append(m.Modules, e)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("cas: %d trailing manifest bytes", len(body)-pos)
+	}
+	return m, nil
+}

@@ -1,0 +1,587 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"moc/internal/storage"
+)
+
+// Options configures a Store.
+type Options struct {
+	// ChunkSize is the fixed chunk length in bytes (default 64 KiB).
+	// Smaller chunks dedup at finer granularity at the cost of more keys.
+	ChunkSize int
+	// Workers is the striped-writer fan-out: chunk Puts for one round are
+	// distributed round-robin across this many goroutines so a
+	// bandwidth-limited backend is driven in parallel (default 4).
+	Workers int
+	// Writer distinguishes manifests from different agents sharing one
+	// backend. Defaults to a process-unique id.
+	Writer string
+}
+
+// DefaultChunkSize is the chunk length used when Options.ChunkSize is 0.
+const DefaultChunkSize = 64 << 10
+
+var writerSeq atomic.Int64
+
+func (o *Options) fillDefaults() error {
+	if o.ChunkSize == 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.ChunkSize < 0 {
+		return fmt.Errorf("cas: negative chunk size")
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("cas: negative worker count")
+	}
+	if o.Writer == "" {
+		o.Writer = fmt.Sprintf("w%03d", writerSeq.Add(1))
+	}
+	if strings.ContainsAny(o.Writer, "./") {
+		return fmt.Errorf("cas: writer id %q may not contain '.' or '/'", o.Writer)
+	}
+	return nil
+}
+
+// Stats counts a store's write-side activity since Open.
+type Stats struct {
+	// RoundsWritten counts committed WriteRound calls.
+	RoundsWritten int
+	// ChunksWritten / BytesWritten count physical chunk Puts.
+	ChunksWritten int64
+	BytesWritten  int64
+	// ChunksDeduped / BytesDeduped count chunk references satisfied by
+	// chunks already present (bytes that were NOT rewritten).
+	ChunksDeduped int64
+	BytesDeduped  int64
+	// LogicalBytes is the total payload volume presented to WriteRound.
+	LogicalBytes int64
+}
+
+// DedupRatio is the fraction of presented bytes that deduplication
+// avoided writing (0 when nothing was presented).
+func (s Stats) DedupRatio() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(s.BytesDeduped) / float64(s.LogicalBytes)
+}
+
+// Store is a content-addressed chunk store over one PersistStore backend.
+// It is safe for concurrent use; GC (Retain) must not race with writers.
+type Store struct {
+	backend storage.PersistStore
+	opts    Options
+
+	mu sync.Mutex
+	// present records chunk addresses known to exist in the backend
+	// (scanned at Open plus everything written since).
+	present map[Hash]bool
+	// manifests caches decoded manifests by round, in writer order, for
+	// the rounds this store has seen (at Open or written itself).
+	manifests map[int][]*Manifest
+	stats     Stats
+}
+
+// Open scans the backend's manifests and chunk index and returns a store
+// over it. A corrupt manifest fails the open: a backend that lies about
+// commit points must not be trusted silently.
+func Open(backend storage.PersistStore, opts Options) (*Store, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		backend:   backend,
+		opts:      opts,
+		present:   make(map[Hash]bool),
+		manifests: make(map[int][]*Manifest),
+	}
+	chunkKeys, err := backend.Keys(chunkPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("cas: scan chunks: %w", err)
+	}
+	for _, k := range chunkKeys {
+		h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
+		if err != nil {
+			return nil, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
+		}
+		s.present[h] = true
+	}
+	manifests, err := loadManifests(backend)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range manifests {
+		s.manifests[m.Round] = append(s.manifests[m.Round], m)
+	}
+	return s, nil
+}
+
+// loadManifests reads and decodes every manifest in the backend, sorted
+// by (round, writer).
+func loadManifests(backend storage.PersistStore) ([]*Manifest, error) {
+	keys, err := backend.Keys(manifestPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("cas: scan manifests: %w", err)
+	}
+	var out []*Manifest
+	for _, k := range keys {
+		round, writer, ok := parseManifestKey(k)
+		if !ok {
+			return nil, fmt.Errorf("cas: foreign key %q under manifest prefix", k)
+		}
+		blob, err := backend.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("cas: read manifest %s: %w", k, err)
+		}
+		m, err := DecodeManifest(blob)
+		if err != nil {
+			return nil, fmt.Errorf("cas: manifest %s: %w", k, err)
+		}
+		if m.Round != round || m.Writer != writer {
+			return nil, fmt.Errorf("cas: manifest %s claims round %d writer %q", k, m.Round, m.Writer)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Writer returns the id stamped on manifests this store writes.
+func (s *Store) Writer() string { return s.opts.Writer }
+
+// Rounds returns the committed rounds this store knows of, ascending.
+func (s *Store) Rounds() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.manifests))
+	for r := range s.manifests {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Manifests returns every manifest this store knows of, sorted by round
+// then writer.
+func (s *Store) Manifests() []*Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Manifest
+	for _, ms := range s.manifests {
+		out = append(out, ms...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Writer < out[j].Writer
+	})
+	return out
+}
+
+// ManifestsForRound returns the manifests committed for a round (one per
+// writer), or nil.
+func (s *Store) ManifestsForRound(round int) []*Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Manifest(nil), s.manifests[round]...)
+}
+
+// Stats returns a copy of the write-side counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// WriteRound persists one round's module payloads and commits them with a
+// manifest. Chunks already present in the store are not rewritten (the
+// dedup path); new chunks are fanned out across the worker pool in
+// hash-order stripes. The manifest Put is last, so a crash mid-round
+// leaves at worst orphan chunks — never a committed round with missing
+// data. An empty payload map commits an empty manifest (the round marker
+// for a writer whose persist filter kept nothing).
+func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, error) {
+	if round < 0 {
+		return nil, fmt.Errorf("cas: negative round %d", round)
+	}
+	m := &Manifest{Round: round, Writer: s.opts.Writer}
+	type pendingChunk struct {
+		hash Hash
+		data []byte
+	}
+	var logical int64
+	var refs int64
+	pending := make(map[Hash][]byte)
+
+	names := make([]string, 0, len(modules))
+	for k := range modules {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	s.mu.Lock()
+	for _, name := range names {
+		blob := modules[name]
+		e := ModuleEntry{Module: name, Size: int64(len(blob))}
+		for _, chunk := range splitChunks(blob, s.opts.ChunkSize) {
+			h := HashBytes(chunk)
+			e.Chunks = append(e.Chunks, ChunkRef{Hash: h, Size: uint32(len(chunk))})
+			refs++
+			if !s.present[h] && pending[h] == nil {
+				pending[h] = chunk
+			}
+		}
+		logical += int64(len(blob))
+		m.Modules = append(m.Modules, e)
+	}
+	s.mu.Unlock()
+
+	// Stripe the new chunks across the worker pool in deterministic hash
+	// order so a bandwidth-bound backend is saturated from N writers.
+	stripeSrc := make([]pendingChunk, 0, len(pending))
+	for h, data := range pending {
+		stripeSrc = append(stripeSrc, pendingChunk{h, data})
+	}
+	sort.Slice(stripeSrc, func(i, j int) bool {
+		return stripeSrc[i].hash.String() < stripeSrc[j].hash.String()
+	})
+	workers := s.opts.Workers
+	if workers > len(stripeSrc) {
+		workers = len(stripeSrc)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(stripeSrc); i += workers {
+					c := stripeSrc[i]
+					if err := s.backend.Put(ChunkKey(c.hash), c.data); err != nil {
+						errs[w] = fmt.Errorf("cas: put chunk %s: %w", c.hash, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, c := range stripeSrc {
+			if err := s.backend.Put(ChunkKey(c.hash), c.data); err != nil {
+				return nil, fmt.Errorf("cas: put chunk %s: %w", c.hash, err)
+			}
+		}
+	}
+
+	// Commit point: the manifest write makes the round durable.
+	if err := s.backend.Put(manifestKey(round, s.opts.Writer), EncodeManifest(m)); err != nil {
+		return nil, fmt.Errorf("cas: commit round %d: %w", round, err)
+	}
+
+	var written, writtenBytes int64
+	for _, c := range stripeSrc {
+		written++
+		writtenBytes += int64(len(c.data))
+	}
+	s.mu.Lock()
+	for _, c := range stripeSrc {
+		s.present[c.hash] = true
+	}
+	// Re-persisting a round replaces this writer's previous manifest.
+	kept := s.manifests[round][:0]
+	for _, prev := range s.manifests[round] {
+		if prev.Writer != s.opts.Writer {
+			kept = append(kept, prev)
+		}
+	}
+	s.manifests[round] = append(kept, m)
+	s.stats.RoundsWritten++
+	s.stats.ChunksWritten += written
+	s.stats.BytesWritten += writtenBytes
+	s.stats.ChunksDeduped += refs - written
+	s.stats.BytesDeduped += logical - writtenBytes
+	s.stats.LogicalBytes += logical
+	s.mu.Unlock()
+	return m, nil
+}
+
+// ErrModuleNotFound reports a module absent from a round's manifests.
+var ErrModuleNotFound = errors.New("cas: module not persisted in round")
+
+// ReadModule reassembles one module's payload from a round, verifying
+// every chunk against its address and the total against the manifest.
+func (s *Store) ReadModule(round int, module string) ([]byte, error) {
+	s.mu.Lock()
+	var entry *ModuleEntry
+	for _, m := range s.manifests[round] {
+		if e := m.Lookup(module); e != nil {
+			entry = e
+		}
+	}
+	s.mu.Unlock()
+	if entry == nil {
+		return nil, fmt.Errorf("%w: %s@%06d", ErrModuleNotFound, module, round)
+	}
+	out := make([]byte, 0, entry.Size)
+	for i, c := range entry.Chunks {
+		data, err := s.backend.Get(ChunkKey(c.Hash))
+		if err != nil {
+			return nil, fmt.Errorf("cas: %s@%06d chunk %d: %w", module, round, i, err)
+		}
+		if got := HashBytes(data); got != c.Hash {
+			return nil, fmt.Errorf("cas: %s@%06d chunk %d: content hash %s does not match address %s",
+				module, round, i, got, c.Hash)
+		}
+		if uint32(len(data)) != c.Size {
+			return nil, fmt.Errorf("cas: %s@%06d chunk %d: %d bytes, manifest says %d",
+				module, round, i, len(data), c.Size)
+		}
+		out = append(out, data...)
+	}
+	if int64(len(out)) != entry.Size {
+		return nil, fmt.Errorf("cas: %s@%06d: reassembled %d of %d bytes", module, round, len(out), entry.Size)
+	}
+	return out, nil
+}
+
+// GCStats reports what Retain removed.
+type GCStats struct {
+	// EntriesDropped counts superseded module entries removed from
+	// manifests; ManifestsDeleted counts manifests left empty and
+	// removed; ChunksDeleted / BytesFreed count unreferenced chunks swept.
+	EntriesDropped   int
+	ManifestsDeleted int
+	ChunksDeleted    int
+	BytesFreed       int64
+}
+
+// Removed is the total count of removed objects (entries + manifests +
+// chunks).
+func (g GCStats) Removed() int {
+	return g.EntriesDropped + g.ManifestsDeleted + g.ChunksDeleted
+}
+
+// Retain is the refcount garbage collector. It keeps exactly the module
+// entries for which live returns true, rewriting manifests that shrank
+// and deleting ones left empty (manifests of keepRound survive even when
+// empty — they anchor the latest complete round). It then recomputes
+// chunk reference counts over the surviving manifests — rescanning the
+// backend, so references from writers this store never saw are honored —
+// and sweeps every chunk whose count reached zero. Writers must be
+// quiesced while Retain runs.
+func (s *Store) Retain(live func(round int, module string) bool, keepRound int) (GCStats, error) {
+	var st GCStats
+	manifests, err := loadManifests(s.backend)
+	if err != nil {
+		return st, err
+	}
+	surviving := make(map[int][]*Manifest)
+	for _, m := range manifests {
+		kept := make([]ModuleEntry, 0, len(m.Modules))
+		for _, e := range m.Modules {
+			if live == nil || live(m.Round, e.Module) {
+				kept = append(kept, e)
+			}
+		}
+		st.EntriesDropped += len(m.Modules) - len(kept)
+		switch {
+		case len(kept) == len(m.Modules):
+			// Untouched.
+		case len(kept) == 0 && m.Round != keepRound:
+			if err := s.backend.Delete(manifestKey(m.Round, m.Writer)); err != nil {
+				return st, fmt.Errorf("cas: delete manifest %06d.%s: %w", m.Round, m.Writer, err)
+			}
+			st.ManifestsDeleted++
+			continue
+		default:
+			m.Modules = kept
+			if err := s.backend.Put(manifestKey(m.Round, m.Writer), EncodeManifest(m)); err != nil {
+				return st, fmt.Errorf("cas: rewrite manifest %06d.%s: %w", m.Round, m.Writer, err)
+			}
+		}
+		surviving[m.Round] = append(surviving[m.Round], m)
+	}
+	// The manifest phase is done: refresh the cache now, so a failure in
+	// the sweep phase below cannot leave it pointing at deleted entries.
+	s.mu.Lock()
+	s.manifests = surviving
+	s.mu.Unlock()
+
+	refs := make(map[Hash]int)
+	for _, ms := range surviving {
+		for _, m := range ms {
+			for _, e := range m.Modules {
+				for _, c := range e.Chunks {
+					refs[c.Hash]++
+				}
+			}
+		}
+	}
+	chunkKeys, err := s.backend.Keys(chunkPrefix)
+	if err != nil {
+		return st, fmt.Errorf("cas: scan chunks: %w", err)
+	}
+	present := make(map[Hash]bool, len(chunkKeys))
+	for _, k := range chunkKeys {
+		h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
+		if err != nil {
+			return st, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
+		}
+		if refs[h] > 0 {
+			present[h] = true
+			continue
+		}
+		blob, err := s.backend.Get(k)
+		if err == nil {
+			st.BytesFreed += int64(len(blob))
+		}
+		// Drop the chunk from the dedup index BEFORE deleting it from the
+		// backend: if this Retain errors out mid-sweep, an overclaiming
+		// index would let a later WriteRound dedup against a chunk that
+		// no longer exists and commit an unrecoverable round. The reverse
+		// staleness (chunk present, index unaware) merely costs a
+		// redundant idempotent write.
+		s.mu.Lock()
+		delete(s.present, h)
+		s.mu.Unlock()
+		if err := s.backend.Delete(k); err != nil {
+			return st, fmt.Errorf("cas: sweep chunk %s: %w", h, err)
+		}
+		st.ChunksDeleted++
+	}
+
+	s.mu.Lock()
+	s.present = present
+	s.mu.Unlock()
+	return st, nil
+}
+
+// AuditReport is the refcount audit of Audit.
+type AuditReport struct {
+	Rounds    int
+	Manifests int
+	Modules   int
+	// ChunksReferenced / ChunksStored compare the manifest-implied chunk
+	// set with what the backend actually holds.
+	ChunksReferenced int
+	ChunksStored     int
+	// RefTotal is the total reference count across manifests (≥
+	// ChunksReferenced when rounds share chunks — the dedup evidence).
+	RefTotal int
+	// Missing lists referenced chunks absent from the backend (data
+	// loss); Orphans lists stored chunks no manifest references (leak,
+	// harmless, reclaimed by Retain).
+	Missing []Hash
+	Orphans []Hash
+}
+
+// Audit recomputes chunk reference counts from every manifest in the
+// backend and cross-checks them against the stored chunk set. A non-empty
+// Missing list means committed state is unrecoverable.
+func (s *Store) Audit() (AuditReport, error) {
+	var rep AuditReport
+	manifests, err := loadManifests(s.backend)
+	if err != nil {
+		return rep, err
+	}
+	rounds := make(map[int]bool)
+	refs := make(map[Hash]int)
+	for _, m := range manifests {
+		rounds[m.Round] = true
+		rep.Manifests++
+		rep.Modules += len(m.Modules)
+		for _, e := range m.Modules {
+			for _, c := range e.Chunks {
+				refs[c.Hash]++
+				rep.RefTotal++
+			}
+		}
+	}
+	rep.Rounds = len(rounds)
+	rep.ChunksReferenced = len(refs)
+	chunkKeys, err := s.backend.Keys(chunkPrefix)
+	if err != nil {
+		return rep, fmt.Errorf("cas: scan chunks: %w", err)
+	}
+	stored := make(map[Hash]bool, len(chunkKeys))
+	for _, k := range chunkKeys {
+		h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
+		if err != nil {
+			return rep, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
+		}
+		stored[h] = true
+		if refs[h] == 0 {
+			rep.Orphans = append(rep.Orphans, h)
+		}
+	}
+	rep.ChunksStored = len(stored)
+	for h := range refs {
+		if !stored[h] {
+			rep.Missing = append(rep.Missing, h)
+		}
+	}
+	sortHashes(rep.Missing)
+	sortHashes(rep.Orphans)
+	return rep, nil
+}
+
+func sortHashes(hs []Hash) {
+	sort.Slice(hs, func(i, j int) bool { return hs[i].String() < hs[j].String() })
+}
+
+// PhysicalBytes sums the bytes the backend holds under the cas prefixes
+// (chunks + manifests). Referenced chunk sizes come from the manifests
+// themselves — the codec is deterministic, so re-encoding yields the
+// stored manifest length — and only orphan chunks cost a payload read.
+func (s *Store) PhysicalBytes() (int64, error) {
+	manifests, err := loadManifests(s.backend)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	sizes := make(map[Hash]int64)
+	for _, m := range manifests {
+		total += int64(len(EncodeManifest(m)))
+		for _, e := range m.Modules {
+			for _, c := range e.Chunks {
+				sizes[c.Hash] = int64(c.Size)
+			}
+		}
+	}
+	chunkKeys, err := s.backend.Keys(chunkPrefix)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range chunkKeys {
+		h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
+		if err != nil {
+			return 0, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
+		}
+		if n, ok := sizes[h]; ok {
+			total += n
+			continue
+		}
+		b, err := s.backend.Get(k) // orphan: size unknown without reading
+		if err != nil {
+			return 0, err
+		}
+		total += int64(len(b))
+	}
+	return total, nil
+}

@@ -58,7 +58,8 @@ func EncodeTensors(tensors map[string][]float32) []byte {
 // DecodeTensors parses a blob produced by EncodeTensors, verifying the
 // checksum and structural integrity.
 func DecodeTensors(blob []byte) (map[string][]float32, error) {
-	if len(blob) < 16 {
+	// Minimum valid blob: magic + count + CRC (an empty tensor map).
+	if len(blob) < 12 {
 		return nil, fmt.Errorf("storage: blob too short (%d bytes)", len(blob))
 	}
 	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]

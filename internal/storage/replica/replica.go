@@ -1,0 +1,296 @@
+// Package replica provides a replicating PersistStore: writes fan out to
+// every backend, reads are served by the first healthy replica, and an
+// anti-entropy Sync repairs backends that missed writes while down. It is
+// the multi-backend durability layer under the checkpoint store — losing
+// a persist backend (a filesystem outage, an object-store region) no
+// longer loses checkpoints as long as one replica survives.
+//
+// The package also ships a Flaky wrapper that injects backend loss and
+// recovery, opening persist-backend fault scenarios to tests, examples,
+// and the timing simulator's calibration.
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"moc/internal/storage"
+)
+
+// ErrBackendDown is returned by a Flaky store while failed.
+var ErrBackendDown = errors.New("replica: backend down")
+
+// Store is a PersistStore replicating over N backends.
+type Store struct {
+	backends []storage.PersistStore
+
+	mu sync.Mutex
+	// lastErr[i] is backend i's most recent operation error (nil when
+	// healthy), kept for Health diagnostics.
+	lastErr []error
+}
+
+// New builds a replicating store over the given backends (at least one).
+func New(backends ...storage.PersistStore) (*Store, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("replica: need at least one backend")
+	}
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("replica: backend %d is nil", i)
+		}
+	}
+	return &Store{
+		backends: append([]storage.PersistStore(nil), backends...),
+		lastErr:  make([]error, len(backends)),
+	}, nil
+}
+
+// Backends returns the replica count.
+func (r *Store) Backends() int { return len(r.backends) }
+
+// Health reports, per backend, the error of its most recent operation
+// (nil = healthy).
+func (r *Store) Health() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.lastErr...)
+}
+
+func (r *Store) note(i int, err error) {
+	r.mu.Lock()
+	r.lastErr[i] = err
+	r.mu.Unlock()
+}
+
+// Put writes to every backend. It succeeds when at least one replica
+// accepted the write — a down replica degrades durability, not
+// availability — and fails only when every backend refused.
+func (r *Store) Put(key string, data []byte) error {
+	var okCount int
+	var errs []string
+	for i, b := range r.backends {
+		err := b.Put(key, data)
+		r.note(i, err)
+		if err == nil {
+			okCount++
+		} else {
+			errs = append(errs, fmt.Sprintf("backend %d: %v", i, err))
+		}
+	}
+	if okCount == 0 {
+		return fmt.Errorf("replica: put %s failed on all backends: %s", key, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Get reads from the first healthy replica holding the key. A replica
+// that is down or missed the write (it was down during Put) is skipped
+// and the next one is tried. The key counts as not-found only when every
+// backend reported a healthy miss — a down backend might hold it, so its
+// failure is reported as a failure, never as absence.
+func (r *Store) Get(key string) ([]byte, error) {
+	var lastFailure error
+	notFound := 0
+	for i, b := range r.backends {
+		data, err := b.Get(key)
+		if err == nil {
+			r.note(i, nil)
+			return data, nil
+		}
+		if errors.Is(err, storage.ErrNotFound) {
+			r.note(i, nil) // a healthy miss, not a failure
+			notFound++
+		} else {
+			r.note(i, err)
+			lastFailure = err
+		}
+	}
+	if notFound == len(r.backends) {
+		return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, key)
+	}
+	return nil, fmt.Errorf("replica: get %s: %w", key, lastFailure)
+}
+
+// Delete removes the key from every backend. Replicas that are down keep
+// their stale copy until Sync or a later Delete; the call fails only when
+// every backend failed with a real error.
+func (r *Store) Delete(key string) error {
+	var okCount int
+	var errs []string
+	for i, b := range r.backends {
+		err := b.Delete(key)
+		if err != nil && errors.Is(err, storage.ErrNotFound) {
+			err = nil
+		}
+		r.note(i, err)
+		if err == nil {
+			okCount++
+		} else {
+			errs = append(errs, fmt.Sprintf("backend %d: %v", i, err))
+		}
+	}
+	if okCount == 0 {
+		return fmt.Errorf("replica: delete %s failed on all backends: %s", key, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Keys returns the union of keys across responding backends, sorted. It
+// fails only when no backend responds.
+func (r *Store) Keys(prefix string) ([]string, error) {
+	union := map[string]bool{}
+	responded := 0
+	var lastErr error
+	for i, b := range r.backends {
+		keys, err := b.Keys(prefix)
+		r.note(i, err)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		responded++
+		for _, k := range keys {
+			union[k] = true
+		}
+	}
+	if responded == 0 {
+		return nil, fmt.Errorf("replica: keys %q: %w", prefix, lastErr)
+	}
+	out := make([]string, 0, len(union))
+	for k := range union {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync is the anti-entropy repair: every key present on some backend is
+// copied to the backends lacking it, and backends holding a *different*
+// value for a key are overwritten, so a replica replaced after a loss
+// (or healed after downtime) converges to exactly the state reads serve.
+// It returns the number of keys copied or reconciled.
+//
+// Conflicts resolve to the first readable replica's copy — the same
+// preference Get uses. Chunk keys are content-addressed, so their
+// conflicts are impossible; manifest keys ARE mutable (the refcount GC
+// rewrites them in place), and the store carries no version counters, so
+// if the GC ran while a replica was down, healing that replica and
+// syncing can resurrect the pre-GC view (never corrupt it — the stale
+// manifests travel with their chunks). Run the GC again after Sync to
+// re-collect; or avoid running it while a replica is down.
+func (r *Store) Sync() (copied int, err error) {
+	perBackend := make([]map[string]bool, len(r.backends))
+	union := map[string]bool{}
+	for i, b := range r.backends {
+		keys, err := b.Keys("")
+		r.note(i, err)
+		if err != nil {
+			continue // a down backend is repaired on a later Sync
+		}
+		perBackend[i] = make(map[string]bool, len(keys))
+		for _, k := range keys {
+			perBackend[i][k] = true
+			union[k] = true
+		}
+	}
+	ordered := make([]string, 0, len(union))
+	for k := range union {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		var data []byte
+		authIdx := -1
+		for i, b := range r.backends {
+			if perBackend[i] == nil || !perBackend[i][k] {
+				continue
+			}
+			if d, err := b.Get(k); err == nil {
+				data, authIdx = d, i
+				break
+			}
+		}
+		if authIdx < 0 {
+			return copied, fmt.Errorf("replica: sync: no readable copy of %s", k)
+		}
+		for i, b := range r.backends {
+			if i == authIdx || perBackend[i] == nil {
+				continue // authoritative, or down (repaired on a later Sync)
+			}
+			if perBackend[i][k] {
+				held, err := b.Get(k)
+				if err == nil && bytes.Equal(held, data) {
+					continue
+				}
+			}
+			if err := b.Put(k, data); err != nil {
+				r.note(i, err)
+				continue // backend went down mid-sync; next Sync retries
+			}
+			copied++
+		}
+	}
+	return copied, nil
+}
+
+// Flaky wraps a PersistStore with a kill switch, simulating the loss and
+// recovery of one persist backend.
+type Flaky struct {
+	inner storage.PersistStore
+	down  atomic.Bool
+}
+
+// NewFlaky wraps a backend.
+func NewFlaky(inner storage.PersistStore) *Flaky { return &Flaky{inner: inner} }
+
+// Fail makes every subsequent operation return ErrBackendDown.
+func (f *Flaky) Fail() { f.down.Store(true) }
+
+// Heal brings the backend back (with whatever state it held at failure).
+func (f *Flaky) Heal() { f.down.Store(false) }
+
+// Down reports the failure state.
+func (f *Flaky) Down() bool { return f.down.Load() }
+
+// Put implements PersistStore.
+func (f *Flaky) Put(key string, data []byte) error {
+	if f.down.Load() {
+		return ErrBackendDown
+	}
+	return f.inner.Put(key, data)
+}
+
+// Get implements PersistStore.
+func (f *Flaky) Get(key string) ([]byte, error) {
+	if f.down.Load() {
+		return nil, ErrBackendDown
+	}
+	return f.inner.Get(key)
+}
+
+// Delete implements PersistStore.
+func (f *Flaky) Delete(key string) error {
+	if f.down.Load() {
+		return ErrBackendDown
+	}
+	return f.inner.Delete(key)
+}
+
+// Keys implements PersistStore.
+func (f *Flaky) Keys(prefix string) ([]string, error) {
+	if f.down.Load() {
+		return nil, ErrBackendDown
+	}
+	return f.inner.Keys(prefix)
+}
+
+var (
+	_ storage.PersistStore = (*Store)(nil)
+	_ storage.PersistStore = (*Flaky)(nil)
+)

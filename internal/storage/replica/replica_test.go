@@ -1,0 +1,256 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"moc/internal/storage"
+)
+
+func newPair(t *testing.T) (*Store, *storage.MemStore, *storage.MemStore) {
+	t.Helper()
+	a, b := storage.NewMemStore(), storage.NewMemStore()
+	r, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, a, b
+}
+
+func TestNewRejectsEmptyAndNil(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("zero backends accepted")
+	}
+	if _, err := New(storage.NewMemStore(), nil); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}
+
+func TestPutReplicatesToAll(t *testing.T) {
+	r, a, b := newPair(t)
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*storage.MemStore{a, b} {
+		got, err := m.Get("k")
+		if err != nil || string(got) != "v" {
+			t.Fatalf("backend %d: %q %v", i, got, err)
+		}
+	}
+	got, err := r.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("replicated get: %q %v", got, err)
+	}
+}
+
+func TestGetNotFoundIsErrNotFound(t *testing.T) {
+	r, _, _ := newPair(t)
+	if _, err := r.Get("absent"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutSurvivesOneBackendDown(t *testing.T) {
+	a, b := storage.NewMemStore(), storage.NewMemStore()
+	fb := NewFlaky(b)
+	r, err := New(a, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Fail()
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put with one live replica: %v", err)
+	}
+	if got, err := r.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("get with one live replica: %q %v", got, err)
+	}
+	health := r.Health()
+	if health[0] != nil || health[1] == nil {
+		t.Fatalf("health: %v", health)
+	}
+}
+
+func TestGetFallsThroughToHealthyReplica(t *testing.T) {
+	// First replica lost entirely (replaced by an empty store): reads
+	// recover from the second.
+	a, b := storage.NewMemStore(), storage.NewMemStore()
+	fa := NewFlaky(a)
+	r, err := New(fa, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fa.Fail()
+	got, err := r.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("get after replica loss: %q %v", got, err)
+	}
+	keys, err := r.Keys("")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("keys after replica loss: %v %v", keys, err)
+	}
+}
+
+func TestAllBackendsDownFails(t *testing.T) {
+	fa, fb := NewFlaky(storage.NewMemStore()), NewFlaky(storage.NewMemStore())
+	r, err := New(fa, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Fail()
+	fb.Fail()
+	if err := r.Put("k", []byte("v")); err == nil {
+		t.Fatal("put succeeded with all backends down")
+	}
+	if _, err := r.Get("k"); err == nil || errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("get error = %v, want a backend failure", err)
+	}
+	if _, err := r.Keys(""); err == nil {
+		t.Fatal("keys succeeded with all backends down")
+	}
+}
+
+func TestSyncRepairsReplicaThatMissedWrites(t *testing.T) {
+	a, b := storage.NewMemStore(), storage.NewMemStore()
+	fb := NewFlaky(b)
+	r, err := New(a, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k0", []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	fb.Fail()
+	if err := r.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fb.Heal()
+	// b missed k1 while down.
+	if _, err := b.Get("k1"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("b should lack k1: %v", err)
+	}
+	copied, err := r.Sync()
+	if err != nil || copied != 1 {
+		t.Fatalf("sync: copied %d err %v", copied, err)
+	}
+	got, err := b.Get("k1")
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("after sync: %q %v", got, err)
+	}
+	// Idempotent.
+	copied, err = r.Sync()
+	if err != nil || copied != 0 {
+		t.Fatalf("second sync: copied %d err %v", copied, err)
+	}
+}
+
+func TestSyncRebuildsEmptyReplacementReplica(t *testing.T) {
+	// The total-loss scenario: a backend is replaced by a fresh empty
+	// store; Sync rebuilds it from the survivor.
+	a, b := storage.NewMemStore(), storage.NewMemStore()
+	r, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{{"x", "1"}, {"y", "2"}, {"z", "3"}} {
+		if err := r.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate total loss of b.
+	keys, _ := b.Keys("")
+	for _, k := range keys {
+		b.Delete(k)
+	}
+	copied, err := r.Sync()
+	if err != nil || copied != 3 {
+		t.Fatalf("sync: copied %d err %v", copied, err)
+	}
+	for _, kv := range [][2]string{{"x", "1"}, {"y", "2"}, {"z", "3"}} {
+		got, err := b.Get(kv[0])
+		if err != nil || string(got) != kv[1] {
+			t.Fatalf("rebuilt %s: %q %v", kv[0], got, err)
+		}
+	}
+}
+
+func TestSyncReconcilesDivergedValues(t *testing.T) {
+	// Mutable keys (manifests under GC) can diverge while a replica is
+	// down: Sync must overwrite the stale copy with the one reads serve
+	// (the first readable replica's).
+	a, b := storage.NewMemStore(), storage.NewMemStore()
+	r, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("manifest", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// b missed an in-place rewrite.
+	if err := a.Put("manifest", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := r.Sync()
+	if err != nil || copied != 1 {
+		t.Fatalf("sync: copied %d err %v", copied, err)
+	}
+	got, err := b.Get("manifest")
+	if err != nil || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("diverged value not reconciled: %q %v", got, err)
+	}
+	copied, err = r.Sync()
+	if err != nil || copied != 0 {
+		t.Fatalf("second sync: copied %d err %v", copied, err)
+	}
+}
+
+func TestDeleteAcrossReplicas(t *testing.T) {
+	r, a, b := newPair(t)
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*storage.MemStore{a, b} {
+		if _, err := m.Get("k"); !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("backend %d still holds k: %v", i, err)
+		}
+	}
+	// Deleting an absent key is a no-op, as for the base stores.
+	if err := r.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlakyHealRestoresState(t *testing.T) {
+	inner := storage.NewMemStore()
+	f := NewFlaky(inner)
+	if err := f.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	f.Fail()
+	if !f.Down() {
+		t.Fatal("Down() false after Fail")
+	}
+	if _, err := f.Get("k"); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("down get error = %v", err)
+	}
+	if err := f.Put("k2", nil); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("down put error = %v", err)
+	}
+	if err := f.Delete("k"); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("down delete error = %v", err)
+	}
+	if _, err := f.Keys(""); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("down keys error = %v", err)
+	}
+	f.Heal()
+	got, err := f.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("healed get: %q %v", got, err)
+	}
+}

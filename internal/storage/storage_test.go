@@ -3,7 +3,10 @@ package storage
 import (
 	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -191,6 +194,135 @@ func TestFSStore(t *testing.T) {
 	}
 	if _, err := f.Get("round0/rank0/expert1"); !errors.Is(err, ErrNotFound) {
 		t.Fatal("key survived delete")
+	}
+}
+
+func TestFSStorePutConcurrentSameKey(t *testing.T) {
+	// Regression: Put used a shared "<path>.tmp" temp file, so two
+	// concurrent writers to the same key could rename a torn or foreign
+	// blob into place. With per-write unique temp files the final value
+	// must be exactly one writer's complete payload.
+	dir := t.TempDir()
+	f, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const rounds = 50
+	payloads := make([][]byte, writers)
+	for w := range payloads {
+		p := make([]byte, 4096)
+		for i := range p {
+			p[i] = byte(w)
+		}
+		payloads[w] = p
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := f.Put("shared/key", payloads[w]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got, err := f.Get("shared/key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("torn blob: %d bytes", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("mixed blob: byte %d is %d, byte 0 is %d", i, got[i], got[0])
+		}
+	}
+	// No temp files left behind, and Keys does not surface them.
+	keys, err := f.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "shared/key" {
+		t.Fatalf("unexpected keys after concurrent writes: %v", keys)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover temp files: %v", entries)
+	}
+}
+
+func TestCodecNaNAndSpecialValues(t *testing.T) {
+	nan := math.Float32frombits(0x7fc00001) // quiet NaN with payload
+	in := map[string][]float32{
+		"nan":    {float32(math.NaN()), nan, 0},
+		"inf":    {float32(math.Inf(1)), float32(math.Inf(-1))},
+		"denorm": {math.Float32frombits(1)},
+		"empty":  {},
+	}
+	out, err := DecodeTensors(EncodeTensors(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d tensors, want %d", len(out), len(in))
+	}
+	// NaN != NaN, so compare bit patterns.
+	for k, v := range in {
+		got := out[k]
+		if len(got) != len(v) {
+			t.Fatalf("%s: length %d, want %d", k, len(got), len(v))
+		}
+		for i := range v {
+			if math.Float32bits(got[i]) != math.Float32bits(v[i]) {
+				t.Fatalf("%s[%d]: bits %#x, want %#x", k, i,
+					math.Float32bits(got[i]), math.Float32bits(v[i]))
+			}
+		}
+	}
+}
+
+func TestCodecEmptyMap(t *testing.T) {
+	out, err := DecodeTensors(EncodeTensors(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("decoded %d tensors from empty encode", len(out))
+	}
+}
+
+func TestCodecBitFlipSweep(t *testing.T) {
+	// Every single-byte corruption anywhere in the blob must be caught
+	// (CRC32 detects all single-bit and single-byte errors).
+	blob := EncodeTensors(map[string][]float32{
+		"a/w": {1.5, -2.25, 3}, "b/opt": {0, 42},
+	})
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x01
+		if _, err := DecodeTensors(bad); err == nil {
+			t.Fatalf("single-bit corruption at byte %d undetected", i)
+		}
+	}
+	// Truncation at every length must be caught too.
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeTensors(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes undetected", n)
+		}
 	}
 }
 

@@ -198,20 +198,41 @@ func (f *FSStore) path(key string) (string, error) {
 	return filepath.Join(f.root, clean), nil
 }
 
-// Put implements PersistStore with atomic rename semantics.
+// Put implements PersistStore with atomic rename semantics. Each write
+// goes through its own unique temporary file, so concurrent Puts to the
+// same key cannot interleave on a shared temp path: the key ends up as
+// one writer's complete blob, never a torn mix.
 func (f *FSStore) Put(key string, data []byte) error {
 	p, err := f.path(key)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, filepath.Base(p)+".*.tmp")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Get implements PersistStore.

@@ -8,6 +8,7 @@ import (
 	"moc/internal/eval"
 	"moc/internal/model"
 	"moc/internal/storage"
+	"moc/internal/storage/replica"
 	"moc/internal/train"
 )
 
@@ -28,6 +29,40 @@ func NewMemStore() PersistStore { return storage.NewMemStore() }
 // NewFSStore returns a persistent store on the local filesystem rooted at
 // dir.
 func NewFSStore(dir string) (PersistStore, error) { return storage.NewFSStore(dir) }
+
+// ReplicatedStore is a PersistStore fanning writes out to several
+// backends and reading from the first healthy replica. Sync is the
+// anti-entropy repair: it copies every key a backend is missing (because
+// it was down, or was replaced after a loss) from a surviving replica.
+type ReplicatedStore interface {
+	PersistStore
+	Sync() (copied int, err error)
+}
+
+// NewReplicatedStore builds a replicating persistent store over the given
+// backends (at least one). Checkpoints survive the loss of all but one
+// replica; recovery reads fall through to the first backend holding each
+// key.
+func NewReplicatedStore(backends ...PersistStore) (ReplicatedStore, error) {
+	inner := make([]storage.PersistStore, len(backends))
+	for i, b := range backends {
+		inner[i] = b
+	}
+	return replica.New(inner...)
+}
+
+// FlakyStore wraps a PersistStore with a kill switch for fault-injection
+// experiments: while failed, every operation errors, simulating the loss
+// of one persist backend; Heal brings it back with the state it held.
+type FlakyStore interface {
+	PersistStore
+	Fail()
+	Heal()
+	Down() bool
+}
+
+// NewFlakyStore wraps a persistent store for backend-loss injection.
+func NewFlakyStore(inner PersistStore) FlakyStore { return replica.NewFlaky(inner) }
 
 // Variant names which state classes PEC applies to (§6.3 of the paper):
 // "full" (no PEC), "W" (weights only), "O" (optimizer states only), or
@@ -174,6 +209,13 @@ type Stats struct {
 	PLT                 float64 // Proportion of Lost Tokens (Eq. 7)
 	KCurrent            int     // current PEC fan-out (changes under Dynamic-K)
 	SnapshotWaitSeconds float64
+
+	// Checkpoint-store counters: logical checkpoint volume presented,
+	// physical bytes actually written after content-addressed dedup, and
+	// the fraction of presented bytes dedup avoided rewriting.
+	LogicalBytesPersisted  int64
+	PhysicalBytesPersisted int64
+	DedupRatio             float64
 }
 
 // System trains a sparse-MoE model with MoC checkpointing and fault
@@ -411,6 +453,11 @@ func (s *System) checkpoint() error {
 // CheckpointNow forces a checkpoint round regardless of the interval.
 func (s *System) CheckpointNow() error { return s.checkpoint() }
 
+// FlushCheckpoints blocks until every started checkpoint has fully
+// persisted (the persist level runs asynchronously), returning the first
+// persist error if any.
+func (s *System) FlushCheckpoints() error { return s.agent.Flush() }
+
 // RunTo trains until the given iteration, returning the last loss.
 func (s *System) RunTo(iteration int) (float64, error) {
 	var loss float64
@@ -566,6 +613,7 @@ func (s *System) PLT() float64 { return s.plt.PLT() }
 // Stats returns the fault-tolerance counters.
 func (s *System) Stats() Stats {
 	as := s.agent.Stats()
+	ss := s.agent.StorageStats()
 	return Stats{
 		Iteration:           s.model.Iteration(),
 		Checkpoints:         as.Persisted,
@@ -574,13 +622,19 @@ func (s *System) Stats() Stats {
 		PLT:                 s.plt.PLT(),
 		KCurrent:            s.kPersist,
 		SnapshotWaitSeconds: as.SnapshotWait.Seconds(),
+
+		LogicalBytesPersisted:  ss.LogicalBytes,
+		PhysicalBytesPersisted: ss.BytesWritten,
+		DedupRatio:             ss.DedupRatio(),
 	}
 }
 
-// CompactStorage deletes persisted blobs superseded by newer checkpoint
-// rounds (PEC keeps old rounds alive only while they hold some expert's
-// newest copy). It returns the number of blobs deleted. Recovery outcomes
-// are unaffected.
+// CompactStorage runs the checkpoint store's refcount garbage collector:
+// manifest entries superseded by newer rounds are dropped and chunks no
+// manifest references any more are swept (PEC keeps old rounds alive only
+// while they hold some expert's newest copy; chunks shared with live
+// rounds survive by refcount). It returns the number of objects removed.
+// Recovery outcomes are unaffected.
 func (s *System) CompactStorage() (int, error) {
 	if err := s.agent.Flush(); err != nil {
 		return 0, err
@@ -588,8 +642,10 @@ func (s *System) CompactStorage() (int, error) {
 	return s.agent.Compact()
 }
 
-// VerifyStorage reads back and checksum-verifies every blob a recovery
-// could use, returning the number verified.
+// VerifyStorage reads back every blob a recovery could use — verifying
+// each chunk against its content address and each blob against its codec
+// CRC — and audits the store's chunk reference counts. It returns the
+// number of blobs verified.
 func (s *System) VerifyStorage() (int, error) {
 	if err := s.agent.Flush(); err != nil {
 		return 0, err
