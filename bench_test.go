@@ -23,6 +23,7 @@ package moc_test
 // selection policy, sharding strategy, and buffer count.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"testing"
 
@@ -31,9 +32,12 @@ import (
 	"moc/internal/core"
 	"moc/internal/experiments"
 	"moc/internal/model"
+	"moc/internal/rng"
 	"moc/internal/simtime"
 	"moc/internal/storage"
+	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/remote"
 )
 
 func BenchmarkFig05PLTGrid(b *testing.B) {
@@ -360,6 +364,159 @@ func BenchmarkStripedPersist(b *testing.B) {
 			}
 		})
 	}
+}
+
+// uniqueBlob fills n pseudo-random bytes from seed — distinct seeds
+// yield chunk-level-distinct payloads, so no accidental dedup skews the
+// remote-persist numbers.
+func uniqueBlob(seed uint64, n int) []byte {
+	blob := make([]byte, n)
+	rng.New(seed).Fill(blob)
+	return blob
+}
+
+func BenchmarkRemotePersist(b *testing.B) {
+	// Persist bandwidth against the simulated object store: every round
+	// writes unique chunks through the striped writer pool, multipart
+	// puts engage above the part threshold, and the reported simulated
+	// seconds are what the cost model says the round took in op time.
+	const (
+		moduleCount = 8
+		moduleBytes = 1 << 18 // 256 KiB per module: multipart at 64 KiB parts
+		chunkSize   = 1 << 16
+	)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			backend, err := remote.New(remote.Config{
+				LatencySeconds: 0.01,
+				UploadBps:      256 << 20,
+				PartSize:       64 << 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := cas.Open(backend, cas.Options{ChunkSize: chunkSize, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Payloads are generated once; each round only stamps its
+			// number into every chunk, so the timed loop measures the
+			// store, not the payload generator — while chunks stay
+			// distinct across rounds (no accidental dedup).
+			mods := make(map[string][]byte, moduleCount)
+			for m := 0; m < moduleCount; m++ {
+				mods[fmt.Sprintf("m%02d", m)] = uniqueBlob(uint64(m), moduleBytes)
+			}
+			stamp := func(round int) {
+				for _, blob := range mods {
+					for off := 0; off < len(blob); off += chunkSize {
+						binary.LittleEndian.PutUint64(blob[off:], uint64(round))
+					}
+				}
+			}
+			b.SetBytes(moduleCount * moduleBytes)
+			var simRounds float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stamp(i)
+				pre := backend.Metrics().SimSeconds
+				if _, err := store.WriteRound(i, mods); err != nil {
+					b.Fatal(err)
+				}
+				simRounds += backend.Metrics().SimSeconds - pre
+				// Sweep the previous round outside the timer so memory
+				// stays bounded at ~one round of never-deduped chunks
+				// however large b.N grows, without its delete costs
+				// polluting the per-round persist metric.
+				b.StopTimer()
+				round := i
+				if _, err := store.Retain(func(r int, _ string) bool { return r == round }, round); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			m := backend.Metrics()
+			b.ReportMetric(simRounds/float64(b.N), "sim_s/round")
+			b.ReportMetric(float64(m.MultipartPuts)/float64(b.N), "multipart/round")
+			b.ReportMetric(float64(m.Retries), "retries")
+		})
+	}
+}
+
+func BenchmarkCachedRecovery(b *testing.B) {
+	// Recovery latency with the LRU chunk cache between the CAS store
+	// and the remote backend. cold: the cache is dropped before every
+	// recovery (a replacement node), so each one pays remote gets.
+	// warm: the write-through cache still holds every hot chunk, so
+	// recovery performs ZERO remote Get ops — the acceptance property.
+	const (
+		moduleCount = 8
+		moduleBytes = 1 << 16
+		chunkSize   = 1 << 14
+	)
+	setup := func(b *testing.B) (*remote.Store, *cache.Store, *cas.Store) {
+		backend, err := remote.New(remote.Config{LatencySeconds: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cached, err := cache.New(backend, 64<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := cas.Open(cached, cas.Options{ChunkSize: chunkSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods := make(map[string][]byte, moduleCount)
+		for m := 0; m < moduleCount; m++ {
+			mods[fmt.Sprintf("m%02d", m)] = uniqueBlob(uint64(m), moduleBytes)
+		}
+		if _, err := store.WriteRound(0, mods); err != nil {
+			b.Fatal(err)
+		}
+		return backend, cached, store
+	}
+	recoverAll := func(b *testing.B, store *cas.Store) {
+		for m := 0; m < moduleCount; m++ {
+			if _, err := store.ReadModule(0, fmt.Sprintf("m%02d", m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		backend, cached, store := setup(b)
+		base := backend.Metrics()
+		b.SetBytes(moduleCount * moduleBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cached.Drop()
+			recoverAll(b, store)
+		}
+		b.StopTimer()
+		m := backend.Metrics()
+		b.ReportMetric(float64(m.GetOps-base.GetOps)/float64(b.N), "remote_gets/rec")
+		b.ReportMetric((m.SimSeconds-base.SimSeconds)/float64(b.N), "sim_s/rec")
+	})
+	b.Run("warm", func(b *testing.B) {
+		backend, cached, store := setup(b)
+		recoverAll(b, store) // not even needed: write-through already warmed it
+		base := backend.Metrics()
+		b.SetBytes(moduleCount * moduleBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recoverAll(b, store)
+		}
+		b.StopTimer()
+		m := backend.Metrics()
+		if gets := m.GetOps - base.GetOps; gets != 0 {
+			b.Fatalf("warm recovery performed %d remote gets, want 0", gets)
+		}
+		st := cached.Stats()
+		b.ReportMetric(0, "remote_gets/rec")
+		b.ReportMetric((m.SimSeconds-base.SimSeconds)/float64(b.N), "sim_s/rec")
+		b.ReportMetric(st.HitRatio(), "cache_hit_ratio")
+	})
 }
 
 func BenchmarkPlanCheckpoint(b *testing.B) {

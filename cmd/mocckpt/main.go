@@ -6,8 +6,15 @@
 //	mocckpt -dir /path/to/ckpts inspect  # chunk-level detail + dedup stats
 //	mocckpt -dir /path/to/ckpts verify   # read back + refcount audit
 //	mocckpt -dir /path/to/ckpts gc       # refcount GC of superseded state
+//	mocckpt -dir /path/to/ckpts stats    # storage-stack replay: dedup,
+//	                                     # cache hit rate, remote op costs
 //
-// "compact" is accepted as an alias of "gc".
+// "compact" is accepted as an alias of "gc". stats replays a full
+// recovery twice through the simulated storage stack — the directory
+// behind an object-store cost model behind an LRU chunk cache — and
+// prints the dedup ratio, the cold/warm cache hit rates, and the remote
+// op/byte/retry counters the replay cost. -cache-mb, -latency-ms,
+// -upload-mbps and -download-mbps shape the stack.
 package main
 
 import (
@@ -17,15 +24,29 @@ import (
 
 	"moc/internal/core"
 	"moc/internal/storage"
+	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/remote"
 )
 
 func main() {
 	dir := flag.String("dir", "", "checkpoint directory (FSStore root)")
+	cacheMB := flag.Int("cache-mb", 64, "stats: LRU chunk-cache capacity in MiB")
+	latencyMS := flag.Float64("latency-ms", 20, "stats: remote per-request latency in ms")
+	uploadMBps := flag.Float64("upload-mbps", 256, "stats: remote upload bandwidth in MiB/s")
+	downloadMBps := flag.Float64("download-mbps", 512, "stats: remote download bandwidth in MiB/s")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt -dir <path> {list|inspect|verify|gc}")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats}")
+		os.Exit(2)
+	}
+	// Go's flag parsing stops at the first positional argument, so flags
+	// placed after the subcommand would be silently ignored — and the
+	// cost-model numbers would silently lie. Reject them instead.
+	if flag.NArg() > 1 {
+		fmt.Fprintf(os.Stderr, "mocckpt: unexpected arguments after %q: %v (flags go before the subcommand)\n",
+			cmd, flag.Args()[1:])
 		os.Exit(2)
 	}
 	store, err := storage.NewFSStore(*dir)
@@ -56,6 +77,16 @@ func main() {
 			rep.ChunksStored, rep.ChunksReferenced, rep.RefTotal)
 		if len(rep.Orphans) > 0 {
 			fmt.Printf("  %d orphan chunks (unreferenced; reclaim with 'gc')\n", len(rep.Orphans))
+		}
+	case "stats":
+		// The remote cost model treats zero as "use the default", so a
+		// zero flag would silently charge the default cost instead of
+		// none — reject it rather than lie in the printed numbers.
+		if *cacheMB <= 0 || *latencyMS <= 0 || *uploadMBps <= 0 || *downloadMBps <= 0 {
+			fatal(fmt.Errorf("stats: -cache-mb, -latency-ms, -upload-mbps and -download-mbps must be positive (use a small value like 0.001 to model a near-free remote)"))
+		}
+		if err := stats(store, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps); err != nil {
+			fatal(err)
 		}
 	case "gc", "compact":
 		agent := openAgent(store)
@@ -101,11 +132,8 @@ func list(store storage.PersistStore, detailed bool) error {
 		fmt.Println("no checkpoints")
 		return nil
 	}
-	// Chunks shared across rounds are the dedup evidence: count
-	// references vs unique chunks.
-	refs := map[cas.Hash]int64{}
-	chunkSize := map[cas.Hash]int64{}
 	fmt.Printf("%-8s %-10s %-8s %-8s %-12s %s\n", "round", "writers", "modules", "chunks", "bytes", "status")
+	var acct dedupAccounting
 	for _, r := range rounds {
 		ms := cs.ManifestsForRound(r)
 		var modules, chunks int
@@ -115,11 +143,8 @@ func list(store storage.PersistStore, detailed bool) error {
 			logical += m.LogicalBytes()
 			for _, e := range m.Modules {
 				chunks += len(e.Chunks)
-				for _, c := range e.Chunks {
-					refs[c.Hash]++
-					chunkSize[c.Hash] = int64(c.Size)
-				}
 			}
+			acct.add(m)
 		}
 		fmt.Printf("%-8d %-10d %-8d %-8d %-12d complete\n", r, len(ms), modules, chunks, logical)
 		if detailed {
@@ -131,17 +156,143 @@ func list(store storage.PersistStore, detailed bool) error {
 			}
 		}
 	}
-	var logicalTotal, physicalTotal int64
-	for h, n := range refs {
-		logicalTotal += int64(n) * chunkSize[h]
-		physicalTotal += chunkSize[h]
+	logical, physical := acct.totals()
+	fmt.Printf("\n%d unique chunks; ", len(acct.refs))
+	printDedupLine(logical, physical)
+	return nil
+}
+
+// dedupAccounting accumulates chunk references across manifests: chunks
+// shared between rounds (or writers) are the dedup evidence.
+type dedupAccounting struct {
+	refs      map[cas.Hash]int64
+	chunkSize map[cas.Hash]int64
+	rounds    map[int]bool
+	modules   int
+	manifests int
+}
+
+func (d *dedupAccounting) add(m *cas.Manifest) {
+	if d.refs == nil {
+		d.refs = map[cas.Hash]int64{}
+		d.chunkSize = map[cas.Hash]int64{}
+		d.rounds = map[int]bool{}
 	}
-	fmt.Printf("\n%d unique chunks; %d logical -> %d physical chunk bytes", len(refs), logicalTotal, physicalTotal)
-	if logicalTotal > 0 {
-		fmt.Printf(" (dedup %.1f%%)", 100*float64(logicalTotal-physicalTotal)/float64(logicalTotal))
+	d.rounds[m.Round] = true
+	d.manifests++
+	d.modules += len(m.Modules)
+	for _, e := range m.Modules {
+		for _, c := range e.Chunks {
+			d.refs[c.Hash]++
+			d.chunkSize[c.Hash] = int64(c.Size)
+		}
+	}
+}
+
+// totals returns the referenced (logical) and unique (physical) chunk
+// byte volumes.
+func (d *dedupAccounting) totals() (logical, physical int64) {
+	for h, n := range d.refs {
+		logical += n * d.chunkSize[h]
+		physical += d.chunkSize[h]
+	}
+	return logical, physical
+}
+
+// printDedupLine prints "L logical -> P physical chunk bytes (dedup X%)".
+func printDedupLine(logical, physical int64) {
+	fmt.Printf("%d logical -> %d physical chunk bytes", logical, physical)
+	if logical > 0 {
+		fmt.Printf(" (dedup %.1f%%)", 100*float64(logical-physical)/float64(logical))
 	}
 	fmt.Println()
+}
+
+// stats replays every committed module through the simulated storage
+// stack — the directory as an object store with a cost model, fronted by
+// an LRU chunk cache — and prints dedup, cache, and remote counters.
+// The first pass is the cold-cache recovery; the second replays it warm.
+func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, downloadMBps float64) error {
+	rs, err := remote.New(remote.Config{
+		Inner:          fsStore,
+		LatencySeconds: latencyMS / 1000,
+		UploadBps:      uploadMBps * (1 << 20),
+		DownloadBps:    downloadMBps * (1 << 20),
+	})
+	if err != nil {
+		return err
+	}
+	cs, err := cache.New(rs, int64(cacheMB)<<20)
+	if err != nil {
+		return err
+	}
+	store, err := cas.Open(cs, cas.Options{})
+	if err != nil {
+		return err
+	}
+	manifests := store.Manifests()
+	if len(manifests) == 0 {
+		fmt.Println("no checkpoints")
+		return nil
+	}
+
+	var acct dedupAccounting
+	for _, m := range manifests {
+		acct.add(m)
+	}
+	logical, physical := acct.totals()
+	fmt.Printf("store: %d rounds, %d manifests, %d module entries, %d unique chunks\n",
+		len(acct.rounds), acct.manifests, acct.modules, len(acct.refs))
+	fmt.Print("dedup: ")
+	printDedupLine(logical, physical)
+
+	// Replay: read every module of every round, cold then warm.
+	replay := func() error {
+		for _, m := range manifests {
+			for _, e := range m.Modules {
+				if _, err := store.ReadModule(m.Round, e.Module); err != nil {
+					return fmt.Errorf("replay %s@%06d: %w", e.Module, m.Round, err)
+				}
+			}
+		}
+		return nil
+	}
+	coldBase, coldCache := rs.Metrics(), cs.Stats()
+	if err := replay(); err != nil {
+		return err
+	}
+	coldM, coldC := rs.Metrics(), cs.Stats()
+	if err := replay(); err != nil {
+		return err
+	}
+	warmM, warmC := rs.Metrics(), cs.Stats()
+
+	coldReads := (coldC.Hits + coldC.Misses) - (coldCache.Hits + coldCache.Misses)
+	warmReads := (warmC.Hits + warmC.Misses) - (coldC.Hits + coldC.Misses)
+	fmt.Printf("cold replay: %d chunk reads, cache hit rate %.1f%%, %d remote gets, %d bytes down, %.3f sim s\n",
+		coldReads,
+		hitRate(coldC.Hits-coldCache.Hits, coldReads),
+		coldM.GetOps-coldBase.GetOps,
+		coldM.BytesDownloaded-coldBase.BytesDownloaded,
+		coldM.SimSeconds-coldBase.SimSeconds)
+	fmt.Printf("warm replay: %d chunk reads, cache hit rate %.1f%%, %d remote gets, %d bytes down, %.3f sim s\n",
+		warmReads,
+		hitRate(warmC.Hits-coldC.Hits, warmReads),
+		warmM.GetOps-coldM.GetOps,
+		warmM.BytesDownloaded-coldM.BytesDownloaded,
+		warmM.SimSeconds-coldM.SimSeconds)
+	fmt.Printf("cache: %d entries, %d/%d bytes used, %d insertions, %d evictions\n",
+		warmC.Entries, warmC.Bytes, warmC.Capacity, warmC.Insertions, warmC.Evictions)
+	fmt.Printf("remote totals: %d gets, %d lists, %d retries, %d injected failures, %.3f sim s\n",
+		warmM.GetOps, warmM.ListOps, warmM.Retries, warmM.InjectedFailures, warmM.SimSeconds)
 	return nil
+}
+
+func hitRate(hits, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
 }
 
 func fatal(err error) {

@@ -59,6 +59,31 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
+// Fill overwrites b with pseudo-random bytes, eight per Uint64 draw.
+// Distinct seeds yield chunk-level-distinct payloads, which makes it
+// the generator of dedup-proof probe and benchmark blobs.
+func (r *RNG) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+		b[i+4] = byte(v >> 32)
+		b[i+5] = byte(v >> 40)
+		b[i+6] = byte(v >> 48)
+		b[i+7] = byte(v >> 56)
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
 // Split derives a new generator whose stream is independent of the parent's
 // subsequent outputs. Both generators remain usable.
 func (r *RNG) Split() *RNG {

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"testing/quick"
@@ -189,5 +190,28 @@ func BenchmarkNorm(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = r.Norm()
+	}
+}
+
+func TestFillDeterministicDistinctAndOddLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 1023} {
+		a, b := make([]byte, n), make([]byte, n)
+		New(5).Fill(a)
+		New(5).Fill(b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("len %d: same seed diverged", n)
+		}
+	}
+	a, b := make([]byte, 256), make([]byte, 256)
+	New(1).Fill(a)
+	New(2).Fill(b)
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct seeds produced identical fills")
+	}
+	// The tail path must actually write the trailing bytes.
+	c := bytes.Repeat([]byte{0xAA}, 13)
+	New(9).Fill(c)
+	if c[12] == 0xAA && c[11] == 0xAA && c[10] == 0xAA {
+		t.Fatal("tail bytes left unwritten")
 	}
 }

@@ -1,0 +1,215 @@
+// Package cache is a size-bounded LRU chunk cache layered between the
+// content-addressed store and any PersistStore backend. Reads are
+// served from memory when hot (read-through on miss); writes go to the
+// backend first and then populate the cache (write-through), so the
+// cache never holds bytes the backend has not accepted. Against a
+// remote backend this is the snapshot tier: recovery and
+// re-verification of hot chunks never leave the node.
+//
+// Chunk keys are content-addressed upstream, so cached values never go
+// stale — the only invalidation paths are Delete and capacity eviction.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"moc/internal/storage"
+)
+
+// Stats counts cache activity since construction.
+type Stats struct {
+	// Hits / Misses count Gets served from memory vs. the backend.
+	Hits, Misses int64
+	// HitBytes / MissBytes are the corresponding payload volumes.
+	HitBytes, MissBytes int64
+	// Insertions counts entries admitted; Evictions entries pushed out
+	// by the capacity bound (Delete removals are not evictions).
+	Insertions, Evictions int64
+	// Entries / Bytes are the current residency; Capacity the bound.
+	Entries  int
+	Bytes    int64
+	Capacity int64
+}
+
+// HitRatio is Hits / (Hits + Misses), 0 when the cache is untouched.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// Store is the caching PersistStore. It is safe for concurrent use.
+type Store struct {
+	inner    storage.PersistStore
+	capacity int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+	stats Stats
+	// delGen increments on every Delete/Drop. A read-through miss fill
+	// captures it before the backend fetch and is not admitted if it
+	// moved — otherwise a Delete interleaving with the fetch would leave
+	// the cache serving a key the backend no longer holds. Deletes are
+	// rare (the GC sweep), so skipping the occasional unrelated fill is
+	// the cheap conservative side.
+	delGen uint64
+}
+
+// New wraps a backend with an LRU cache bounded at capacityBytes.
+func New(inner storage.PersistStore, capacityBytes int64) (*Store, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("cache: nil backend")
+	}
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacityBytes)
+	}
+	return &Store{
+		inner:    inner,
+		capacity: capacityBytes,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Stats returns a copy of the counters plus current residency.
+func (c *Store) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.index)
+	st.Bytes = c.bytes
+	st.Capacity = c.capacity
+	return st
+}
+
+// insert admits a value (copying it), evicting from the LRU tail until
+// it fits. Values larger than the whole cache are not admitted — they
+// would evict everything for a single entry that can never be resident
+// alongside anything else.
+func (c *Store) insert(key string, data []byte) {
+	if int64(len(data)) > c.capacity {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = append([]byte(nil), data...)
+		c.ll.MoveToFront(el)
+	} else {
+		e := &entry{key: key, data: append([]byte(nil), data...)}
+		c.index[key] = c.ll.PushFront(e)
+		c.bytes += int64(len(data))
+		c.stats.Insertions++
+	}
+	for c.bytes > c.capacity {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.removeElement(tail)
+		c.stats.Evictions++
+	}
+}
+
+func (c *Store) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= int64(len(e.data))
+}
+
+// Put implements storage.PersistStore: write-through. The backend write
+// happens first; the cache is populated only on its success, and — like
+// the Get miss fill — not when a Delete raced the backend write, so the
+// cache never outlives the backend copy.
+func (c *Store) Put(key string, data []byte) error {
+	c.mu.Lock()
+	gen := c.delGen
+	c.mu.Unlock()
+	if err := c.inner.Put(key, data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if gen == c.delGen {
+		c.insert(key, data)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Get implements storage.PersistStore: read-through. Hits are served
+// from memory; misses fetch from the backend and admit the value.
+func (c *Store) Get(key string) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*entry)
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.HitBytes += int64(len(e.data))
+		// Cached slices are immutable once stored (insert replaces
+		// e.data, never mutates it), so the caller's copy can happen
+		// outside the lock — hits from concurrent readers don't
+		// serialize behind each other's memcpy.
+		data := e.data
+		c.mu.Unlock()
+		return append([]byte(nil), data...), nil
+	}
+	c.stats.Misses++
+	gen := c.delGen
+	c.mu.Unlock()
+
+	data, err := c.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.MissBytes += int64(len(data))
+	if gen == c.delGen {
+		c.insert(key, data)
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
+// Delete implements storage.PersistStore, dropping the cached copy
+// before the backend delete so a failed backend delete can never leave
+// the cache serving a key the caller asked to remove.
+func (c *Store) Delete(key string) error {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.removeElement(el)
+	}
+	c.delGen++
+	c.mu.Unlock()
+	return c.inner.Delete(key)
+}
+
+// Keys implements storage.PersistStore, passing through to the backend
+// (the cache holds a subset; only the backend knows the full key set).
+func (c *Store) Keys(prefix string) ([]string, error) {
+	return c.inner.Keys(prefix)
+}
+
+// Drop empties the cache without touching the backend — the cold-cache
+// state after a node restart. Counters survive; residency goes to zero.
+func (c *Store) Drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.index = make(map[string]*list.Element)
+	c.bytes = 0
+	c.delGen++ // in-flight miss fills must not resurrect dropped entries
+}
+
+var _ storage.PersistStore = (*Store)(nil)

@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"moc/internal/storage"
+)
+
+func mustNew(t *testing.T, inner storage.PersistStore, capacity int64) *Store {
+	t.Helper()
+	c, err := New(inner, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReadThroughAndHitAccounting(t *testing.T) {
+	inner := storage.NewMemStore()
+	if err := inner.Put("k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, inner, 1<<20)
+	for i := 0; i < 3; i++ {
+		got, err := c.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte("hello")) {
+			t.Fatal("payload mismatch")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("hits/misses %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.HitBytes != 10 || st.MissBytes != 5 {
+		t.Fatalf("hit/miss bytes %d/%d", st.HitBytes, st.MissBytes)
+	}
+	if r := st.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio %v, want 2/3", r)
+	}
+}
+
+func TestWriteThroughPopulatesCacheAndBackend(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<20)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inner.Get("k"); err != nil {
+		t.Fatal("write did not reach the backend")
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("read after write missed: %+v", st)
+	}
+}
+
+func TestFailedBackendPutIsNotCached(t *testing.T) {
+	inner := &failingStore{err: errors.New("backend refused")}
+	c := mustNew(t, inner, 1<<20)
+	if err := c.Put("k", []byte("v")); err == nil {
+		t.Fatal("put succeeded against a failing backend")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("cache holds bytes the backend never accepted")
+	}
+}
+
+func TestLRUEvictionOrderAndSizeBound(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 30) // room for 3 × 10-byte values
+	blob := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 10) }
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), blob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, err := c.Get("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k3", blob(3)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 30 || st.Entries != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	// k1 evicted (miss), k0 still resident (hit).
+	base := c.Stats()
+	if _, err := c.Get("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k0"); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Misses-base.Misses != 1 || st.Hits-base.Hits != 1 {
+		t.Fatalf("LRU victim wrong: %+v vs %+v", st, base)
+	}
+}
+
+func TestOversizedValueBypassesCache(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 10)
+	if err := c.Put("big", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Evictions != 0 {
+		t.Fatalf("oversized value admitted: %+v", st)
+	}
+	if got, err := c.Get("big"); err != nil || len(got) != 100 {
+		t.Fatalf("oversized value unreadable: %v", err)
+	}
+}
+
+func TestDeleteDropsCachedCopy(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<20)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("deleted key served: err = %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("residency after delete: %+v", st)
+	}
+}
+
+func TestDropColdStartsTheCache(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<20)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("Drop left residency: %+v", st)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err) // still in the backend
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("cold read did not miss: %+v", st)
+	}
+}
+
+func TestKeysPassThrough(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<20)
+	for _, k := range []string{"a/1", "a/2", "b/3"} {
+		if err := c.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.Keys("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				if err := c.Put(key, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Get(key); err != nil && !errors.Is(err, storage.ErrNotFound) {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.Capacity {
+		t.Fatalf("size bound violated: %+v", st)
+	}
+}
+
+// failingStore errors every operation.
+type failingStore struct{ err error }
+
+func (f *failingStore) Put(string, []byte) error      { return f.err }
+func (f *failingStore) Get(string) ([]byte, error)    { return nil, f.err }
+func (f *failingStore) Delete(string) error           { return f.err }
+func (f *failingStore) Keys(string) ([]string, error) { return nil, f.err }
+
+// hookStore runs a callback after the inner Get completes but before
+// the value is returned to the cache — the window in which a concurrent
+// Delete can land between the miss's backend fetch and its admission.
+type hookStore struct {
+	storage.PersistStore
+	onGet func(key string)
+	onPut func(key string)
+}
+
+func (h *hookStore) Get(key string) ([]byte, error) {
+	b, err := h.PersistStore.Get(key)
+	if h.onGet != nil {
+		h.onGet(key)
+	}
+	return b, err
+}
+
+func (h *hookStore) Put(key string, data []byte) error {
+	err := h.PersistStore.Put(key, data)
+	if h.onPut != nil {
+		h.onPut(key)
+	}
+	return err
+}
+
+func TestDeleteDuringMissFillIsNotResurrected(t *testing.T) {
+	// A Delete that lands between a miss's backend fetch and its cache
+	// admission must win: the fetched value is stale the moment the
+	// delete happens, and admitting it would serve a key the backend no
+	// longer holds.
+	inner := storage.NewMemStore()
+	if err := inner.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hooked := &hookStore{PersistStore: inner}
+	c := mustNew(t, hooked, 1<<20)
+	fired := false
+	hooked.onGet = func(string) {
+		if !fired {
+			fired = true // only for the miss fetch below, not re-reads
+			if err := c.Delete("k"); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	// The miss fetch still returns the pre-delete value (it won the
+	// backend read), but the cache must NOT admit it.
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("deleted key resurrected into the cache: %+v", st)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("cache served a key the backend deleted: err = %v", err)
+	}
+}
+
+func TestDeleteDuringPutIsNotResurrected(t *testing.T) {
+	// The write-path twin of the miss-fill race: a Delete landing
+	// between the backend write and the cache admission must win.
+	inner := storage.NewMemStore()
+	hooked := &hookStore{PersistStore: inner}
+	c := mustNew(t, hooked, 1<<20)
+	fired := false
+	hooked.onPut = func(string) {
+		if !fired {
+			fired = true
+			if err := c.Delete("k"); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("deleted key resurrected into the cache by Put: %+v", st)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("cache served a key the backend deleted: err = %v", err)
+	}
+}

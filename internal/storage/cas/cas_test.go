@@ -2,8 +2,10 @@ package cas
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -451,5 +453,75 @@ func TestWriterIDValidation(t *testing.T) {
 		if _, err := Open(backend, Options{Writer: bad}); err == nil {
 			t.Fatalf("writer %q accepted", bad)
 		}
+	}
+}
+
+func TestManifestCodecRejectsGarbageTrailerWithValidCRC(t *testing.T) {
+	// Garbage appended inside the CRC frame: the checksum is valid, so
+	// only the structural trailing-bytes check can catch it.
+	blob := EncodeManifest(&Manifest{Round: 1, Writer: "w1", Modules: []ModuleEntry{
+		{Module: "m", Size: 5, Chunks: []ChunkRef{{HashBytes([]byte("hello")), 5}}},
+	}})
+	body := append(append([]byte(nil), blob[:len(blob)-4]...), 0xde, 0xad, 0xbe, 0xef)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(body))
+	bad := append(body, tail[:]...)
+	if _, err := DecodeManifest(bad); err == nil {
+		t.Fatal("garbage trailer with recomputed CRC undetected")
+	}
+}
+
+func TestOpenFailsCleanlyOnCorruptManifest(t *testing.T) {
+	// A corrupted committed manifest must fail the store open (the path
+	// every recovery rides on) with an error — never a panic, never a
+	// silently shortened view of the store.
+	corruptions := []struct {
+		name    string
+		corrupt func(blob []byte) []byte
+	}{
+		{"truncated frame", func(blob []byte) []byte {
+			return blob[:len(blob)/2]
+		}},
+		{"bad CRC", func(blob []byte) []byte {
+			bad := append([]byte(nil), blob...)
+			bad[len(bad)/3] ^= 0x40
+			return bad
+		}},
+		{"garbage trailer", func(blob []byte) []byte {
+			body := append(append([]byte(nil), blob[:len(blob)-4]...), 1, 2, 3)
+			var tail [4]byte
+			binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(body))
+			return append(body, tail[:]...)
+		}},
+		{"empty blob", func([]byte) []byte {
+			return nil
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s, backend := testStore(t, Options{ChunkSize: 8, Writer: "w1"})
+			if _, err := s.WriteRound(0, map[string][]byte{"m": payload(1, 40)}); err != nil {
+				t.Fatal(err)
+			}
+			key := manifestKey(0, "w1")
+			blob, err := backend.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := backend.Put(key, tc.corrupt(blob)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(backend, Options{}); err == nil {
+				t.Fatal("Open trusted a corrupt manifest")
+			}
+			// The already-open store detects it too on its next full
+			// manifest scan (the GC and audit paths).
+			if _, err := s.Audit(); err == nil {
+				t.Fatal("Audit trusted a corrupt manifest")
+			}
+			if _, err := s.Retain(nil, 0); err == nil {
+				t.Fatal("Retain trusted a corrupt manifest")
+			}
+		})
 	}
 }

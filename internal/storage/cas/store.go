@@ -28,6 +28,10 @@ type Options struct {
 // DefaultChunkSize is the chunk length used when Options.ChunkSize is 0.
 const DefaultChunkSize = 64 << 10
 
+// DefaultWorkers is the striped-writer fan-out used when Options.Workers
+// is 0.
+const DefaultWorkers = 4
+
 var writerSeq atomic.Int64
 
 func (o *Options) fillDefaults() error {
@@ -38,7 +42,7 @@ func (o *Options) fillDefaults() error {
 		return fmt.Errorf("cas: negative chunk size")
 	}
 	if o.Workers == 0 {
-		o.Workers = 4
+		o.Workers = DefaultWorkers
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("cas: negative worker count")

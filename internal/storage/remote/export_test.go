@@ -1,0 +1,8 @@
+package remote
+
+import "moc/internal/simtime"
+
+// simtimeConfigForTest is a valid timing-simulator config for Apply tests.
+func simtimeConfigForTest() simtime.Config {
+	return simtime.Config{FB: 2, Update: 0.5, Snapshot: 1, Interval: 5, Iterations: 100, Buffers: 3}
+}

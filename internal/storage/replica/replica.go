@@ -33,6 +33,8 @@ type Store struct {
 	// lastErr[i] is backend i's most recent operation error (nil when
 	// healthy), kept for Health diagnostics.
 	lastErr []error
+	// repairs counts read-repair write-backs performed by Get.
+	repairs int64
 }
 
 // New builds a replicating store over the given backends (at least one).
@@ -94,17 +96,41 @@ func (r *Store) Put(key string, data []byte) error {
 // and the next one is tried. The key counts as not-found only when every
 // backend reported a healthy miss — a down backend might hold it, so its
 // failure is reported as a failure, never as absence.
+//
+// When the read falls through to a later backend, the value is
+// read-repaired onto every earlier replica that reported a healthy miss
+// (it was down during the original Put and healed since), so one hot-key
+// read converges the replicas without waiting for a full Sync. Repair
+// failures are recorded in Health but never fail the read.
+//
+// Read repair shares Sync's GC caveat: a replica that slept through a
+// Delete (the refcount GC's sweep) still holds the key, so a later read
+// of it can resurrect the deleted value onto the repaired replicas —
+// stale manifests travel with their chunks, never corrupting the store,
+// but re-pinning storage the GC freed. Run the GC again after healing a
+// replica, or avoid running it while one is down.
 func (r *Store) Get(key string) ([]byte, error) {
 	var lastFailure error
+	var missed []int // earlier replicas with a healthy miss
 	notFound := 0
 	for i, b := range r.backends {
 		data, err := b.Get(key)
 		if err == nil {
 			r.note(i, nil)
+			for _, j := range missed {
+				if err := r.backends[j].Put(key, data); err != nil {
+					r.note(j, err)
+					continue
+				}
+				r.mu.Lock()
+				r.repairs++
+				r.mu.Unlock()
+			}
 			return data, nil
 		}
 		if errors.Is(err, storage.ErrNotFound) {
 			r.note(i, nil) // a healthy miss, not a failure
+			missed = append(missed, i)
 			notFound++
 		} else {
 			r.note(i, err)
@@ -115,6 +141,13 @@ func (r *Store) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, key)
 	}
 	return nil, fmt.Errorf("replica: get %s: %w", key, lastFailure)
+}
+
+// Repairs returns the number of read-repair write-backs Get performed.
+func (r *Store) Repairs() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.repairs
 }
 
 // Delete removes the key from every backend. Replicas that are down keep

@@ -254,3 +254,91 @@ func TestFlakyHealRestoresState(t *testing.T) {
 		t.Fatalf("healed get: %q %v", got, err)
 	}
 }
+
+func TestGetReadRepairsEarlierHealthyReplica(t *testing.T) {
+	// Backend A is down during the write, so only B holds the key. After
+	// A heals, a Get falls through to B and must write the value back to
+	// A — the next read is served by A directly.
+	inner := storage.NewMemStore()
+	a := NewFlaky(inner)
+	b := storage.NewMemStore()
+	r, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fail()
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	a.Heal()
+	got, err := r.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("get after heal: %v %q", err, got)
+	}
+	if n := r.Repairs(); n != 1 {
+		t.Fatalf("repairs %d, want 1", n)
+	}
+	if held, err := inner.Get("k"); err != nil || !bytes.Equal(held, []byte("v")) {
+		t.Fatalf("read-repair did not reach backend A: %v %q", err, held)
+	}
+	// The repaired replica now serves reads; no further repairs happen.
+	if _, err := r.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Repairs(); n != 1 {
+		t.Fatalf("repairs %d after repaired read, want 1", n)
+	}
+}
+
+func TestGetDoesNotRepairDownReplica(t *testing.T) {
+	// A is still down at read time: its failure is not a healthy miss,
+	// so the fall-through read must not attempt a write-back.
+	a := NewFlaky(storage.NewMemStore())
+	b := storage.NewMemStore()
+	r, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fail()
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Repairs(); n != 0 {
+		t.Fatalf("repaired a down replica: %d", n)
+	}
+}
+
+func TestGetRepairCanResurrectDeleteMissedWhileDown(t *testing.T) {
+	// Documented GC caveat: a replica down during Delete keeps the key,
+	// and a later fall-through read repairs the stale value back onto
+	// the replica that performed the delete. The value is never wrong —
+	// only un-collected. This test pins the documented behavior so a
+	// change to it is a conscious one.
+	a := storage.NewMemStore()
+	b := NewFlaky(storage.NewMemStore())
+	r, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	b.Fail()
+	if err := r.Delete("k"); err != nil {
+		t.Fatal(err) // A deletes; B sleeps through it
+	}
+	b.Heal()
+	got, err := r.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("stale copy unreadable: %v %q", err, got)
+	}
+	if n := r.Repairs(); n != 1 {
+		t.Fatalf("repairs %d, want 1 (resurrection onto A)", n)
+	}
+	if _, err := a.Get("k"); err != nil {
+		t.Fatal("deleted key not resurrected onto A — update Get's GC-caveat doc")
+	}
+}

@@ -179,6 +179,112 @@ func TestRecoverBitIdenticalAfterReplicaBackendLoss(t *testing.T) {
 	}
 }
 
+func TestRemoteCachedPersistAndRecoveryEndToEnd(t *testing.T) {
+	// The full storage stack under the checkpoint pipeline: CAS chunks
+	// flow write-through an LRU cache into a simulated object store with
+	// latency, bandwidth, multipart, and injected transient failures.
+	// Persist must pay remote puts (with retries); a node-loss recovery
+	// with the cache warm must pay ZERO remote gets; losing the cache
+	// tier too (a replacement node) must recover bit-identically from
+	// the remote alone, paying downloads.
+	remoteStore, err := moc.NewRemoteStore(moc.RemoteConfig{
+		LatencySeconds: 0.005,
+		UploadBps:      256 << 20,
+		DownloadBps:    512 << 20,
+		PartSize:       2 << 10, // tiny threshold so module chunks go multipart
+		FailureRate:    0.05,    // deterministic (seeded) transient failures
+		Seed:           9,
+		MaxRetries:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := moc.NewCachedStore(remoteStore, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := moc.NewSystem(fullConfig(), cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.RunTo(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist-side metrics: real uploads, multipart engagement, and the
+	// injected failures retried away — all deterministic under the seed.
+	persisted := remoteStore.Metrics()
+	if persisted.PutOps == 0 || persisted.BytesUploaded == 0 {
+		t.Fatalf("no remote uploads recorded: %+v", persisted)
+	}
+	if persisted.MultipartPuts == 0 || persisted.PartsUploaded < 2*persisted.MultipartPuts {
+		t.Fatalf("multipart path not engaged: %+v", persisted)
+	}
+	if persisted.InjectedFailures == 0 || persisted.Retries == 0 {
+		t.Fatalf("failure injection idle at rate 0.05: %+v", persisted)
+	}
+	if persisted.SimSeconds <= 0 {
+		t.Fatalf("no simulated persist cost: %+v", persisted)
+	}
+
+	lossBefore, _, err := sys.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node loss with the cache warm: recovery reads every chunk from
+	// the cache, performing zero remote Get ops.
+	getsBefore := remoteStore.Metrics().GetOps
+	if err := sys.InjectFault(); err != nil {
+		t.Fatal(err)
+	}
+	if gets := remoteStore.Metrics().GetOps - getsBefore; gets != 0 {
+		t.Fatalf("warm-cache recovery performed %d remote gets, want 0", gets)
+	}
+	cs := cached.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("recovery bypassed the cache: %+v", cs)
+	}
+	lossWarm, _, err := sys.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossesClose(lossBefore, lossWarm) {
+		t.Fatalf("warm recovery not bit-identical: loss %v->%v", lossBefore, lossWarm)
+	}
+
+	// Replacement node: the cache tier is lost too. Resume must come
+	// entirely out of the remote store — remote gets and download bytes
+	// are paid, and the state is still bit-identical.
+	cached.Drop()
+	cold := remoteStore.Metrics()
+	resume := fullConfig()
+	resume.Resume = true
+	sys2, err := moc.NewSystem(resume, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	after := remoteStore.Metrics()
+	if after.GetOps == cold.GetOps || after.BytesDownloaded == cold.BytesDownloaded {
+		t.Fatalf("cold recovery paid no remote reads: %+v -> %+v", cold, after)
+	}
+	lossCold, _, err := sys2.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossesClose(lossBefore, lossCold) {
+		t.Fatalf("cold remote recovery not bit-identical: loss %v->%v", lossBefore, lossCold)
+	}
+}
+
 func TestGCRemovesOnlyUnreferencedChunks(t *testing.T) {
 	// PEC rounds persist rotating subsets, so after retention the GC has
 	// real superseded entries to drop — but nothing recovery needs.
