@@ -325,6 +325,103 @@ func BenchmarkDedupRatio(b *testing.B) {
 	b.ReportMetric(float64(physical)/float64(b.N), "physical_B/round")
 }
 
+func BenchmarkDedupCDCvsFixed(b *testing.B) {
+	// Content-defined vs fixed-size chunking on the two delta-persistence
+	// workloads: in-place tensor updates (fixed's best case — boundaries
+	// never move) and insert/shift edits (fixed's worst case — every
+	// downstream boundary moves; CDC boundaries resynchronize). Each
+	// iteration replays a full round sequence through both chunkers over
+	// fresh stores and reports the post-bootstrap dedup ratio of each;
+	// on the insert/shift workload CDC must win strictly or the benchmark
+	// fails.
+	const (
+		moduleCount = 8
+		moduleBytes = 128 << 10
+		chunkSize   = 4 << 10
+		rounds      = 8
+	)
+	type workload struct {
+		name string
+		// mutate returns the next round's version of blob; r provides
+		// deterministic edit positions.
+		mutate func(r *rng.RNG, blob []byte) []byte
+	}
+	workloads := []workload{
+		{"inplace", func(r *rng.RNG, blob []byte) []byte {
+			// A few localized weight updates: 4 spans of 64 bytes.
+			out := append([]byte(nil), blob...)
+			for i := 0; i < 4; i++ {
+				off := r.Intn(len(out) - 64)
+				r.Fill(out[off : off+64])
+			}
+			return out
+		}},
+		{"insert_shift", func(r *rng.RNG, blob []byte) []byte {
+			// A small insertion (a tensor grows): every byte after the
+			// edit shifts.
+			off := r.Intn(len(blob))
+			ins := make([]byte, 16)
+			r.Fill(ins)
+			out := make([]byte, 0, len(blob)+len(ins))
+			out = append(append(append(out, blob[:off]...), ins...), blob[off:]...)
+			return out
+		}},
+	}
+	for _, wl := range workloads {
+		b.Run(wl.name, func(b *testing.B) {
+			base := make(map[string][]byte, moduleCount)
+			for m := 0; m < moduleCount; m++ {
+				base[fmt.Sprintf("m%02d", m)] = uniqueBlob(uint64(m)+1, moduleBytes)
+			}
+			runSeq := func(mode cas.Chunking) float64 {
+				store, err := cas.Open(storage.NewMemStore(), cas.Options{
+					ChunkSize: chunkSize, Chunking: mode, Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mods := make(map[string][]byte, len(base))
+				for k, v := range base {
+					mods[k] = append([]byte(nil), v...)
+				}
+				mut := rng.New(42)
+				var afterBootstrap cas.Stats
+				for r := 0; r < rounds; r++ {
+					if r > 0 {
+						for k := range mods {
+							mods[k] = wl.mutate(mut, mods[k])
+						}
+					}
+					if _, err := store.WriteRound(r, mods); err != nil {
+						b.Fatal(err)
+					}
+					if r == 0 {
+						afterBootstrap = store.Stats() // round 0 is a full write for both chunkers
+					}
+				}
+				st := store.Stats()
+				logical := st.LogicalBytes - afterBootstrap.LogicalBytes
+				written := st.BytesWritten - afterBootstrap.BytesWritten
+				if logical == 0 {
+					return 0
+				}
+				return float64(logical-written) / float64(logical)
+			}
+			var fixed, cdc float64
+			for i := 0; i < b.N; i++ {
+				fixed = runSeq(cas.ChunkingFixed)
+				cdc = runSeq(cas.ChunkingCDC)
+			}
+			b.SetBytes(int64(moduleCount * moduleBytes * (rounds - 1) * 2))
+			b.ReportMetric(fixed, "dedup_fixed")
+			b.ReportMetric(cdc, "dedup_cdc")
+			if wl.name == "insert_shift" && cdc <= fixed {
+				b.Fatalf("cdc dedup ratio %.3f not strictly better than fixed %.3f on the insert/shift workload", cdc, fixed)
+			}
+		})
+	}
+}
+
 func BenchmarkStripedPersist(b *testing.B) {
 	// Parallel striped chunk writes against a bandwidth-limited backend:
 	// throughput should scale with the worker fan-out until the persist

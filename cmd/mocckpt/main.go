@@ -3,13 +3,18 @@
 // moc.NewFSStore + System):
 //
 //	mocckpt -dir /path/to/ckpts list     # rounds, modules, volumes
-//	mocckpt -dir /path/to/ckpts inspect  # chunk-level detail + dedup stats
+//	mocckpt -dir /path/to/ckpts inspect  # chunk-level detail, dedup stats,
+//	                                     # chunking mode + chunk-size histogram
 //	mocckpt -dir /path/to/ckpts verify   # read back + refcount audit
 //	mocckpt -dir /path/to/ckpts gc       # refcount GC of superseded state
 //	mocckpt -dir /path/to/ckpts stats    # storage-stack replay: dedup,
 //	                                     # cache hit rate, remote op costs
 //
-// "compact" is accepted as an alias of "gc". stats replays a full
+// "compact" is accepted as an alias of "gc". inspect and stats report
+// the manifests' chunking mode(s) ("fixed" or "cdc" content-defined
+// boundaries) and a power-of-two histogram of unique chunk sizes —
+// fixed-size stores show one spike at the chunk size (plus blob tails),
+// CDC stores a spread between the min/max bounds. stats replays a full
 // recovery twice through the simulated storage stack — the directory
 // behind an object-store cost model behind an LRU chunk cache — and
 // prints the dedup ratio, the cold/warm cache hit rates, and the remote
@@ -21,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"moc/internal/core"
 	"moc/internal/storage"
@@ -159,6 +166,10 @@ func list(store storage.PersistStore, detailed bool) error {
 	logical, physical := acct.totals()
 	fmt.Printf("\n%d unique chunks; ", len(acct.refs))
 	printDedupLine(logical, physical)
+	if detailed {
+		fmt.Printf("chunking: %s\n", acct.chunkingModes())
+		acct.printHistogram()
+	}
 	return nil
 }
 
@@ -168,6 +179,7 @@ type dedupAccounting struct {
 	refs      map[cas.Hash]int64
 	chunkSize map[cas.Hash]int64
 	rounds    map[int]bool
+	modes     map[string]int // manifest count per chunking mode
 	modules   int
 	manifests int
 }
@@ -177,15 +189,73 @@ func (d *dedupAccounting) add(m *cas.Manifest) {
 		d.refs = map[cas.Hash]int64{}
 		d.chunkSize = map[cas.Hash]int64{}
 		d.rounds = map[int]bool{}
+		d.modes = map[string]int{}
 	}
 	d.rounds[m.Round] = true
 	d.manifests++
 	d.modules += len(m.Modules)
+	d.modes[fmt.Sprintf("%s (manifest v%d)", m.Chunking, m.Version)]++
 	for _, e := range m.Modules {
 		for _, c := range e.Chunks {
 			d.refs[c.Hash]++
 			d.chunkSize[c.Hash] = int64(c.Size)
 		}
+	}
+}
+
+// chunkingModes names the chunker(s) that wrote the store's manifests —
+// normally one, but a store migrated between modes shows both.
+func (d *dedupAccounting) chunkingModes() string {
+	names := make([]string, 0, len(d.modes))
+	for name := range d.modes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s × %d", name, d.modes[name])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// printHistogram prints a power-of-two histogram of unique chunk sizes.
+func (d *dedupAccounting) printHistogram() {
+	if len(d.chunkSize) == 0 {
+		return
+	}
+	buckets := map[int]int{} // log2 bucket -> unique chunk count
+	maxCount := 0
+	for _, size := range d.chunkSize {
+		b := 0
+		for s := size; s > 1; s >>= 1 {
+			b++
+		}
+		buckets[b]++
+		if buckets[b] > maxCount {
+			maxCount = buckets[b]
+		}
+	}
+	order := make([]int, 0, len(buckets))
+	for b := range buckets {
+		order = append(order, b)
+	}
+	sort.Ints(order)
+	fmt.Println("unique chunk sizes:")
+	for _, b := range order {
+		bar := strings.Repeat("#", (buckets[b]*40+maxCount-1)/maxCount)
+		fmt.Printf("  %10s–%-10s %6d %s\n", sizeLabel(1<<b), sizeLabel(1<<(b+1)), buckets[b], bar)
+	}
+}
+
+// sizeLabel formats a byte count compactly (1.0K, 64K, 2.0M).
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%gM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%gK", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 
@@ -243,8 +313,10 @@ func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, dow
 	logical, physical := acct.totals()
 	fmt.Printf("store: %d rounds, %d manifests, %d module entries, %d unique chunks\n",
 		len(acct.rounds), acct.manifests, acct.modules, len(acct.refs))
+	fmt.Printf("chunking: %s\n", acct.chunkingModes())
 	fmt.Print("dedup: ")
 	printDedupLine(logical, physical)
+	acct.printHistogram()
 
 	// Replay: read every module of every round, cold then warm.
 	replay := func() error {

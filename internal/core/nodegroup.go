@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 // NodeGroup manages one checkpoint agent per simulated node, realizing the
@@ -24,6 +25,15 @@ type NodeGroup struct {
 // nodeOf maps a module key to the node hosting its snapshot; it must
 // return values in [0, nodes).
 func NewNodeGroup(nodes int, persist storage.PersistStore, buffers int, nodeOf func(module string) int) (*NodeGroup, error) {
+	return NewNodeGroupWithOptions(nodes, persist, buffers, nodeOf, cas.Options{})
+}
+
+// NewNodeGroupWithOptions is NewNodeGroup with explicit checkpoint-store
+// tuning (chunk size, chunking mode, striped-writer fan-out) applied to
+// every node's agent. An explicit Writer id becomes a per-node prefix
+// ("<writer>-n0", "<writer>-n1", …): the nodes share one backend, so
+// their manifests must never collide on (round, writer).
+func NewNodeGroupWithOptions(nodes int, persist storage.PersistStore, buffers int, nodeOf func(module string) int, opts cas.Options) (*NodeGroup, error) {
 	if nodes <= 0 {
 		return nil, fmt.Errorf("core: node group needs at least one node")
 	}
@@ -32,7 +42,11 @@ func NewNodeGroup(nodes int, persist storage.PersistStore, buffers int, nodeOf f
 	}
 	g := &NodeGroup{nodeOf: nodeOf, persist: persist}
 	for i := 0; i < nodes; i++ {
-		a, err := NewAgent(storage.NewSnapshotStore(), persist, buffers)
+		nodeOpts := opts
+		if nodeOpts.Writer != "" {
+			nodeOpts.Writer = fmt.Sprintf("%s-n%d", nodeOpts.Writer, i)
+		}
+		a, err := NewAgentWithOptions(storage.NewSnapshotStore(), persist, buffers, nodeOpts)
 		if err != nil {
 			g.Close()
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 // hashNode places expert modules by expert index parity and non-expert
@@ -182,5 +183,41 @@ func TestNodeGroupPlacementClamped(t *testing.T) {
 	rec, err := g.Recover(nil)
 	if err != nil || len(rec) != 1 {
 		t.Fatalf("clamped placement recovery: %v %v", rec, err)
+	}
+}
+
+func TestNodeGroupPlumbsStoreOptions(t *testing.T) {
+	// Chunking mode (and the rest of the cas tuning) must reach every
+	// node's agent, and an explicit writer id must fan out to distinct
+	// per-node ids — the nodes share one backend.
+	persist := storage.NewMemStore()
+	g, err := NewNodeGroupWithOptions(2, persist, 3, twoNodePlacement,
+		cas.Options{Chunking: cas.ChunkingCDC, Writer: "grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	writers := map[string]bool{}
+	for i, a := range g.agents {
+		if got := a.Store().Chunking(); got != cas.ChunkingCDC {
+			t.Fatalf("node %d chunking %v, want cdc", i, got)
+		}
+		writers[a.Store().Writer()] = true
+	}
+	if len(writers) != 2 || !writers["grp-n0"] || !writers["grp-n1"] {
+		t.Fatalf("per-node writers: %v", writers)
+	}
+	ok, err := g.TrySnapshot(0, func() (CheckpointData, error) {
+		return blobData("expertA", "a", "expertB", "b"), nil
+	}, nil)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := g.Recover(nil)
+	if err != nil || len(rec) != 2 {
+		t.Fatalf("recover over cdc node group: %v %v", rec, err)
 	}
 }

@@ -1,12 +1,15 @@
 // Package cas is a content-addressed, deduplicating checkpoint store
 // layered on any storage.PersistStore backend. Checkpoint payloads are
-// split into fixed-size chunks addressed by their SHA-256 digest, so a
-// module whose bytes did not change between rounds persists zero new
-// bytes: its manifest entry simply references the chunks already in the
-// store. Per-round manifests (round → module → chunk list) are the commit
-// points — a round is complete exactly when its manifest is readable —
-// and every chunk read is verified against its address, so corruption
-// anywhere in the backend is detected before state is trusted.
+// split into chunks addressed by their SHA-256 digest — either at fixed
+// boundaries (the default) or at content-defined boundaries found by a
+// gear rolling hash (Options.Chunking = ChunkingCDC), which stay stable
+// under insert/shift edits — so a module whose bytes did not change
+// between rounds persists zero new bytes: its manifest entry simply
+// references the chunks already in the store. Per-round manifests
+// (round → module → chunk list) are the commit points — a round is
+// complete exactly when its manifest is readable — and every chunk read
+// is verified against its address, so corruption anywhere in the
+// backend is detected before state is trusted.
 //
 // Layout under the backend key space:
 //
@@ -59,14 +62,17 @@ func manifestKey(round int, writer string) string {
 	return fmt.Sprintf("%s%06d.%s", manifestPrefix, round, writer)
 }
 
-// parseManifestKey inverts manifestKey.
+// parseManifestKey inverts manifestKey. The writer component must be
+// non-empty: no writer id may be "" (fillDefaults never produces one),
+// so a key like "cas/manifests/000001." is malformed — accepting it
+// would let a stray object shadow real manifests.
 func parseManifestKey(key string) (round int, writer string, ok bool) {
 	rest, found := strings.CutPrefix(key, manifestPrefix)
 	if !found {
 		return 0, "", false
 	}
 	dot := strings.IndexByte(rest, '.')
-	if dot < 0 {
+	if dot < 0 || dot == len(rest)-1 {
 		return 0, "", false
 	}
 	r, err := strconv.Atoi(rest[:dot])
@@ -77,7 +83,9 @@ func parseManifestKey(key string) (round int, writer string, ok bool) {
 }
 
 // splitChunks cuts a payload into fixed-size chunks (the last may be
-// short). An empty payload yields no chunks.
+// short). An empty payload yields no chunks. The chunks alias blob;
+// WriteRound copies before handing them to a backend (see the
+// copy-on-put contract there).
 func splitChunks(blob []byte, size int) [][]byte {
 	if len(blob) == 0 {
 		return nil

@@ -33,8 +33,9 @@ func payload(seed byte, n int) []byte {
 
 func TestManifestCodecRoundTrip(t *testing.T) {
 	m := &Manifest{
-		Round:  42,
-		Writer: "w007",
+		Round:   42,
+		Writer:  "w007",
+		Version: ManifestVersion,
 		Modules: []ModuleEntry{
 			{Module: "a/w", Size: 10, Chunks: []ChunkRef{{HashBytes([]byte("x")), 6}, {HashBytes([]byte("y")), 4}}},
 			{Module: "empty", Size: 0},

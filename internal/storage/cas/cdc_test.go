@@ -1,0 +1,188 @@
+package cas
+
+import (
+	"bytes"
+	"testing"
+
+	"moc/internal/rng"
+	"moc/internal/storage"
+)
+
+func randBlob(t *testing.T, seed uint64, n int) []byte {
+	t.Helper()
+	b := make([]byte, n)
+	rng.New(seed).Fill(b)
+	return b
+}
+
+func TestSplitCDCInvariants(t *testing.T) {
+	const min, avg, max = 256, 1024, 4096
+	for _, n := range []int{0, 1, 100, min, min + 1, 10 * avg, 64*1024 + 7} {
+		blob := randBlob(t, uint64(n)+1, n)
+		chunks := splitCDC(blob, min, avg, max)
+		if n == 0 {
+			if chunks != nil {
+				t.Fatalf("empty payload yielded %d chunks", len(chunks))
+			}
+			continue
+		}
+		var re []byte
+		for i, c := range chunks {
+			if len(c) > max {
+				t.Fatalf("n=%d chunk %d: %d bytes exceeds max %d", n, i, len(c), max)
+			}
+			if len(c) < min && i != len(chunks)-1 {
+				t.Fatalf("n=%d chunk %d: %d bytes under min %d (only the last may be short)", n, i, len(c), min)
+			}
+			re = append(re, c...)
+		}
+		if !bytes.Equal(re, blob) {
+			t.Fatalf("n=%d: chunks do not reassemble the payload", n)
+		}
+	}
+}
+
+func TestCDCMeanChunkSizeTracksTarget(t *testing.T) {
+	// The threshold construction makes the mean chunk size equal the
+	// configured average by design (min plus a geometric with mean
+	// avg-min); allow ±10% for sampling noise. A power-of-two mask
+	// construction would sit ~25% off target and fail this.
+	const min, avg, max = 16 << 10, 64 << 10, 256 << 10
+	blob := randBlob(t, 1234, 64<<20)
+	chunks := splitCDC(blob, min, avg, max)
+	mean := float64(len(blob)) / float64(len(chunks))
+	if mean < 0.9*avg || mean > 1.1*avg {
+		t.Fatalf("mean chunk size %.0f for target %d (%d chunks), want within 10%%", mean, avg, len(chunks))
+	}
+}
+
+func TestSplitCDCDeterministic(t *testing.T) {
+	blob := randBlob(t, 7, 128<<10)
+	a := splitCDC(blob, 1<<10, 4<<10, 16<<10)
+	b := splitCDC(append([]byte(nil), blob...), 1<<10, 4<<10, 16<<10)
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("chunk %d differs between identical inputs", i)
+		}
+	}
+}
+
+// chunkSet returns the set of chunk hashes a split produced.
+func chunkSet(chunks [][]byte) map[Hash]bool {
+	set := make(map[Hash]bool, len(chunks))
+	for _, c := range chunks {
+		set[HashBytes(c)] = true
+	}
+	return set
+}
+
+func sharedCount(a, b map[Hash]bool) int {
+	n := 0
+	for h := range b {
+		if a[h] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCDCBoundariesStableUnderInsertShift(t *testing.T) {
+	// Insert a few bytes near the front of a large payload: every byte
+	// after the insertion point shifts. Fixed-size chunking loses all
+	// those chunks; CDC boundaries resynchronize within about one chunk.
+	const min, avg, max = 1 << 10, 4 << 10, 16 << 10
+	blob := randBlob(t, 99, 256<<10)
+	edited := append(append(append([]byte(nil), blob[:1000]...), randBlob(t, 100, 16)...), blob[1000:]...)
+
+	before := chunkSet(splitCDC(blob, min, avg, max))
+	after := splitCDC(edited, min, avg, max)
+	shared := sharedCount(before, chunkSet(after))
+	if frac := float64(shared) / float64(len(after)); frac < 0.8 {
+		t.Fatalf("only %d/%d chunks survive a 16-byte insert (%.0f%%), want >= 80%%",
+			shared, len(after), 100*frac)
+	}
+
+	fixedBefore := chunkSet(splitChunks(blob, avg))
+	fixedAfter := splitChunks(edited, avg)
+	fixedShared := sharedCount(fixedBefore, chunkSet(fixedAfter))
+	if fixedShared >= shared {
+		t.Fatalf("fixed chunking shares %d chunks, cdc %d — cdc should win on shift edits",
+			fixedShared, shared)
+	}
+}
+
+func TestCDCStoreDedupBeatsFixedOnShiftWorkload(t *testing.T) {
+	// The same two-round shift edit driven through full stores: CDC must
+	// rewrite strictly fewer bytes in round 1.
+	blob := randBlob(t, 5, 128<<10)
+	edited := append(append(append([]byte(nil), blob[:500]...), randBlob(t, 6, 32)...), blob[500:]...)
+
+	run := func(mode Chunking) Stats {
+		s, _ := testStore(t, Options{ChunkSize: 4 << 10, Chunking: mode, Workers: 1})
+		if _, err := s.WriteRound(0, map[string][]byte{"m": blob}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteRound(1, map[string][]byte{"m": edited}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ReadModule(1, "m")
+		if err != nil || !bytes.Equal(got, edited) {
+			t.Fatalf("%v: edited payload did not round-trip: %v", mode, err)
+		}
+		return s.Stats()
+	}
+	fixed := run(ChunkingFixed)
+	cdc := run(ChunkingCDC)
+	if cdc.BytesDeduped <= fixed.BytesDeduped {
+		t.Fatalf("cdc deduped %d bytes, fixed %d — cdc must dedup strictly more on a shift edit",
+			cdc.BytesDeduped, fixed.BytesDeduped)
+	}
+	// Fixed-size dedup collapses after the insertion point: it should
+	// rewrite most of the payload, CDC only around the edit.
+	if cdc.BytesWritten >= fixed.BytesWritten {
+		t.Fatalf("cdc wrote %d bytes, fixed %d", cdc.BytesWritten, fixed.BytesWritten)
+	}
+}
+
+func TestCDCManifestRecordsMode(t *testing.T) {
+	s, backend := testStore(t, Options{ChunkSize: 4 << 10, Chunking: ChunkingCDC, Writer: "w"})
+	if _, err := s.WriteRound(0, map[string][]byte{"m": randBlob(t, 1, 32<<10)}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := backend.Get(manifestKey(0, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != ManifestVersion || m.Chunking != ChunkingCDC {
+		t.Fatalf("stored manifest version %d chunking %v, want v%d cdc", m.Version, m.Chunking, ManifestVersion)
+	}
+}
+
+func TestOptionsCDCValidation(t *testing.T) {
+	backend := storage.NewMemStore()
+	for _, opts := range []Options{
+		{Chunking: ChunkingCDC, ChunkSize: 1 << 10, MinChunkSize: 2 << 10}, // min > avg
+		{Chunking: ChunkingCDC, ChunkSize: 4 << 10, MaxChunkSize: 1 << 10}, // max < avg
+		{Chunking: ChunkingFixed, MinChunkSize: 1 << 10},                   // bounds without cdc
+		{Chunking: Chunking(9)}, // unknown mode
+	} {
+		if _, err := Open(backend, opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+	// Defaults: min/max derived from the average target.
+	opts := Options{Chunking: ChunkingCDC, ChunkSize: 8 << 10}
+	if err := opts.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.MinChunkSize != 2<<10 || opts.MaxChunkSize != 32<<10 {
+		t.Fatalf("cdc bound defaults: min %d max %d", opts.MinChunkSize, opts.MaxChunkSize)
+	}
+}

@@ -7,8 +7,23 @@ import (
 	"sort"
 )
 
-// manifestMagic guards against decoding foreign blobs ("MoCm").
-const manifestMagic = 0x4d6f436d
+// Manifest format versions. v1 ("MoCm" magic) is the legacy fixed-size
+// layout with no version field — stores written before content-defined
+// chunking hold these, and they must keep decoding forever. v2 ("MoC2"
+// magic) adds an explicit version word and the chunking mode that
+// produced the boundaries. Chunk references carry explicit per-chunk
+// lengths in both versions, so the read path never assumes a fixed
+// chunk size; the recorded mode is provenance for tooling (mocckpt) and
+// future format evolution. Versions newer than ManifestVersion fail to
+// decode cleanly rather than being misparsed.
+const (
+	manifestMagic   = 0x4d6f436d // v1 "MoCm"
+	manifestMagicV2 = 0x4d6f4332 // v2 "MoC2"
+
+	// ManifestVersion is the format EncodeManifest writes for newly
+	// created manifests (Manifest.Version 0 or 2).
+	ManifestVersion = 2
+)
 
 // ChunkRef references one chunk of a module payload.
 type ChunkRef struct {
@@ -31,6 +46,14 @@ type ModuleEntry struct {
 type Manifest struct {
 	Round  int
 	Writer string
+	// Version is the manifest format version: 1 for legacy fixed-size
+	// manifests, ManifestVersion for current ones. EncodeManifest treats
+	// 0 as ManifestVersion; a decoded manifest re-encodes in its own
+	// version, so GC rewrites of old stores stay byte-compatible.
+	Version int
+	// Chunking is the chunker that produced the boundaries (always
+	// ChunkingFixed for v1 manifests).
+	Chunking Chunking
 	// Modules is sorted by module name.
 	Modules []ModuleEntry
 }
@@ -53,46 +76,61 @@ func (m *Manifest) LogicalBytes() int64 {
 	return n
 }
 
+// manifestWriter accumulates the encoded body.
+type manifestWriter struct{ buf []byte }
+
+func (w *manifestWriter) put(v uint32) {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], v)
+	w.buf = append(w.buf, u32[:]...)
+}
+
+func (w *manifestWriter) put64(v uint64) {
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], v)
+	w.buf = append(w.buf, u64[:]...)
+}
+
 // EncodeManifest serializes a manifest into a self-describing blob with a
 // trailing CRC32, mirroring the tensor codec's framing. Entries are
-// written in sorted module order so encoding is deterministic.
+// written in sorted module order so encoding is deterministic. The
+// manifest's Version picks the wire format (0 means current); decoded v1
+// manifests therefore re-encode byte-identically when GC rewrites them.
 func EncodeManifest(m *Manifest) []byte {
 	entries := append([]ModuleEntry(nil), m.Modules...)
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Module < entries[j].Module })
 
-	var buf []byte
-	var u32 [4]byte
-	put := func(v uint32) {
-		binary.LittleEndian.PutUint32(u32[:], v)
-		buf = append(buf, u32[:]...)
+	var w manifestWriter
+	if m.Version == 1 {
+		w.put(manifestMagic)
+	} else {
+		w.put(manifestMagicV2)
+		w.put(ManifestVersion)
+		w.put(uint32(m.Chunking))
 	}
-	put64 := func(v uint64) {
-		var u64 [8]byte
-		binary.LittleEndian.PutUint64(u64[:], v)
-		buf = append(buf, u64[:]...)
-	}
-	put(manifestMagic)
-	put(uint32(m.Round))
-	put(uint32(len(m.Writer)))
-	buf = append(buf, m.Writer...)
-	put(uint32(len(entries)))
+	w.put(uint32(m.Round))
+	w.put(uint32(len(m.Writer)))
+	w.buf = append(w.buf, m.Writer...)
+	w.put(uint32(len(entries)))
 	for _, e := range entries {
-		put(uint32(len(e.Module)))
-		buf = append(buf, e.Module...)
-		put64(uint64(e.Size))
-		put(uint32(len(e.Chunks)))
+		w.put(uint32(len(e.Module)))
+		w.buf = append(w.buf, e.Module...)
+		w.put64(uint64(e.Size))
+		w.put(uint32(len(e.Chunks)))
 		for _, c := range e.Chunks {
-			buf = append(buf, c.Hash[:]...)
-			put(c.Size)
+			w.buf = append(w.buf, c.Hash[:]...)
+			w.put(c.Size)
 		}
 	}
-	put(crc32.ChecksumIEEE(buf))
-	return buf
+	w.put(crc32.ChecksumIEEE(w.buf))
+	return w.buf
 }
 
-// DecodeManifest parses a blob produced by EncodeManifest, verifying the
-// checksum and structural integrity (including that every entry's chunk
-// sizes sum to its payload size).
+// DecodeManifest parses a blob produced by EncodeManifest (either
+// version), verifying the checksum and structural integrity (including
+// that every entry's chunk sizes sum to its payload size). Blobs claiming
+// a format version newer than this build supports are rejected with a
+// clear error instead of being misparsed.
 func DecodeManifest(blob []byte) (*Manifest, error) {
 	if len(blob) < 20 { // magic + round + writer len + count + crc
 		return nil, fmt.Errorf("cas: manifest too short (%d bytes)", len(blob))
@@ -130,7 +168,30 @@ func DecodeManifest(blob []byte) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if magic != manifestMagic {
+	m := &Manifest{}
+	switch magic {
+	case manifestMagic:
+		m.Version = 1
+		m.Chunking = ChunkingFixed
+	case manifestMagicV2:
+		version, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if version != ManifestVersion {
+			return nil, fmt.Errorf("cas: manifest version %d not supported (this build reads up to v%d)",
+				version, ManifestVersion)
+		}
+		m.Version = int(version)
+		chunking, err := next()
+		if err != nil {
+			return nil, err
+		}
+		m.Chunking = Chunking(chunking)
+		if !m.Chunking.valid() {
+			return nil, fmt.Errorf("cas: manifest declares unknown chunking mode %d", chunking)
+		}
+	default:
 		return nil, fmt.Errorf("cas: bad manifest magic %#x", magic)
 	}
 	round, err := next()
@@ -149,7 +210,8 @@ func DecodeManifest(blob []byte) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Manifest{Round: int(round), Writer: writer}
+	m.Round = int(round)
+	m.Writer = writer
 	for i := uint32(0); i < count; i++ {
 		klen, err := next()
 		if err != nil {

@@ -1,27 +1,43 @@
 package cas
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"moc/internal/storage"
 )
 
 // Options configures a Store.
 type Options struct {
-	// ChunkSize is the fixed chunk length in bytes (default 64 KiB).
+	// ChunkSize is the chunk length in bytes (default 64 KiB): the exact
+	// length under ChunkingFixed, the average target under ChunkingCDC.
 	// Smaller chunks dedup at finer granularity at the cost of more keys.
 	ChunkSize int
+	// Chunking selects the chunker (default ChunkingFixed). ChunkingCDC
+	// places boundaries by a content-defined rolling hash, so dedup
+	// survives insert/shift edits, not just in-place updates.
+	Chunking Chunking
+	// MinChunkSize / MaxChunkSize bound CDC chunk lengths (defaults
+	// ChunkSize/4 and ChunkSize*4). Ignored under ChunkingFixed.
+	MinChunkSize int
+	MaxChunkSize int
 	// Workers is the striped-writer fan-out: chunk Puts for one round are
 	// distributed round-robin across this many goroutines so a
 	// bandwidth-limited backend is driven in parallel (default 4).
 	Workers int
 	// Writer distinguishes manifests from different agents sharing one
-	// backend. Defaults to a process-unique id.
+	// backend. Defaults to an id unique across processes (sequence number
+	// plus a per-process pid/random tag), so two processes opening the
+	// same backend with default options never collide on manifest keys.
 	Writer string
 }
 
@@ -34,12 +50,45 @@ const DefaultWorkers = 4
 
 var writerSeq atomic.Int64
 
+// processTag disambiguates default writer ids across processes: the
+// sequence counter alone is only process-unique, so two processes
+// sharing one FSStore directory would both claim "w001" and overwrite
+// each other's manifests. The tag mixes the pid (distinct among live
+// processes on a host) with random bytes (distinct across pid reuse and
+// across hosts).
+var processTag = makeProcessTag()
+
+func makeProcessTag() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+	}
+	return fmt.Sprintf("p%d-%s", os.Getpid(), hex.EncodeToString(b[:]))
+}
+
 func (o *Options) fillDefaults() error {
 	if o.ChunkSize == 0 {
 		o.ChunkSize = DefaultChunkSize
 	}
 	if o.ChunkSize < 0 {
 		return fmt.Errorf("cas: negative chunk size")
+	}
+	if !o.Chunking.valid() {
+		return fmt.Errorf("cas: unknown chunking mode %d", int(o.Chunking))
+	}
+	if o.Chunking == ChunkingCDC {
+		if o.MinChunkSize == 0 {
+			o.MinChunkSize = o.ChunkSize / 4
+		}
+		if o.MaxChunkSize == 0 {
+			o.MaxChunkSize = o.ChunkSize * 4
+		}
+		if o.MinChunkSize < 1 || o.MinChunkSize > o.ChunkSize || o.MaxChunkSize < o.ChunkSize {
+			return fmt.Errorf("cas: cdc chunk bounds must satisfy 1 <= min (%d) <= avg (%d) <= max (%d)",
+				o.MinChunkSize, o.ChunkSize, o.MaxChunkSize)
+		}
+	} else if o.MinChunkSize != 0 || o.MaxChunkSize != 0 {
+		return fmt.Errorf("cas: Min/MaxChunkSize only apply to ChunkingCDC")
 	}
 	if o.Workers == 0 {
 		o.Workers = DefaultWorkers
@@ -48,12 +97,20 @@ func (o *Options) fillDefaults() error {
 		return fmt.Errorf("cas: negative worker count")
 	}
 	if o.Writer == "" {
-		o.Writer = fmt.Sprintf("w%03d", writerSeq.Add(1))
+		o.Writer = fmt.Sprintf("w%03d-%s", writerSeq.Add(1), processTag)
 	}
 	if strings.ContainsAny(o.Writer, "./") {
 		return fmt.Errorf("cas: writer id %q may not contain '.' or '/'", o.Writer)
 	}
 	return nil
+}
+
+// split cuts a payload with the configured chunker. Chunks alias blob.
+func (o *Options) split(blob []byte) [][]byte {
+	if o.Chunking == ChunkingCDC {
+		return splitCDC(blob, o.MinChunkSize, o.ChunkSize, o.MaxChunkSize)
+	}
+	return splitChunks(blob, o.ChunkSize)
 }
 
 // Stats counts a store's write-side activity since Open.
@@ -162,6 +219,9 @@ func loadManifests(backend storage.PersistStore) ([]*Manifest, error) {
 // Writer returns the id stamped on manifests this store writes.
 func (s *Store) Writer() string { return s.opts.Writer }
 
+// Chunking returns the chunker this store writes new rounds with.
+func (s *Store) Chunking() Chunking { return s.opts.Chunking }
+
 // Rounds returns the committed rounds this store knows of, ascending.
 func (s *Store) Rounds() []int {
 	s.mu.Lock()
@@ -214,11 +274,16 @@ func (s *Store) Stats() Stats {
 // leaves at worst orphan chunks — never a committed round with missing
 // data. An empty payload map commits an empty manifest (the round marker
 // for a writer whose persist filter kept nothing).
+//
+// Copy-on-put contract: every chunk handed to backend.Put is a private
+// copy, never a subslice of a caller's blob — a backend is free to
+// retain the slice it receives, and the caller is free to reuse its
+// buffers the moment WriteRound returns.
 func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, error) {
 	if round < 0 {
 		return nil, fmt.Errorf("cas: negative round %d", round)
 	}
-	m := &Manifest{Round: round, Writer: s.opts.Writer}
+	m := &Manifest{Round: round, Writer: s.opts.Writer, Version: ManifestVersion, Chunking: s.opts.Chunking}
 	type pendingChunk struct {
 		hash Hash
 		data []byte
@@ -237,12 +302,15 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	for _, name := range names {
 		blob := modules[name]
 		e := ModuleEntry{Module: name, Size: int64(len(blob))}
-		for _, chunk := range splitChunks(blob, s.opts.ChunkSize) {
+		for _, chunk := range s.opts.split(blob) {
 			h := HashBytes(chunk)
 			e.Chunks = append(e.Chunks, ChunkRef{Hash: h, Size: uint32(len(chunk))})
 			refs++
 			if !s.present[h] && pending[h] == nil {
-				pending[h] = chunk
+				// The split chunks alias the caller's blob; copy here so a
+				// backend that retains what Put hands it can never be
+				// corrupted by the caller reusing its buffer.
+				pending[h] = append([]byte(nil), chunk...)
 			}
 		}
 		logical += int64(len(blob))

@@ -35,15 +35,16 @@ func (c Calibration) Apply(cfg simtime.Config) simtime.Config {
 
 // Calibrate measures what persisting one checkpoint of checkpointBytes
 // costs against a simulated object store with the given cost model, by
-// driving a synthetic dedup-free round through a cas.Store (chunkSize,
-// workers as the production writer would use) and reading the remote
-// metrics back. Failure injection is disabled for the probe — the
-// calibration is the fault-free baseline; retries only add to it.
+// driving a synthetic dedup-free round through a cas.Store tuned by
+// casOpts (chunk size, chunking mode, workers as the production writer
+// would use) and reading the remote metrics back. Failure injection is
+// disabled for the probe — the calibration is the fault-free baseline;
+// retries only add to it.
 //
 // The returned Calibration.Apply slots the measurement into a
 // simtime.Config, closing the loop between the byte-level storage
 // simulation and the iteration-level timing simulation.
-func Calibrate(cfg Config, checkpointBytes int64, chunkSize, workers int) (Calibration, error) {
+func Calibrate(cfg Config, checkpointBytes int64, casOpts cas.Options) (Calibration, error) {
 	if checkpointBytes <= 0 {
 		return Calibration{}, fmt.Errorf("remote: calibrate needs positive checkpoint volume")
 	}
@@ -54,10 +55,12 @@ func Calibrate(cfg Config, checkpointBytes int64, chunkSize, workers int) (Calib
 	if err != nil {
 		return Calibration{}, err
 	}
-	cs, err := cas.Open(store, cas.Options{ChunkSize: chunkSize, Workers: workers, Writer: "calibrate"})
+	casOpts.Writer = "calibrate"
+	cs, err := cas.Open(store, casOpts)
 	if err != nil {
 		return Calibration{}, err
 	}
+	workers := casOpts.Workers
 	if workers <= 0 {
 		workers = cas.DefaultWorkers // what cas.Open ran the probe with
 	}

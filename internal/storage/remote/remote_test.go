@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 )
 
 func mustNew(t *testing.T, cfg Config) *Store {
@@ -197,7 +198,7 @@ func TestKeysDeleteAndInnerLayering(t *testing.T) {
 
 func TestCalibrateDerivesPersistSeconds(t *testing.T) {
 	cfg := Config{LatencySeconds: 0.01, UploadBps: 64 << 20}
-	cal, err := Calibrate(cfg, 4<<20, 64<<10, 4)
+	cal, err := Calibrate(cfg, 4<<20, cas.Options{ChunkSize: 64 << 10, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestCalibrateDerivesPersistSeconds(t *testing.T) {
 		t.Fatalf("persist estimate %v below the bandwidth floor", cal.PersistSeconds)
 	}
 	// More workers must not cost more.
-	cal8, err := Calibrate(cfg, 4<<20, 64<<10, 8)
+	cal8, err := Calibrate(cfg, 4<<20, cas.Options{ChunkSize: 64 << 10, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ package moc
 import (
 	"moc/internal/storage"
 	"moc/internal/storage/cache"
+	"moc/internal/storage/cas"
 	"moc/internal/storage/remote"
 )
 
@@ -193,7 +194,20 @@ type PersistCalibration struct {
 // PersistSeconds calibrates the timing simulator's persist phase
 // against the byte-level storage simulation.
 func CalibratePersist(cfg RemoteConfig, checkpointBytes int64, chunkSize, workers int) (PersistCalibration, error) {
-	cal, err := remote.Calibrate(cfg.toInternal(), checkpointBytes, chunkSize, workers)
+	return CalibratePersistChunked(cfg, checkpointBytes, chunkSize, workers, ChunkingFixed)
+}
+
+// CalibratePersistChunked is CalibratePersist with an explicit chunking
+// mode, so the probe round is cut by the same chunker the production
+// store uses (a CDC probe pays the same per-chunk request overheads a
+// CDC writer would).
+func CalibratePersistChunked(cfg RemoteConfig, checkpointBytes int64, chunkSize, workers int, chunking Chunking) (PersistCalibration, error) {
+	mode, err := chunking.toCAS()
+	if err != nil {
+		return PersistCalibration{}, err
+	}
+	cal, err := remote.Calibrate(cfg.toInternal(), checkpointBytes,
+		cas.Options{ChunkSize: chunkSize, Workers: workers, Chunking: mode})
 	if err != nil {
 		return PersistCalibration{}, err
 	}

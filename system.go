@@ -8,6 +8,7 @@ import (
 	"moc/internal/eval"
 	"moc/internal/model"
 	"moc/internal/storage"
+	"moc/internal/storage/cas"
 	"moc/internal/storage/replica"
 	"moc/internal/train"
 )
@@ -92,6 +93,31 @@ func (v Variant) toTrain() (train.Variant, error) {
 	}
 }
 
+// Chunking names the checkpoint store's chunker. ChunkingFixed (the
+// default) cuts module payloads at fixed boundaries; ChunkingCDC uses a
+// content-defined rolling hash, so chunk boundaries — and therefore
+// dedup — survive insert/shift edits, not just in-place updates (a
+// tensor that grows by one row no longer rewrites every downstream
+// chunk).
+type Chunking string
+
+// Chunking values.
+const (
+	ChunkingFixed Chunking = "fixed"
+	ChunkingCDC   Chunking = "cdc"
+)
+
+func (c Chunking) toCAS() (cas.Chunking, error) {
+	switch c {
+	case "", ChunkingFixed:
+		return cas.ChunkingFixed, nil
+	case ChunkingCDC:
+		return cas.ChunkingCDC, nil
+	default:
+		return 0, fmt.Errorf("moc: unknown chunking mode %q", c)
+	}
+}
+
 // Selection names the partial-experts selection policy (§3.2).
 type Selection string
 
@@ -156,6 +182,11 @@ type Config struct {
 	// previous incarnation's checkpoints left off. Construction fails if
 	// the store holds no complete checkpoint.
 	Resume bool
+	// Chunking selects the checkpoint store's chunker (default
+	// ChunkingFixed; ChunkingCDC keeps dedup effective under insert/shift
+	// edits to module payloads). Stores written with either mode stay
+	// readable regardless of this setting.
+	Chunking Chunking
 }
 
 func (c *Config) fillDefaults() {
@@ -196,6 +227,9 @@ func (c Config) Validate() error {
 	}
 	if c.Interval < 0 {
 		return fmt.Errorf("moc: negative checkpoint interval")
+	}
+	if _, err := c.Chunking.toCAS(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -297,7 +331,12 @@ func NewSystemOn(cfg Config, store PersistStore, corpus *Corpus) (*System, error
 	if err != nil {
 		return nil, err
 	}
-	agent, err := core.NewAgent(storage.NewSnapshotStore(), store, cfg.Buffers)
+	chunking, err := cfg.Chunking.toCAS()
+	if err != nil {
+		return nil, err
+	}
+	agent, err := core.NewAgentWithOptions(storage.NewSnapshotStore(), store, cfg.Buffers,
+		cas.Options{Chunking: chunking})
 	if err != nil {
 		return nil, err
 	}

@@ -440,3 +440,68 @@ func TestResumeRequiresCheckpoint(t *testing.T) {
 		t.Fatal("resume from empty store accepted")
 	}
 }
+
+func TestChunkingCDCEndToEnd(t *testing.T) {
+	// Training, checkpointing, fault recovery, verification, and resume
+	// all work with the content-defined chunker; the chunking mode is a
+	// storage detail, invisible to training semantics.
+	store := moc.NewMemStore()
+	cfg := tinySystemConfig()
+	cfg.Chunking = moc.ChunkingCDC
+	s, err := moc.NewSystem(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.RunTo(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectFault(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Iteration() != 50 {
+		t.Fatalf("iteration %d after recovery, want 50", s.Iteration())
+	}
+	if _, err := s.VerifyStorage(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-checkpointing unchanged state dedups to zero new bytes under
+	// CDC exactly as under fixed chunking (the chunker is deterministic).
+	if err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Checkpoints == 0 || st.DedupRatio <= 0 {
+		t.Fatalf("cdc run stats: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh process resumes from the CDC-chunked store — and may even
+	// switch back to fixed chunking; old rounds stay readable.
+	cfg2 := cfg
+	cfg2.Chunking = moc.ChunkingFixed
+	cfg2.Resume = true
+	s2, err := moc.NewSystem(cfg2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Iteration() != 50 {
+		t.Fatalf("resumed iteration %d, want 50", s2.Iteration())
+	}
+	if _, err := s2.RunTo(60); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkingValidation(t *testing.T) {
+	cfg := tinySystemConfig()
+	cfg.Chunking = moc.Chunking("zstd")
+	if _, err := moc.NewSystem(cfg, moc.NewMemStore()); err == nil {
+		t.Fatal("unknown chunking mode accepted")
+	}
+}
