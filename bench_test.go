@@ -307,6 +307,7 @@ func BenchmarkDedupRatio(b *testing.B) {
 		b.Fatal(err)
 	}
 	base := s.Stats() // exclude warmup rounds (incl. the round-0 full save)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.CheckpointNow(); err != nil {
@@ -320,6 +321,7 @@ func BenchmarkDedupRatio(b *testing.B) {
 	logical := st.LogicalBytesPersisted - base.LogicalBytesPersisted
 	physical := st.PhysicalBytesPersisted - base.PhysicalBytesPersisted
 	if logical > 0 {
+		b.SetBytes(logical / int64(b.N)) // logical checkpoint volume per round → MB/s
 		b.ReportMetric(float64(logical-physical)/float64(logical), "dedup_ratio")
 	}
 	b.ReportMetric(float64(physical)/float64(b.N), "physical_B/round")
@@ -408,6 +410,7 @@ func BenchmarkDedupCDCvsFixed(b *testing.B) {
 				return float64(logical-written) / float64(logical)
 			}
 			var fixed, cdc float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				fixed = runSeq(cas.ChunkingFixed)
 				cdc = runSeq(cas.ChunkingCDC)
@@ -423,13 +426,23 @@ func BenchmarkDedupCDCvsFixed(b *testing.B) {
 }
 
 func BenchmarkStripedPersist(b *testing.B) {
-	// Parallel striped chunk writes against a bandwidth-limited backend:
-	// throughput should scale with the worker fan-out until the persist
-	// channel saturates.
+	// The persist pipeline against a bandwidth-limited backend. Note the
+	// payload series' real shape: each byte depends only on its offset
+	// mod 256 and on round<<3 mod 256, so the payloads cycle with period
+	// 32 and the distinct chunk population is bounded at 256 — rounds
+	// after the warmup dedup every chunk. The steady state therefore
+	// measures the pipeline's chunk→hash→dedup-filter path (the
+	// dominant cost of delta persistence), with the striped put stage
+	// exercised while the population is being written. Payloads are
+	// pre-generated outside the timer so the benchmark times WriteRound,
+	// not the payload generator; consecutive rounds always differ, so
+	// the unchanged-module fast path never fires here (see
+	// BenchmarkPersistPipeline for that path).
 	const (
 		moduleCount = 16
 		moduleBytes = 1 << 16
 		chunkSize   = 1 << 12
+		cycle       = 32 // payload period: round<<3 wraps mod 256
 	)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
@@ -439,28 +452,111 @@ func BenchmarkStripedPersist(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			payload := func(round int) map[string][]byte {
+			payloads := make([]map[string][]byte, cycle)
+			for round := range payloads {
 				mods := make(map[string][]byte, moduleCount)
 				for m := 0; m < moduleCount; m++ {
 					blob := make([]byte, moduleBytes)
 					for i := range blob {
-						// Unique bytes per (round, module): no dedup, every
-						// chunk is a real write.
 						blob[i] = byte(i ^ m ^ (round << 3))
 					}
 					mods[fmt.Sprintf("m%02d", m)] = blob
 				}
-				return mods
+				payloads[round] = mods
 			}
 			b.SetBytes(moduleCount * moduleBytes)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := store.WriteRound(i, payload(i)); err != nil {
+				if _, err := store.WriteRound(i, payloads[i%cycle]); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+func BenchmarkPersistPipeline(b *testing.B) {
+	// The pipeline's two pure-CPU extremes against a cost-free memory
+	// backend (no simulated bandwidth, so what is measured is the
+	// engine itself: splitting, hashing, dedup filtering, zero-copy
+	// puts, manifest commit).
+	//
+	//	unique:    every chunk of every round is new — the worst case,
+	//	           bounded below by one SHA-256 pass over the payload.
+	//	unchanged: every module matches the previous round — the
+	//	           whole-module fast path; no chunking, no hashing.
+	const (
+		moduleCount = 16
+		moduleBytes = 1 << 16
+		chunkSize   = 1 << 12
+	)
+	mods := make(map[string][]byte, moduleCount)
+	for m := 0; m < moduleCount; m++ {
+		mods[fmt.Sprintf("m%02d", m)] = uniqueBlob(uint64(m)+101, moduleBytes)
+	}
+	stamp := func(round int) {
+		for _, blob := range mods {
+			for off := 0; off < len(blob); off += chunkSize {
+				binary.LittleEndian.PutUint64(blob[off:], uint64(round))
+			}
+		}
+	}
+	b.Run("unique", func(b *testing.B) {
+		store, err := cas.Open(storage.NewMemStore(), cas.Options{ChunkSize: chunkSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(moduleCount * moduleBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stamp(i)
+			if _, err := store.WriteRound(i, mods); err != nil {
+				b.Fatal(err)
+			}
+			// Sweep the previous round outside the timer so resident
+			// never-deduped chunks stay bounded at ~one round however
+			// large b.N grows.
+			b.StopTimer()
+			round := i
+			if _, err := store.Retain(func(r int, _ string) bool { return r == round }, round); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		st := store.Stats()
+		b.ReportMetric(float64(st.ChunksHashed)/float64(b.N), "hashes/round")
+	})
+	b.Run("unchanged", func(b *testing.B) {
+		store, err := cas.Open(storage.NewMemStore(), cas.Options{ChunkSize: chunkSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stamp(0)
+		if _, err := store.WriteRound(0, mods); err != nil {
+			b.Fatal(err)
+		}
+		base := store.Stats()
+		b.SetBytes(moduleCount * moduleBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Re-persisting round 1 replaces its manifest in place, so
+			// memory stays bounded while every iteration presents
+			// byte-identical modules to the fast path.
+			if _, err := store.WriteRound(1, mods); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := store.Stats()
+		if hashed := st.ChunksHashed - base.ChunksHashed; hashed != 0 {
+			b.Fatalf("unchanged rounds hashed %d chunks, want 0", hashed)
+		}
+		b.ReportMetric(float64(st.ModulesUnchanged)/float64(b.N), "fastpath_mods/round")
+	})
 }
 
 // uniqueBlob fills n pseudo-random bytes from seed — distinct seeds
@@ -585,6 +681,7 @@ func BenchmarkCachedRecovery(b *testing.B) {
 		backend, cached, store := setup(b)
 		base := backend.Metrics()
 		b.SetBytes(moduleCount * moduleBytes)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			cached.Drop()
@@ -600,6 +697,7 @@ func BenchmarkCachedRecovery(b *testing.B) {
 		recoverAll(b, store) // not even needed: write-through already warmed it
 		base := backend.Metrics()
 		b.SetBytes(moduleCount * moduleBytes)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			recoverAll(b, store)
@@ -614,6 +712,53 @@ func BenchmarkCachedRecovery(b *testing.B) {
 		b.ReportMetric((m.SimSeconds-base.SimSeconds)/float64(b.N), "sim_s/rec")
 		b.ReportMetric(st.HitRatio(), "cache_hit_ratio")
 	})
+}
+
+func BenchmarkParallelRecovery(b *testing.B) {
+	// Cold recovery against a remote whose cost model really sleeps
+	// (SleepScale=1): the store's bounded-fan-out chunk fetches overlap
+	// the per-request latency, so recovery accelerates with ReadWorkers
+	// until the simulated channel saturates — the recovery-side
+	// counterpart of the striped persist pool.
+	const (
+		moduleCount = 4
+		moduleBytes = 1 << 16
+		chunkSize   = 1 << 12 // 16 chunks per module: enough to fan out
+	)
+	for _, readers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("readers_%d", readers), func(b *testing.B) {
+			backend, err := remote.New(remote.Config{
+				LatencySeconds: 0.0005,
+				SleepScale:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := cas.Open(backend, cas.Options{ChunkSize: chunkSize, ReadWorkers: readers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mods := make(map[string][]byte, moduleCount)
+			for m := 0; m < moduleCount; m++ {
+				mods[fmt.Sprintf("m%02d", m)] = uniqueBlob(uint64(m)+201, moduleBytes)
+			}
+			if _, err := store.WriteRound(0, mods); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(moduleCount * moduleBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := store.ReadRound(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != moduleCount {
+					b.Fatalf("recovered %d modules", len(got))
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkPlanCheckpoint(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"moc/internal/storage"
@@ -337,7 +338,10 @@ type RecoveredModule struct {
 // in-memory snapshot is at least as fresh as the persisted copy, the
 // snapshot is used (two-level recovery, §5.1); otherwise the module's
 // newest persisted version no newer than the latest complete round is
-// read back from storage.
+// read back from storage. Storage reads fan out across a bounded worker
+// pool sized to the store's read concurrency — each worker's chunk
+// fetches are verified inside the store — so cold recovery overlaps
+// backend latency at both module and chunk granularity.
 func (a *Agent) Recover(snapshotSurvives func(module string) bool) (map[string]RecoveredModule, error) {
 	a.mu.Lock()
 	latest := -1
@@ -355,6 +359,11 @@ func (a *Agent) Recover(snapshotSurvives func(module string) bool) (map[string]R
 	a.mu.Unlock()
 
 	out := make(map[string]RecoveredModule, len(modules))
+	type storeRead struct {
+		module string
+		round  int
+	}
+	var reads []storeRead
 	for k, rounds := range modules {
 		persistedRound := -1
 		for i := len(rounds) - 1; i >= 0; i-- {
@@ -375,11 +384,57 @@ func (a *Agent) Recover(snapshotSurvives func(module string) bool) (map[string]R
 		if persistedRound < 0 {
 			continue // never made it to a complete checkpoint
 		}
-		blob, err := a.store.ReadModule(persistedRound, k)
-		if err != nil {
-			return nil, fmt.Errorf("core: recover %s@%d: %w", k, persistedRound, err)
+		reads = append(reads, storeRead{module: k, round: persistedRound})
+	}
+
+	workers := a.store.ReadConcurrency()
+	if workers > len(reads) {
+		workers = len(reads)
+	}
+	if workers <= 1 {
+		for _, r := range reads {
+			blob, err := a.store.ReadModule(r.round, r.module)
+			if err != nil {
+				return nil, fmt.Errorf("core: recover %s@%d: %w", r.module, r.round, err)
+			}
+			out[r.module] = RecoveredModule{Blob: blob, Round: r.round}
 		}
-		out[k] = RecoveredModule{Blob: blob, Round: persistedRound}
+		return out, nil
+	}
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Bool
+		outMu  sync.Mutex
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reads) || failed.Load() {
+					return
+				}
+				r := reads[i]
+				blob, err := a.store.ReadModule(r.round, r.module)
+				if err != nil {
+					errs[w] = fmt.Errorf("core: recover %s@%d: %w", r.module, r.round, err)
+					failed.Store(true)
+					return
+				}
+				outMu.Lock()
+				out[r.module] = RecoveredModule{Blob: blob, Round: r.round}
+				outMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

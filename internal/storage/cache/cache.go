@@ -148,6 +148,59 @@ func (c *Store) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutOwned implements storage.OwnedPutter: write-through without
+// retention. The inner write goes through PutNoRetain (the backend's
+// retention behavior is unknown) and the cache admission copies, so the
+// caller's buffer is never referenced after return.
+func (c *Store) PutOwned(key string, data []byte) error {
+	c.mu.Lock()
+	gen := c.delGen
+	c.mu.Unlock()
+	if err := storage.PutNoRetain(c.inner, key, data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if gen == c.delGen {
+		c.insert(key, data)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// GetView implements storage.Viewer: hits return the cached slice
+// itself — no per-read copy, the win that makes warm recovery a pure
+// verify-and-reassemble pass. Cached slices are replaced on update,
+// never mutated (see insert), so outstanding views survive eviction and
+// overwrite intact. Misses fall through to the backend, admit the
+// value, and return the backend's copy.
+func (c *Store) GetView(key string) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*entry)
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.HitBytes += int64(len(e.data))
+		data := e.data
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.stats.Misses++
+	gen := c.delGen
+	c.mu.Unlock()
+
+	data, err := c.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.MissBytes += int64(len(data))
+	if gen == c.delGen {
+		c.insert(key, data)
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
 // Get implements storage.PersistStore: read-through. Hits are served
 // from memory; misses fetch from the backend and admit the value.
 func (c *Store) Get(key string) ([]byte, error) {
@@ -212,4 +265,8 @@ func (c *Store) Drop() {
 	c.delGen++ // in-flight miss fills must not resurrect dropped entries
 }
 
-var _ storage.PersistStore = (*Store)(nil)
+var (
+	_ storage.PersistStore = (*Store)(nil)
+	_ storage.OwnedPutter  = (*Store)(nil)
+	_ storage.Viewer       = (*Store)(nil)
+)

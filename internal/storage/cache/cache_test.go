@@ -293,3 +293,79 @@ func TestDeleteDuringPutIsNotResurrected(t *testing.T) {
 		t.Fatalf("cache served a key the backend deleted: err = %v", err)
 	}
 }
+
+func TestPutOwnedWriteThrough(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<20)
+	buf := []byte("owned-payload")
+	if err := c.PutOwned("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	// The caller reuses its buffer immediately — neither the cache nor
+	// the backend may be corrupted.
+	for i := range buf {
+		buf[i] = '!'
+	}
+	got, err := c.Get("k")
+	if err != nil || string(got) != "owned-payload" {
+		t.Fatalf("cached copy corrupted: %q %v", got, err)
+	}
+	igot, err := inner.Get("k")
+	if err != nil || string(igot) != "owned-payload" {
+		t.Fatalf("backend copy corrupted: %q %v", igot, err)
+	}
+	st := c.Stats()
+	if st.Insertions != 1 || st.Hits != 1 {
+		t.Fatalf("stats after owned write-through: %+v", st)
+	}
+}
+
+func TestGetViewHitServesWithoutCopy(t *testing.T) {
+	inner := storage.NewMemStore()
+	c := mustNew(t, inner, 1<<20)
+	if err := c.Put("k", []byte("view-me")); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := c.GetView("k")
+	if err != nil || string(v1) != "view-me" {
+		t.Fatalf("view: %q %v", v1, err)
+	}
+	// Overwriting the key replaces the cached slice; the outstanding
+	// view must stay intact (entries are replaced, never mutated).
+	if err := c.Put("k", []byte("new-val")); err != nil {
+		t.Fatal(err)
+	}
+	if string(v1) != "view-me" {
+		t.Fatalf("outstanding view mutated: %q", v1)
+	}
+	st := c.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("view hit not counted: %+v", st)
+	}
+}
+
+func TestGetViewMissFillsAndAdmits(t *testing.T) {
+	inner := storage.NewMemStore()
+	if err := inner.Put("k", []byte("backend-only")); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, inner, 1<<20)
+	v, err := c.GetView("k")
+	if err != nil || string(v) != "backend-only" {
+		t.Fatalf("miss view: %q %v", v, err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("miss fill stats: %+v", st)
+	}
+	// Second read is a hit.
+	if _, err := c.GetView("k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("hit after fill: %+v", st)
+	}
+	if _, err := c.GetView("absent"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("GetView(absent) = %v", err)
+	}
+}

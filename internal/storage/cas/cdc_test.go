@@ -186,3 +186,56 @@ func TestOptionsCDCValidation(t *testing.T) {
 		t.Fatalf("cdc bound defaults: min %d max %d", opts.MinChunkSize, opts.MaxChunkSize)
 	}
 }
+
+// goldenCorpus is a fixed pseudo-random corpus regenerated identically
+// on every build (SplitMix64 from a constant seed, independent of the
+// rng package so its evolution can never shift these bytes).
+func goldenCorpus(n int) []byte {
+	out := make([]byte, n)
+	state := uint64(0x5eed)
+	for i := range out {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		out[i] = byte(z ^ (z >> 31))
+	}
+	return out
+}
+
+func TestSplitCDCGoldenBoundaries(t *testing.T) {
+	// Golden-boundary regression lock: these exact cut offsets were
+	// produced by the PR-3 chunker over the fixed corpus, and every v2
+	// manifest ever written depends on boundary placement staying
+	// byte-identical. Any change here — however plausible the
+	// optimization — silently destroys cross-round dedup against
+	// existing stores, so this test must never be "updated to match"
+	// without a manifest-format migration story.
+	blob := goldenCorpus(16 << 10)
+	cases := []struct {
+		min, avg, max int
+		want          []int
+	}{
+		{512, 2048, 8192, []int{2433, 4842, 6323, 8841, 9453, 12224, 16384}},
+		{1024, 4096, 16384, []int{5218, 6323, 16384}},
+	}
+	for _, c := range cases {
+		chunks := splitCDC(blob, c.min, c.avg, c.max)
+		var got []int
+		pos := 0
+		for _, ch := range chunks {
+			pos += len(ch)
+			got = append(got, pos)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("min=%d avg=%d max=%d: %d chunks, want %d (%v vs %v)",
+				c.min, c.avg, c.max, len(got), len(c.want), got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("min=%d avg=%d max=%d: boundary %d at offset %d, want %d",
+					c.min, c.avg, c.max, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package cas
+
+import "sync"
+
+// presenceIndex is the sharded in-memory set of chunk addresses known to
+// exist in the backend. It is the dedup filter on the persist hot path:
+// every chunk of every round consults it, concurrently from the hash
+// workers, so the index is sharded by the first hash byte — chunk
+// addresses are uniformly distributed by construction — rather than
+// hiding behind the store's single mutex. Seeded from the backend scan
+// at Open, extended after each committed round, and shrunk by the GC
+// sweep.
+//
+// Staleness discipline (the crash-consistency invariant the old flat map
+// enforced and the shards preserve): the index may under-claim — a chunk
+// present in the backend but absent here merely costs one redundant
+// idempotent write — but must never over-claim, because deduplicating
+// against a chunk the backend does not hold would commit an
+// unrecoverable round. Hence additions happen only after a successful
+// backend Put, and the GC removes entries before deleting the chunks.
+const presenceShards = 64
+
+type presenceIndex struct {
+	shards [presenceShards]presenceShard
+}
+
+type presenceShard struct {
+	mu  sync.Mutex
+	set map[Hash]struct{}
+}
+
+func newPresenceIndex() *presenceIndex {
+	p := &presenceIndex{}
+	for i := range p.shards {
+		p.shards[i].set = make(map[Hash]struct{})
+	}
+	return p
+}
+
+func (p *presenceIndex) shard(h Hash) *presenceShard {
+	return &p.shards[h[0]&(presenceShards-1)]
+}
+
+// Has reports whether the chunk is known present.
+func (p *presenceIndex) Has(h Hash) bool {
+	s := p.shard(h)
+	s.mu.Lock()
+	_, ok := s.set[h]
+	s.mu.Unlock()
+	return ok
+}
+
+// Add records a chunk as present.
+func (p *presenceIndex) Add(h Hash) {
+	s := p.shard(h)
+	s.mu.Lock()
+	s.set[h] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Remove forgets a chunk (the GC sweep's pre-delete step).
+func (p *presenceIndex) Remove(h Hash) {
+	s := p.shard(h)
+	s.mu.Lock()
+	delete(s.set, h)
+	s.mu.Unlock()
+}
+
+// Len counts the known-present chunks.
+func (p *presenceIndex) Len() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.set)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// roundClaims is the per-WriteRound claim set deciding, once per
+// distinct new chunk, which hash worker forwards it to the put stage.
+// It is separate from the presence index on purpose: a claim is an
+// intent, not a fact — presence is updated only after the round's puts
+// all succeeded, so a failed round can never leave the index
+// over-claiming (see presenceIndex).
+type roundClaims struct {
+	mu      sync.Mutex
+	claimed map[Hash]struct{}
+}
+
+func newRoundClaims() *roundClaims {
+	return &roundClaims{claimed: make(map[Hash]struct{})}
+}
+
+// Claim returns true exactly once per hash: the caller that wins the
+// claim owns putting the chunk this round.
+func (c *roundClaims) Claim(h Hash) bool {
+	c.mu.Lock()
+	_, dup := c.claimed[h]
+	if !dup {
+		c.claimed[h] = struct{}{}
+	}
+	c.mu.Unlock()
+	return !dup
+}

@@ -1,12 +1,14 @@
 package cas
 
 import (
+	"bytes"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,10 +32,25 @@ type Options struct {
 	// ChunkSize/4 and ChunkSize*4). Ignored under ChunkingFixed.
 	MinChunkSize int
 	MaxChunkSize int
-	// Workers is the striped-writer fan-out: chunk Puts for one round are
-	// distributed round-robin across this many goroutines so a
-	// bandwidth-limited backend is driven in parallel (default 4).
+	// Workers is the striped-writer fan-out: the put stage of the persist
+	// pipeline runs this many goroutines so a bandwidth-limited backend
+	// is driven in parallel (default 4).
 	Workers int
+	// HashWorkers is the chunk-hashing fan-out of the persist pipeline
+	// (default GOMAXPROCS, capped at 8). Hashing, dedup filtering, and
+	// backend puts run as overlapped stages, so even HashWorkers = 1
+	// hides hash time behind put latency; higher values add hashing
+	// parallelism on multi-core hosts.
+	HashWorkers int
+	// ReadWorkers bounds the concurrent chunk fetches of one ReadModule
+	// or ReadRound call (default 4). Fetch workers verify chunks against
+	// their addresses as they arrive, so verification overlaps backend
+	// latency too. 1 reads sequentially. Note this is a per-call bound:
+	// a caller overlapping several reads (core.Agent.Recover fans out
+	// module reads to this same width) multiplies it, up to
+	// ReadWorkers² concurrent backend Gets — size it to the backend's
+	// connection budget accordingly.
+	ReadWorkers int
 	// Writer distinguishes manifests from different agents sharing one
 	// backend. Defaults to an id unique across processes (sequence number
 	// plus a per-process pid/random tag), so two processes opening the
@@ -47,6 +64,15 @@ const DefaultChunkSize = 64 << 10
 // DefaultWorkers is the striped-writer fan-out used when Options.Workers
 // is 0.
 const DefaultWorkers = 4
+
+// DefaultReadWorkers is the recovery fetch fan-out used when
+// Options.ReadWorkers is 0.
+const DefaultReadWorkers = 4
+
+// maxDefaultHashWorkers caps the GOMAXPROCS-derived hashing fan-out:
+// past a handful of cores the pipeline is put- or memory-bound, and a
+// wider default would just add idle goroutines per round.
+const maxDefaultHashWorkers = 8
 
 var writerSeq atomic.Int64
 
@@ -96,6 +122,21 @@ func (o *Options) fillDefaults() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("cas: negative worker count")
 	}
+	if o.HashWorkers == 0 {
+		o.HashWorkers = runtime.GOMAXPROCS(0)
+		if o.HashWorkers > maxDefaultHashWorkers {
+			o.HashWorkers = maxDefaultHashWorkers
+		}
+	}
+	if o.HashWorkers < 0 {
+		return fmt.Errorf("cas: negative hash worker count")
+	}
+	if o.ReadWorkers == 0 {
+		o.ReadWorkers = DefaultReadWorkers
+	}
+	if o.ReadWorkers < 0 {
+		return fmt.Errorf("cas: negative read worker count")
+	}
 	if o.Writer == "" {
 		o.Writer = fmt.Sprintf("w%03d-%s", writerSeq.Add(1), processTag)
 	}
@@ -126,6 +167,15 @@ type Stats struct {
 	BytesDeduped  int64
 	// LogicalBytes is the total payload volume presented to WriteRound.
 	LogicalBytes int64
+	// ChunksHashed counts the chunk digests the hash stage computed —
+	// the pipeline's CPU-side work. Modules short-circuited by the
+	// unchanged-module fast path contribute zero.
+	ChunksHashed int64
+	// ModulesUnchanged / BytesUnchanged count module payloads (and their
+	// volume) that skipped chunking and hashing entirely because their
+	// bytes matched the previous round's.
+	ModulesUnchanged int64
+	BytesUnchanged   int64
 }
 
 // DedupRatio is the fraction of presented bytes that deduplication
@@ -137,20 +187,48 @@ func (s Stats) DedupRatio() float64 {
 	return float64(s.BytesDeduped) / float64(s.LogicalBytes)
 }
 
+// moduleMemo is the unchanged-module fast path: the payload bytes a
+// module persisted last and the chunk refs they produced. When a later
+// round presents byte-identical payload, WriteRound reuses the refs and
+// skips chunking and hashing for the whole module. Detection compares
+// against the retained bytes directly rather than recomputing a
+// whole-module digest: a digest check would charge every CHANGED module
+// a second full hash pass just to learn it changed, while the direct
+// comparison bails at the first differing byte and pays a fast memcmp
+// only when the skip is about to win.
+//
+// The deliberate cost of that trade: the store permanently retains one
+// private copy of each module's newest payload (reused in place across
+// rounds), so resident memory grows by about one full checkpoint's
+// volume — the same order as the snapshot tier already holds. The
+// comparison also runs under the store mutex, briefly serializing
+// concurrent writers on rounds with large unchanged modules. A
+// deployment that cannot afford the resident copy would trade back to
+// a digest (32 B/module, but a second hash pass per changed module).
+type moduleMemo struct {
+	data []byte
+	refs []ChunkRef
+}
+
 // Store is a content-addressed chunk store over one PersistStore backend.
 // It is safe for concurrent use; GC (Retain) must not race with writers.
 type Store struct {
 	backend storage.PersistStore
 	opts    Options
 
+	// present is the sharded dedup index of chunk addresses known to
+	// exist in the backend (scanned at Open plus everything committed
+	// since); it replaces per-chunk backend existence probes entirely.
+	present *presenceIndex
+
 	mu sync.Mutex
-	// present records chunk addresses known to exist in the backend
-	// (scanned at Open plus everything written since).
-	present map[Hash]bool
 	// manifests caches decoded manifests by round, in writer order, for
 	// the rounds this store has seen (at Open or written itself).
 	manifests map[int][]*Manifest
-	stats     Stats
+	// memo holds each module's last-written payload and chunk refs (the
+	// unchanged-module fast path).
+	memo  map[string]*moduleMemo
+	stats Stats
 }
 
 // Open scans the backend's manifests and chunk index and returns a store
@@ -163,8 +241,9 @@ func Open(backend storage.PersistStore, opts Options) (*Store, error) {
 	s := &Store{
 		backend:   backend,
 		opts:      opts,
-		present:   make(map[Hash]bool),
+		present:   newPresenceIndex(),
 		manifests: make(map[int][]*Manifest),
+		memo:      make(map[string]*moduleMemo),
 	}
 	chunkKeys, err := backend.Keys(chunkPrefix)
 	if err != nil {
@@ -175,7 +254,7 @@ func Open(backend storage.PersistStore, opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
 		}
-		s.present[h] = true
+		s.present.Add(h)
 	}
 	manifests, err := loadManifests(backend)
 	if err != nil {
@@ -222,6 +301,11 @@ func (s *Store) Writer() string { return s.opts.Writer }
 // Chunking returns the chunker this store writes new rounds with.
 func (s *Store) Chunking() Chunking { return s.opts.Chunking }
 
+// ReadConcurrency returns the configured recovery fetch fan-out —
+// callers layering their own recovery parallelism (the checkpoint
+// agent) size against it.
+func (s *Store) ReadConcurrency() int { return s.opts.ReadWorkers }
+
 // Rounds returns the committed rounds this store knows of, ascending.
 func (s *Store) Rounds() []int {
 	s.mu.Lock()
@@ -267,30 +351,53 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
-// WriteRound persists one round's module payloads and commits them with a
-// manifest. Chunks already present in the store are not rewritten (the
-// dedup path); new chunks are fanned out across the worker pool in
-// hash-order stripes. The manifest Put is last, so a crash mid-round
-// leaves at worst orphan chunks — never a committed round with missing
-// data. An empty payload map commits an empty manifest (the round marker
-// for a writer whose persist filter kept nothing).
+// hashTask is a batch of chunks awaiting their digests; slots are their
+// ChunkRefs in the manifest under construction, aligned with chunks
+// (stable addresses: each entry's Chunks array is allocated once and
+// never moved). Chunks travel in batches because a channel handoff is
+// not free — at one batch per chunk the scheduler round-trips would
+// rival the hash work for small chunks.
+type hashTask struct {
+	chunks [][]byte
+	slots  []ChunkRef
+}
+
+// hashBatch bounds a hash task's chunk count: large enough to amortize
+// the channel handoff, small enough that a round's chunks still spread
+// across the hash workers.
+const hashBatch = 32
+
+// putTask is one distinct new chunk claimed for writing this round.
+type putTask struct {
+	hash Hash
+	data []byte
+}
+
+// WriteRound persists one round's module payloads and commits them with
+// a manifest. It runs as a streaming pipeline: the caller splits
+// payloads and feeds chunks through a bounded channel to the hash
+// workers, which digest them, consult the sharded presence index (the
+// dedup filter — chunks already in the store are never rewritten), and
+// forward each distinct new chunk to the striped put workers, so
+// chunking, hashing, dedup filtering, and backend puts all overlap.
+// Modules whose bytes are unchanged from their previous write skip the
+// pipeline entirely and reuse their recorded chunk refs. The manifest
+// Put is last, so a crash mid-round leaves at worst orphan chunks —
+// never a committed round with missing data. An empty payload map
+// commits an empty manifest (the round marker for a writer whose
+// persist filter kept nothing).
 //
-// Copy-on-put contract: every chunk handed to backend.Put is a private
-// copy, never a subslice of a caller's blob — a backend is free to
-// retain the slice it receives, and the caller is free to reuse its
-// buffers the moment WriteRound returns.
+// Copy-on-put contract: a backend is free to retain the slice its Put
+// receives, and the caller is free to reuse its buffers the moment
+// WriteRound returns. Backends implementing storage.OwnedPutter waive
+// the retention right, so the put stage hands them chunk slices
+// aliasing the caller's blobs directly — the zero-copy path; for plain
+// Put backends each chunk is defensively copied as before.
 func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, error) {
 	if round < 0 {
 		return nil, fmt.Errorf("cas: negative round %d", round)
 	}
 	m := &Manifest{Round: round, Writer: s.opts.Writer, Version: ManifestVersion, Chunking: s.opts.Chunking}
-	type pendingChunk struct {
-		hash Hash
-		data []byte
-	}
-	var logical int64
-	var refs int64
-	pending := make(map[Hash][]byte)
 
 	names := make([]string, 0, len(modules))
 	for k := range modules {
@@ -298,67 +405,138 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	}
 	sort.Strings(names)
 
-	s.mu.Lock()
-	for _, name := range names {
-		blob := modules[name]
-		e := ModuleEntry{Module: name, Size: int64(len(blob))}
-		for _, chunk := range s.opts.split(blob) {
-			h := HashBytes(chunk)
-			e.Chunks = append(e.Chunks, ChunkRef{Hash: h, Size: uint32(len(chunk))})
-			refs++
-			if !s.present[h] && pending[h] == nil {
-				// The split chunks alias the caller's blob; copy here so a
-				// backend that retains what Put hands it can never be
-				// corrupted by the caller reusing its buffer.
-				pending[h] = append([]byte(nil), chunk...)
-			}
+	// Failure latch: the first stage error wins; later stages drain
+	// their channels without doing work so the pipeline always unwinds.
+	var failed atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		logical += int64(len(blob))
-		m.Modules = append(m.Modules, e)
+		errMu.Unlock()
+		failed.Store(true)
 	}
-	s.mu.Unlock()
 
-	// Stripe the new chunks across the worker pool in deterministic hash
-	// order so a bandwidth-bound backend is saturated from N writers.
-	stripeSrc := make([]pendingChunk, 0, len(pending))
-	for h, data := range pending {
-		stripeSrc = append(stripeSrc, pendingChunk{h, data})
-	}
-	sort.Slice(stripeSrc, func(i, j int) bool {
-		return stripeSrc[i].hash.String() < stripeSrc[j].hash.String()
-	})
-	workers := s.opts.Workers
-	if workers > len(stripeSrc) {
-		workers = len(stripeSrc)
-	}
-	if workers > 1 {
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < len(stripeSrc); i += workers {
-					c := stripeSrc[i]
-					if err := s.backend.Put(ChunkKey(c.hash), c.data); err != nil {
-						errs[w] = fmt.Errorf("cas: put chunk %s: %w", c.hash, err)
-						return
+	hashCh := make(chan hashTask, 4*s.opts.HashWorkers)
+	putCh := make(chan putTask, 4*s.opts.Workers)
+	claims := newRoundClaims()
+	owned, _ := s.backend.(storage.OwnedPutter)
+
+	// Worker stages, spawned lazily on the first chunk that actually
+	// needs hashing: a round whose modules all hit the unchanged-module
+	// memo (or an empty round) commits without creating a single
+	// goroutine or channel send.
+	var putMu sync.Mutex
+	putHashes := make([]Hash, 0, 64)
+	var putBytes int64
+	var putWG, hashWG sync.WaitGroup
+	pipelineStarted := false
+	startPipeline := func() {
+		if pipelineStarted {
+			return
+		}
+		pipelineStarted = true
+		// Put stage: striped backend writers. Successful puts are
+		// recorded so presence is extended only with chunks the backend
+		// accepted.
+		for w := 0; w < s.opts.Workers; w++ {
+			putWG.Add(1)
+			go func() {
+				defer putWG.Done()
+				for t := range putCh {
+					if failed.Load() {
+						continue
+					}
+					var err error
+					if owned != nil {
+						// Zero-copy: t.data aliases the caller's blob, which
+						// outlives this call — WriteRound has not returned —
+						// and the backend has waived retention.
+						err = owned.PutOwned(ChunkKey(t.hash), t.data)
+					} else {
+						err = s.backend.Put(ChunkKey(t.hash), append([]byte(nil), t.data...))
+					}
+					if err != nil {
+						fail(fmt.Errorf("cas: put chunk %s: %w", t.hash, err))
+						continue
+					}
+					putMu.Lock()
+					putHashes = append(putHashes, t.hash)
+					putBytes += int64(len(t.data))
+					putMu.Unlock()
+				}
+			}()
+		}
+		// Hash stage: digest chunks, fill their manifest slots, and
+		// claim distinct new chunks for the put stage.
+		for w := 0; w < s.opts.HashWorkers; w++ {
+			hashWG.Add(1)
+			go func() {
+				defer hashWG.Done()
+				for t := range hashCh {
+					if failed.Load() {
+						continue
+					}
+					for i, c := range t.chunks {
+						h := HashBytes(c)
+						t.slots[i].Hash = h
+						t.slots[i].Size = uint32(len(c))
+						if !s.present.Has(h) && claims.Claim(h) {
+							putCh <- putTask{hash: h, data: c}
+						}
 					}
 				}
-			}(w)
+			}()
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+	}
+
+	// Feed stage (this goroutine): resolve unchanged modules against the
+	// memo, split the rest, and stream their chunks into the pipeline.
+	var logical, refs, hashed, unchangedMods, unchangedBytes int64
+	memoHit := make([]bool, len(names))
+	for mi, name := range names {
+		blob := modules[name]
+		e := ModuleEntry{Module: name, Size: int64(len(blob))}
+		logical += int64(len(blob))
+		if mrefs, ok := s.memoLookup(name, blob); ok {
+			e.Chunks = mrefs
+			refs += int64(len(mrefs))
+			unchangedMods++
+			unchangedBytes += int64(len(blob))
+			memoHit[mi] = true
+			m.Modules = append(m.Modules, e)
+			continue
+		}
+		chunks := s.opts.split(blob)
+		slots := make([]ChunkRef, len(chunks))
+		e.Chunks = slots
+		refs += int64(len(chunks))
+		hashed += int64(len(chunks))
+		m.Modules = append(m.Modules, e)
+		if len(chunks) > 0 {
+			startPipeline()
+		}
+		for off := 0; off < len(chunks); off += hashBatch {
+			if failed.Load() {
+				break
 			}
-		}
-	} else {
-		for _, c := range stripeSrc {
-			if err := s.backend.Put(ChunkKey(c.hash), c.data); err != nil {
-				return nil, fmt.Errorf("cas: put chunk %s: %w", c.hash, err)
+			end := off + hashBatch
+			if end > len(chunks) {
+				end = len(chunks)
 			}
+			hashCh <- hashTask{chunks: chunks[off:end], slots: slots[off:end]}
 		}
+	}
+	if pipelineStarted {
+		close(hashCh)
+		hashWG.Wait()
+		close(putCh)
+		putWG.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	// Commit point: the manifest write makes the round durable.
@@ -366,14 +544,26 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 		return nil, fmt.Errorf("cas: commit round %d: %w", round, err)
 	}
 
-	var written, writtenBytes int64
-	for _, c := range stripeSrc {
-		written++
-		writtenBytes += int64(len(c.data))
+	for _, h := range putHashes {
+		s.present.Add(h)
 	}
+	written := int64(len(putHashes))
+
 	s.mu.Lock()
-	for _, c := range stripeSrc {
-		s.present[c.hash] = true
+	// Refresh the memo for modules that went through the pipeline; hits
+	// already match. Buffers are reused in place — same-shaped payloads
+	// round after round make this allocation-free at steady state.
+	for mi, name := range names {
+		if memoHit[mi] {
+			continue
+		}
+		mm := s.memo[name]
+		if mm == nil {
+			mm = &moduleMemo{}
+			s.memo[name] = mm
+		}
+		mm.data = append(mm.data[:0], modules[name]...)
+		mm.refs = append(mm.refs[:0], m.Modules[mi].Chunks...)
 	}
 	// Re-persisting a round replaces this writer's previous manifest.
 	kept := s.manifests[round][:0]
@@ -385,19 +575,64 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	s.manifests[round] = append(kept, m)
 	s.stats.RoundsWritten++
 	s.stats.ChunksWritten += written
-	s.stats.BytesWritten += writtenBytes
+	s.stats.BytesWritten += putBytes
 	s.stats.ChunksDeduped += refs - written
-	s.stats.BytesDeduped += logical - writtenBytes
+	s.stats.BytesDeduped += logical - putBytes
 	s.stats.LogicalBytes += logical
+	s.stats.ChunksHashed += hashed
+	s.stats.ModulesUnchanged += unchangedMods
+	s.stats.BytesUnchanged += unchangedBytes
 	s.mu.Unlock()
 	return m, nil
+}
+
+// memoLookup resolves the unchanged-module fast path: when blob is
+// byte-identical to the module's last-written payload AND every
+// recorded chunk is still present (a GC may have swept them since), it
+// returns a private copy of the recorded refs.
+func (s *Store) memoLookup(name string, blob []byte) ([]ChunkRef, bool) {
+	s.mu.Lock()
+	mm := s.memo[name]
+	hit := mm != nil && len(mm.data) == len(blob) && bytes.Equal(mm.data, blob)
+	var refs []ChunkRef
+	if hit {
+		refs = append(make([]ChunkRef, 0, len(mm.refs)), mm.refs...)
+	}
+	s.mu.Unlock()
+	if !hit {
+		return nil, false
+	}
+	for _, c := range refs {
+		if !s.present.Has(c.Hash) {
+			return nil, false
+		}
+	}
+	return refs, true
 }
 
 // ErrModuleNotFound reports a module absent from a round's manifests.
 var ErrModuleNotFound = errors.New("cas: module not persisted in round")
 
+// minParallelFetchTasks is the chunk count below which a recovery read
+// stays sequential — spawning fetch workers for a few memory-speed
+// chunks costs more than it overlaps.
+const minParallelFetchTasks = 8
+
+// fetchTask locates one chunk of a recovery read: which module it
+// belongs to, its index and byte offset there, and the output buffer it
+// reassembles into.
+type fetchTask struct {
+	module string
+	idx    int
+	off    int64
+	ref    ChunkRef
+	out    []byte
+}
+
 // ReadModule reassembles one module's payload from a round, verifying
 // every chunk against its address and the total against the manifest.
+// Chunk fetches fan out across Options.ReadWorkers, with verification
+// running on the fetch workers so it overlaps backend latency.
 func (s *Store) ReadModule(round int, module string) ([]byte, error) {
 	s.mu.Lock()
 	var entry *ModuleEntry
@@ -410,24 +645,131 @@ func (s *Store) ReadModule(round int, module string) ([]byte, error) {
 	if entry == nil {
 		return nil, fmt.Errorf("%w: %s@%06d", ErrModuleNotFound, module, round)
 	}
-	out := make([]byte, 0, entry.Size)
-	for i, c := range entry.Chunks {
-		data, err := s.backend.Get(ChunkKey(c.Hash))
-		if err != nil {
-			return nil, fmt.Errorf("cas: %s@%06d chunk %d: %w", module, round, i, err)
-		}
-		if got := HashBytes(data); got != c.Hash {
-			return nil, fmt.Errorf("cas: %s@%06d chunk %d: content hash %s does not match address %s",
-				module, round, i, got, c.Hash)
-		}
-		if uint32(len(data)) != c.Size {
-			return nil, fmt.Errorf("cas: %s@%06d chunk %d: %d bytes, manifest says %d",
-				module, round, i, len(data), c.Size)
-		}
-		out = append(out, data...)
+	out, err := s.entryTasks(round, []*ModuleEntry{entry})
+	if err != nil {
+		return nil, err
 	}
-	if int64(len(out)) != entry.Size {
-		return nil, fmt.Errorf("cas: %s@%06d: reassembled %d of %d bytes", module, round, len(out), entry.Size)
+	return out[module], nil
+}
+
+// ReadRound reassembles every module committed for a round, across all
+// writers (when several writers persisted the same module, writer order
+// decides, matching ReadModule). All modules' chunk fetches share one
+// bounded ReadWorkers fan-out, so recovery of many small modules
+// parallelizes as well as recovery of one large one.
+func (s *Store) ReadRound(round int) (map[string][]byte, error) {
+	s.mu.Lock()
+	entryOf := make(map[string]*ModuleEntry)
+	order := make([]string, 0, 8)
+	for _, m := range s.manifests[round] {
+		for i := range m.Modules {
+			e := &m.Modules[i]
+			if _, seen := entryOf[e.Module]; !seen {
+				order = append(order, e.Module)
+			}
+			entryOf[e.Module] = e
+		}
+	}
+	s.mu.Unlock()
+	if len(entryOf) == 0 {
+		if len(s.ManifestsForRound(round)) == 0 {
+			return nil, fmt.Errorf("cas: no manifests for round %06d", round)
+		}
+		return map[string][]byte{}, nil
+	}
+	entries := make([]*ModuleEntry, 0, len(entryOf))
+	for _, name := range order {
+		entries = append(entries, entryOf[name])
+	}
+	return s.entryTasks(round, entries)
+}
+
+// entryTasks fetches, verifies, and reassembles the given module
+// entries, fanning chunk gets across the read worker pool. Backends
+// implementing storage.Viewer serve chunk bytes without a defensive
+// copy — verification only reads them, and the single write into the
+// output buffer is the reassembly copy itself.
+func (s *Store) entryTasks(round int, entries []*ModuleEntry) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(entries))
+	var tasks []fetchTask
+	for _, e := range entries {
+		buf := make([]byte, e.Size)
+		out[e.Module] = buf
+		var off int64
+		for i, c := range e.Chunks {
+			tasks = append(tasks, fetchTask{module: e.Module, idx: i, off: off, ref: c, out: buf})
+			off += int64(c.Size)
+		}
+		if off != e.Size {
+			return nil, fmt.Errorf("cas: %s@%06d: chunks cover %d of %d bytes", e.Module, round, off, e.Size)
+		}
+	}
+
+	viewer, _ := s.backend.(storage.Viewer)
+	fetch := func(t fetchTask) error {
+		var data []byte
+		var err error
+		if viewer != nil {
+			data, err = viewer.GetView(ChunkKey(t.ref.Hash))
+		} else {
+			data, err = s.backend.Get(ChunkKey(t.ref.Hash))
+		}
+		if err != nil {
+			return fmt.Errorf("cas: %s@%06d chunk %d: %w", t.module, round, t.idx, err)
+		}
+		if got := HashBytes(data); got != t.ref.Hash {
+			return fmt.Errorf("cas: %s@%06d chunk %d: content hash %s does not match address %s",
+				t.module, round, t.idx, got, t.ref.Hash)
+		}
+		if uint32(len(data)) != t.ref.Size {
+			return fmt.Errorf("cas: %s@%06d chunk %d: %d bytes, manifest says %d",
+				t.module, round, t.idx, len(data), t.ref.Size)
+		}
+		copy(t.out[t.off:], data)
+		return nil
+	}
+
+	workers := s.opts.ReadWorkers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	// Tiny reads go sequential: below a handful of chunks the worker
+	// spawn costs more than the overlap buys, and callers that recover
+	// many small modules (the agent) already parallelize above us.
+	if workers <= 1 || len(tasks) < minParallelFetchTasks {
+		for _, t := range tasks {
+			if err := fetch(t); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) || failed.Load() {
+					return
+				}
+				if err := fetch(tasks[i]); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -509,14 +851,14 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 	if err != nil {
 		return st, fmt.Errorf("cas: scan chunks: %w", err)
 	}
-	present := make(map[Hash]bool, len(chunkKeys))
+	present := newPresenceIndex()
 	for _, k := range chunkKeys {
 		h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
 		if err != nil {
 			return st, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
 		}
 		if refs[h] > 0 {
-			present[h] = true
+			present.Add(h)
 			continue
 		}
 		blob, err := s.backend.Get(k)
@@ -528,10 +870,10 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 		// index would let a later WriteRound dedup against a chunk that
 		// no longer exists and commit an unrecoverable round. The reverse
 		// staleness (chunk present, index unaware) merely costs a
-		// redundant idempotent write.
-		s.mu.Lock()
-		delete(s.present, h)
-		s.mu.Unlock()
+		// redundant idempotent write. The unchanged-module memo needs no
+		// such step: its refs are revalidated against the presence index
+		// at every use.
+		s.present.Remove(h)
 		if err := s.backend.Delete(k); err != nil {
 			return st, fmt.Errorf("cas: sweep chunk %s: %w", h, err)
 		}

@@ -1,0 +1,126 @@
+package cas
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"moc/internal/storage"
+)
+
+// TestConcurrentWriteReadStress drives concurrent WriteRound,
+// ReadModule, and ReadRound traffic against one shared store — the
+// shape `go test -race` needs to see to vet the pipeline's channels,
+// the sharded presence index, and the module memo. Writers write
+// disjoint rounds (the store's documented concurrency contract: writers
+// may run concurrently, GC may not), readers chase completed rounds.
+func TestConcurrentWriteReadStress(t *testing.T) {
+	const (
+		writers        = 4
+		roundsPerWr    = 6
+		modulesPerRnd  = 3
+		moduleBytes    = 6 << 10
+		readersPerDone = 2
+	)
+	s, err := Open(storage.NewMemStore(), Options{
+		ChunkSize: 512, Workers: 3, HashWorkers: 2, ReadWorkers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// payloadFor derives a round's modules deterministically so readers
+	// can verify content without coordination. Module m0 is identical
+	// across every round — it permanently exercises the unchanged-module
+	// memo under concurrency; the others differ per round.
+	payloadFor := func(round int) map[string][]byte {
+		mods := make(map[string][]byte, modulesPerRnd)
+		for m := 0; m < modulesPerRnd; m++ {
+			seed := uint64(m + 1)
+			if m != 0 {
+				seed += uint64(round+1) << 8
+			}
+			blob := make([]byte, moduleBytes)
+			state := seed
+			for i := range blob {
+				state = state*6364136223846793005 + 1442695040888963407
+				blob[i] = byte(state >> 56)
+			}
+			mods[fmt.Sprintf("m%d", m)] = blob
+		}
+		return mods
+	}
+
+	done := make(chan int, writers*roundsPerWr)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < roundsPerWr; r++ {
+				round := w*roundsPerWr + r
+				if _, err := s.WriteRound(round, payloadFor(round)); err != nil {
+					t.Errorf("writer %d round %d: %v", w, round, err)
+					return
+				}
+				done <- round
+			}
+		}(w)
+	}
+
+	var readWG sync.WaitGroup
+	for i := 0; i < readersPerDone; i++ {
+		readWG.Add(1)
+		go func(viaRound bool) {
+			defer readWG.Done()
+			for round := range done {
+				if viaRound {
+					got, err := s.ReadRound(round)
+					if err != nil {
+						t.Errorf("ReadRound %d: %v", round, err)
+						continue
+					}
+					for name, want := range payloadFor(round) {
+						if !bytes.Equal(got[name], want) {
+							t.Errorf("round %d module %s corrupted", round, name)
+						}
+					}
+					continue
+				}
+				want := payloadFor(round)
+				for name, blob := range want {
+					got, err := s.ReadModule(round, name)
+					if err != nil {
+						t.Errorf("ReadModule %d/%s: %v", round, name, err)
+						continue
+					}
+					if !bytes.Equal(got, blob) {
+						t.Errorf("round %d module %s corrupted", round, name)
+					}
+				}
+			}
+		}(i%2 == 0)
+	}
+
+	wg.Wait()
+	close(done)
+	readWG.Wait()
+
+	// The shared-content module must have been written exactly once;
+	// everything must audit clean.
+	rep, err := s.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missing) != 0 {
+		t.Fatalf("%d chunks missing after concurrent traffic", len(rep.Missing))
+	}
+	st := s.Stats()
+	if st.RoundsWritten != writers*roundsPerWr {
+		t.Fatalf("RoundsWritten = %d, want %d", st.RoundsWritten, writers*roundsPerWr)
+	}
+	if st.ChunksDeduped == 0 {
+		t.Fatal("no dedup across concurrent rounds — m0 sharing broke")
+	}
+}

@@ -91,6 +91,28 @@ func (r *Store) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutOwned implements storage.OwnedPutter with Put's replication
+// semantics. Each backend is written through PutNoRetain, so the
+// caller's buffer is never retained regardless of what the individual
+// replicas do with theirs.
+func (r *Store) PutOwned(key string, data []byte) error {
+	var okCount int
+	var errs []string
+	for i, b := range r.backends {
+		err := storage.PutNoRetain(b, key, data)
+		r.note(i, err)
+		if err == nil {
+			okCount++
+		} else {
+			errs = append(errs, fmt.Sprintf("backend %d: %v", i, err))
+		}
+	}
+	if okCount == 0 {
+		return fmt.Errorf("replica: put %s failed on all backends: %s", key, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
 // Get reads from the first healthy replica holding the key. A replica
 // that is down or missed the write (it was down during Put) is skipped
 // and the next one is tried. The key counts as not-found only when every
@@ -299,6 +321,15 @@ func (f *Flaky) Put(key string, data []byte) error {
 	return f.inner.Put(key, data)
 }
 
+// PutOwned implements storage.OwnedPutter, forwarding without
+// retention.
+func (f *Flaky) PutOwned(key string, data []byte) error {
+	if f.down.Load() {
+		return ErrBackendDown
+	}
+	return storage.PutNoRetain(f.inner, key, data)
+}
+
 // Get implements PersistStore.
 func (f *Flaky) Get(key string) ([]byte, error) {
 	if f.down.Load() {
@@ -326,4 +357,6 @@ func (f *Flaky) Keys(prefix string) ([]string, error) {
 var (
 	_ storage.PersistStore = (*Store)(nil)
 	_ storage.PersistStore = (*Flaky)(nil)
+	_ storage.OwnedPutter  = (*Store)(nil)
+	_ storage.OwnedPutter  = (*Flaky)(nil)
 )

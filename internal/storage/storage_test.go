@@ -2,13 +2,17 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"moc/internal/rng"
 )
@@ -346,6 +350,25 @@ func TestMemStoreBandwidthSimulation(t *testing.T) {
 	}
 }
 
+func TestMemStoreBandwidthDebtChargesOnAverage(t *testing.T) {
+	// Sub-quantum transfers must be charged their modeled time on
+	// average (accrued as debt, slept in quanta) — not each rounded up
+	// to timer granularity. 64 puts of 64 KiB at 100 MiB/s model 40 ms
+	// total; the old per-put sleep cost ~1 ms x 64 regardless of size.
+	m := NewMemStore()
+	m.BandwidthBps = 100 << 20
+	start := time.Now()
+	for i := 0; i < 64; i++ {
+		if err := m.Put(fmt.Sprintf("k%d", i), make([]byte, 64<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if modeled := 40 * time.Millisecond; elapsed < modeled/2 {
+		t.Fatalf("64 x 64KiB at 100MiB/s took %v, modeled %v — bandwidth not charged", elapsed, modeled)
+	}
+}
+
 func TestSnapshotStoreConcurrency(t *testing.T) {
 	s := NewSnapshotStore()
 	done := make(chan struct{})
@@ -361,4 +384,132 @@ func TestSnapshotStoreConcurrency(t *testing.T) {
 		s.Bytes()
 	}
 	<-done
+}
+
+func TestBufPoolRecycles(t *testing.T) {
+	b := GetBuf(1000)
+	if len(b) != 1000 || cap(b) != 1024 {
+		t.Fatalf("GetBuf(1000): len=%d cap=%d, want 1000/1024", len(b), cap(b))
+	}
+	for i := range b {
+		b[i] = 0xAB
+	}
+	PutBuf(b)
+	c := GetBuf(900) // same class: may be the recycled buffer
+	if len(c) != 900 {
+		t.Fatalf("GetBuf(900): len=%d", len(c))
+	}
+	// Odd capacities are dropped, not misfiled.
+	PutBuf(make([]byte, 10, 1000))
+	// Degenerate sizes must not panic.
+	PutBuf(nil)
+	if z := GetBuf(0); len(z) != 0 {
+		t.Fatalf("GetBuf(0): len=%d", len(z))
+	}
+	if one := GetBuf(1); len(one) != 1 {
+		t.Fatalf("GetBuf(1): len=%d", len(one))
+	}
+	cp := CopyBuf([]byte{1, 2, 3})
+	if len(cp) != 3 || cp[0] != 1 || cp[2] != 3 {
+		t.Fatalf("CopyBuf: %v", cp)
+	}
+}
+
+func TestSnapshotStorePooledBuffersStayPrivate(t *testing.T) {
+	// Get must return copies: recycling a replaced snapshot buffer can
+	// never corrupt a blob a reader already holds.
+	s := NewSnapshotStore()
+	if err := s.Put("k", []byte("round-one-state")); err != nil {
+		t.Fatal(err)
+	}
+	held, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite many times: the original buffer goes back to the pool
+	// and gets reused/overwritten.
+	for i := 0; i < 64; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("round-%03d-state", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(held) != "round-one-state" {
+		t.Fatalf("reader's copy corrupted by pooled reuse: %q", held)
+	}
+	if s.Bytes() != int64(len("round-063-state")) {
+		t.Fatalf("byte accounting drifted: %d", s.Bytes())
+	}
+	if err := s.Delete("k"); err != nil || s.Bytes() != 0 {
+		t.Fatalf("delete: %v bytes=%d", err, s.Bytes())
+	}
+}
+
+func TestMemStoreGetView(t *testing.T) {
+	m := NewMemStore()
+	if err := m.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := m.GetView("k")
+	if err != nil || string(v1) != "abc" {
+		t.Fatalf("view: %q %v", v1, err)
+	}
+	// Overwriting replaces the stored slice; the old view stays intact.
+	if err := m.Put("k", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if string(v1) != "abc" {
+		t.Fatalf("outstanding view mutated by overwrite: %q", v1)
+	}
+	if _, err := m.GetView("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetView(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+// retentionProbe records whether Put or PutOwned was used.
+type retentionProbe struct {
+	*MemStore
+	owned bool
+}
+
+func (r *retentionProbe) PutOwned(key string, data []byte) error {
+	r.owned = true
+	return r.MemStore.Put(key, data)
+}
+
+func TestPutNoRetain(t *testing.T) {
+	// Against an OwnedPutter: forwards without copying.
+	probe := &retentionProbe{MemStore: NewMemStore()}
+	if err := PutNoRetain(probe, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.owned {
+		t.Fatal("PutNoRetain ignored the backend's PutOwned")
+	}
+	// Against a plain retaining store: the caller's buffer must not be
+	// the one retained.
+	plain := &sliceRetainer{blobs: map[string][]byte{}}
+	buf := []byte("caller-buffer")
+	if err := PutNoRetain(plain, "k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	if string(plain.blobs["k"]) != "caller-buffer" {
+		t.Fatalf("retaining backend holds the caller's buffer: %q", plain.blobs["k"])
+	}
+}
+
+type sliceRetainer struct{ blobs map[string][]byte }
+
+func (s *sliceRetainer) Put(key string, data []byte) error { s.blobs[key] = data; return nil }
+func (s *sliceRetainer) Get(key string) ([]byte, error)    { return s.blobs[key], nil }
+func (s *sliceRetainer) Delete(key string) error           { delete(s.blobs, key); return nil }
+func (s *sliceRetainer) Keys(prefix string) ([]string, error) {
+	var out []string
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,44 @@ type PersistStore interface {
 	Keys(prefix string) ([]string, error)
 }
 
+// OwnedPutter is an optional PersistStore extension for zero-copy
+// writes. PutOwned is Put minus the backend's right to retain the
+// slice: the caller keeps ownership of data and may reuse it the moment
+// the call returns, so the backend must either consume the bytes during
+// the call (write them to a file, charge a cost model) or copy them
+// before returning. Callers that would otherwise defensively copy every
+// payload (the content-addressed store's copy-on-put path) probe for
+// this interface and hand their buffers over directly.
+//
+// Wrapper stores forwarding to an arbitrary inner backend must use
+// PutNoRetain (or copy themselves) — forwarding an owned slice to a
+// plain Put would re-grant the retention right the caller relied on
+// having withheld.
+type OwnedPutter interface {
+	PutOwned(key string, data []byte) error
+}
+
+// Viewer is an optional PersistStore extension for zero-copy reads.
+// GetView returns the stored bytes without the defensive copy Get makes.
+// The returned slice is owned by the store: callers must not modify it.
+// It remains valid after the key is overwritten, deleted, or evicted
+// (implementations replace stored slices, never mutate them in place),
+// so a reader holding a view cannot be corrupted by concurrent writes.
+type Viewer interface {
+	GetView(key string) ([]byte, error)
+}
+
+// PutNoRetain writes data to s without granting it retention: through
+// PutOwned when s supports it, otherwise through Put with a private
+// copy. It is the bridge wrapper stores use to forward owned buffers to
+// an inner backend of unknown retention behavior.
+func PutNoRetain(s PersistStore, key string, data []byte) error {
+	if op, ok := s.(OwnedPutter); ok {
+		return op.PutOwned(key, data)
+	}
+	return s.Put(key, append([]byte(nil), data...))
+}
+
 // SnapshotStore is a CPU-memory key-value store holding in-memory
 // checkpoint snapshots on one node. Contents are lost when the node fails
 // (simulated via Clear).
@@ -37,16 +76,20 @@ func NewSnapshotStore() *SnapshotStore {
 	return &SnapshotStore{blobs: make(map[string][]byte)}
 }
 
-// Put stores a blob (copying it, as a DMA into host memory would).
+// Put stores a blob (copying it, as a DMA into host memory would). The
+// copy lives in a pooled buffer: snapshot slots are rewritten with
+// same-shaped payloads every checkpoint round, so the buffer retired
+// here is almost always the one the next round's copy reuses. Get
+// returns copies and never views, which is what makes retiring the
+// replaced buffer to the pool safe.
 func (s *SnapshotStore) Put(key string, data []byte) error {
-	cp := append([]byte(nil), data...)
+	cp := CopyBuf(data)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.blobs[key]; ok {
-		s.bytes -= int64(len(old))
-	}
+	old := s.blobs[key]
 	s.blobs[key] = cp
-	s.bytes += int64(len(cp))
+	s.bytes += int64(len(cp)) - int64(len(old))
+	s.mu.Unlock()
+	PutBuf(old)
 	return nil
 }
 
@@ -64,11 +107,13 @@ func (s *SnapshotStore) Get(key string) ([]byte, error) {
 // Delete removes a key (no error if absent).
 func (s *SnapshotStore) Delete(key string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.blobs[key]; ok {
+	old := s.blobs[key]
+	if old != nil {
 		s.bytes -= int64(len(old))
 		delete(s.blobs, key)
 	}
+	s.mu.Unlock()
+	PutBuf(old)
 	return nil
 }
 
@@ -89,9 +134,13 @@ func (s *SnapshotStore) Keys(prefix string) ([]string, error) {
 // Clear simulates a node failure: all in-memory snapshots are lost.
 func (s *SnapshotStore) Clear() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.blobs
 	s.blobs = make(map[string][]byte)
 	s.bytes = 0
+	s.mu.Unlock()
+	for _, b := range old {
+		PutBuf(b)
+	}
 }
 
 // Bytes returns the resident snapshot volume.
@@ -107,11 +156,43 @@ func (s *SnapshotStore) Bytes() int64 {
 type MemStore struct {
 	mu    sync.RWMutex
 	blobs map[string][]byte
-	// BandwidthBps, when positive, makes Put sleep len(data)/Bandwidth
-	// seconds to emulate the persist channel.
-	BandwidthBps float64
-	puts         int
-	putBytes     int64
+	// BandwidthBps, when positive, charges every Put
+	// len(data)/BandwidthBps seconds of transfer time to emulate the
+	// persist channel. Charges accumulate in a debt that Put sleeps off
+	// in quanta of at least a millisecond: time.Sleep cannot resolve
+	// shorter waits (on coarse-timer hosts a 16 µs request actually
+	// sleeps ~1 ms, inflating chunk-sized transfers >20x), so
+	// sub-quantum transfers are charged accurately on average instead
+	// of each being rounded up to timer granularity.
+	BandwidthBps  float64
+	bandwidthDebt atomic.Int64 // nanoseconds of unslept transfer time
+	puts          int
+	putBytes      int64
+}
+
+// bandwidthSleepQuantum is the smallest transfer-time debt worth
+// handing to time.Sleep; below it, timer granularity dominates the
+// request and the model would overcharge.
+const bandwidthSleepQuantum = time.Millisecond
+
+// chargeBandwidth accrues a transfer's modeled duration and sleeps off
+// the store's accumulated debt once it reaches a schedulable quantum.
+func (m *MemStore) chargeBandwidth(n int) {
+	if m.BandwidthBps <= 0 {
+		return
+	}
+	d := int64(float64(n) / m.BandwidthBps * float64(time.Second))
+	m.bandwidthDebt.Add(d)
+	for {
+		debt := m.bandwidthDebt.Load()
+		if debt < int64(bandwidthSleepQuantum) {
+			return
+		}
+		if m.bandwidthDebt.CompareAndSwap(debt, 0) {
+			time.Sleep(time.Duration(debt))
+			return
+		}
+	}
 }
 
 // NewMemStore creates an empty memory-backed persist store.
@@ -121,9 +202,7 @@ func NewMemStore() *MemStore {
 
 // Put implements PersistStore.
 func (m *MemStore) Put(key string, data []byte) error {
-	if m.BandwidthBps > 0 {
-		time.Sleep(time.Duration(float64(len(data)) / m.BandwidthBps * float64(time.Second)))
-	}
+	m.chargeBandwidth(len(data))
 	cp := append([]byte(nil), data...)
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -131,6 +210,13 @@ func (m *MemStore) Put(key string, data []byte) error {
 	m.puts++
 	m.putBytes += int64(len(cp))
 	return nil
+}
+
+// PutOwned implements OwnedPutter. MemStore retains blobs in its map,
+// so it honors the no-retention contract the same way Put does — by
+// storing a private copy — sparing the caller its defensive copy.
+func (m *MemStore) PutOwned(key string, data []byte) error {
+	return m.Put(key, data)
 }
 
 // Get implements PersistStore.
@@ -142,6 +228,19 @@ func (m *MemStore) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	return append([]byte(nil), b...), nil
+}
+
+// GetView implements Viewer: the stored slice itself, no copy. Stored
+// slices are replaced on overwrite, never mutated, so outstanding views
+// stay intact.
+func (m *MemStore) GetView(key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return b, nil
 }
 
 // Delete implements PersistStore.
@@ -235,6 +334,13 @@ func (f *FSStore) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutOwned implements OwnedPutter: Put already consumes the payload
+// during the call (it is written to the temp file before return) and
+// retains nothing, so the zero-copy path is simply Put.
+func (f *FSStore) PutOwned(key string, data []byte) error {
+	return f.Put(key, data)
+}
+
 // Get implements PersistStore.
 func (f *FSStore) Get(key string) ([]byte, error) {
 	p, err := f.path(key)
@@ -285,4 +391,7 @@ func (f *FSStore) Keys(prefix string) ([]string, error) {
 var (
 	_ PersistStore = (*MemStore)(nil)
 	_ PersistStore = (*FSStore)(nil)
+	_ OwnedPutter  = (*MemStore)(nil)
+	_ OwnedPutter  = (*FSStore)(nil)
+	_ Viewer       = (*MemStore)(nil)
 )

@@ -202,12 +202,52 @@ func CalibratePersist(cfg RemoteConfig, checkpointBytes int64, chunkSize, worker
 // store uses (a CDC probe pays the same per-chunk request overheads a
 // CDC writer would).
 func CalibratePersistChunked(cfg RemoteConfig, checkpointBytes int64, chunkSize, workers int, chunking Chunking) (PersistCalibration, error) {
-	mode, err := chunking.toCAS()
+	return CalibratePersistTuned(cfg, checkpointBytes, StoreTuning{
+		ChunkSize: chunkSize, Workers: workers, Chunking: chunking,
+	})
+}
+
+// StoreTuning is the checkpoint store's full performance shape: chunker
+// and chunk-size bounds plus the persist-pipeline and recovery widths.
+// Zero values take the store defaults. It mirrors the tuning fields of
+// Config (PersistWorkers/HashWorkers/RecoverWorkers) so a calibration
+// probe can run with exactly the production store's configuration.
+type StoreTuning struct {
+	// ChunkSize is the chunk length (fixed) or average target (CDC);
+	// Chunking selects the chunker.
+	ChunkSize int
+	Chunking  Chunking
+	// Workers is the striped put fan-out, HashWorkers the hashing
+	// fan-out of the persist pipeline, ReadWorkers the recovery fetch
+	// fan-out.
+	Workers     int
+	HashWorkers int
+	ReadWorkers int
+}
+
+func (t StoreTuning) toCAS() (cas.Options, error) {
+	mode, err := t.Chunking.toCAS()
+	if err != nil {
+		return cas.Options{}, err
+	}
+	return cas.Options{
+		ChunkSize:   t.ChunkSize,
+		Chunking:    mode,
+		Workers:     t.Workers,
+		HashWorkers: t.HashWorkers,
+		ReadWorkers: t.ReadWorkers,
+	}, nil
+}
+
+// CalibratePersistTuned is CalibratePersist taking the store's full
+// tuning, so the probe round runs the same pipeline the production
+// store would — same chunker, same put striping, same hashing width.
+func CalibratePersistTuned(cfg RemoteConfig, checkpointBytes int64, tuning StoreTuning) (PersistCalibration, error) {
+	opts, err := tuning.toCAS()
 	if err != nil {
 		return PersistCalibration{}, err
 	}
-	cal, err := remote.Calibrate(cfg.toInternal(), checkpointBytes,
-		cas.Options{ChunkSize: chunkSize, Workers: workers, Chunking: mode})
+	cal, err := remote.Calibrate(cfg.toInternal(), checkpointBytes, opts)
 	if err != nil {
 		return PersistCalibration{}, err
 	}

@@ -187,6 +187,19 @@ type Config struct {
 	// edits to module payloads). Stores written with either mode stay
 	// readable regardless of this setting.
 	Chunking Chunking
+	// PersistWorkers is the checkpoint store's striped put fan-out: how
+	// many goroutines drive the persist backend in parallel (0 = the
+	// store default, 4).
+	PersistWorkers int
+	// HashWorkers is the chunk-hashing fan-out of the persist pipeline
+	// (0 = GOMAXPROCS, capped at 8). Hashing, dedup filtering, and
+	// backend puts run as overlapped stages.
+	HashWorkers int
+	// RecoverWorkers bounds the concurrent chunk fetches of one
+	// recovery read (0 = the store default, 4). Recovery overlaps
+	// module reads to the same width, so peak backend concurrency
+	// during a full recovery approaches RecoverWorkers².
+	RecoverWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -228,6 +241,9 @@ func (c Config) Validate() error {
 	if c.Interval < 0 {
 		return fmt.Errorf("moc: negative checkpoint interval")
 	}
+	if c.PersistWorkers < 0 || c.HashWorkers < 0 || c.RecoverWorkers < 0 {
+		return fmt.Errorf("moc: negative checkpoint-store worker count")
+	}
 	if _, err := c.Chunking.toCAS(); err != nil {
 		return err
 	}
@@ -250,6 +266,12 @@ type Stats struct {
 	LogicalBytesPersisted  int64
 	PhysicalBytesPersisted int64
 	DedupRatio             float64
+	// Persist-pipeline counters: chunk digests computed by the hash
+	// stage, and module payloads that skipped chunking and hashing
+	// entirely because their bytes matched the previous round's (the
+	// unchanged-module fast path).
+	ChunksHashed     int64
+	ModulesUnchanged int64
 }
 
 // System trains a sparse-MoE model with MoC checkpointing and fault
@@ -336,7 +358,12 @@ func NewSystemOn(cfg Config, store PersistStore, corpus *Corpus) (*System, error
 		return nil, err
 	}
 	agent, err := core.NewAgentWithOptions(storage.NewSnapshotStore(), store, cfg.Buffers,
-		cas.Options{Chunking: chunking})
+		cas.Options{
+			Chunking:    chunking,
+			Workers:     cfg.PersistWorkers,
+			HashWorkers: cfg.HashWorkers,
+			ReadWorkers: cfg.RecoverWorkers,
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -665,6 +692,8 @@ func (s *System) Stats() Stats {
 		LogicalBytesPersisted:  ss.LogicalBytes,
 		PhysicalBytesPersisted: ss.BytesWritten,
 		DedupRatio:             ss.DedupRatio(),
+		ChunksHashed:           ss.ChunksHashed,
+		ModulesUnchanged:       ss.ModulesUnchanged,
 	}
 }
 
