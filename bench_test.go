@@ -37,6 +37,7 @@ import (
 	"moc/internal/storage"
 	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/fleet"
 	"moc/internal/storage/remote"
 )
 
@@ -422,6 +423,130 @@ func BenchmarkDedupCDCvsFixed(b *testing.B) {
 				b.Fatalf("cdc dedup ratio %.3f not strictly better than fixed %.3f on the insert/shift workload", cdc, fixed)
 			}
 		})
+	}
+}
+
+func BenchmarkCrossJobDedup(b *testing.B) {
+	// The fleet's reason to exist: a base job plus three fine-tune forks
+	// persist into ONE shared chunk store versus four independent
+	// per-job stores. Forks start from the base payload and drift by
+	// small in-place edits (the fine-tune shape: most tensors shared
+	// with the base, a few diverging per round), so the shared store
+	// holds the base chunks once while independent stores hold them four
+	// times. The benchmark fails unless the fleet's cross-job dedup
+	// ratio is strictly better than the independent-store aggregate —
+	// the ROADMAP's cross-job dedup acceptance.
+	const (
+		moduleCount = 12
+		moduleBytes = 64 << 10
+		chunkSize   = 4 << 10
+		forks       = 3
+		rounds      = 3
+	)
+	base := make(map[string][]byte, moduleCount)
+	for m := 0; m < moduleCount; m++ {
+		base[fmt.Sprintf("m%02d", m)] = uniqueBlob(uint64(m)+301, moduleBytes)
+	}
+	// jobPayloads[j][r] is job j's round-r module map (job 0 = base).
+	jobPayloads := make([][]map[string][]byte, forks+1)
+	for j := range jobPayloads {
+		jobPayloads[j] = make([]map[string][]byte, rounds)
+		mut := rng.New(uint64(1000 * (j + 1)))
+		mods := make(map[string][]byte, len(base))
+		for k, v := range base {
+			mods[k] = append([]byte(nil), v...)
+		}
+		for r := 0; r < rounds; r++ {
+			if j > 0 || r > 0 {
+				// Each round: 2 modules get a few small in-place edits.
+				for e := 0; e < 2; e++ {
+					name := fmt.Sprintf("m%02d", mut.Intn(moduleCount))
+					blob := mods[name]
+					for i := 0; i < 4; i++ {
+						off := mut.Intn(len(blob) - 64)
+						mut.Fill(blob[off : off+64])
+					}
+				}
+			}
+			snap := make(map[string][]byte, len(mods))
+			for k, v := range mods {
+				snap[k] = append([]byte(nil), v...)
+			}
+			jobPayloads[j][r] = snap
+		}
+	}
+	jobID := func(j int) string {
+		if j == 0 {
+			return "job-base"
+		}
+		return fmt.Sprintf("job-ft%d", j)
+	}
+
+	var fleetRatio, indepRatio, crossJob float64
+	var sharedPhys, indepPhys int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Shared: one fleet over one backend, one session per job.
+		svc, err := fleet.Open(storage.NewMemStore(), fleet.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var logical int64
+		for j := 0; j <= forks; j++ {
+			parent := ""
+			if j > 0 {
+				parent = jobID(0)
+			}
+			sess, err := svc.AcquireOrRegister(jobID(j), parent)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := sess.Open(cas.Options{ChunkSize: chunkSize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := store.WriteRound(r, jobPayloads[j][r]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			logical += store.Stats().LogicalBytes
+		}
+		st, err := svc.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedPhys = st.PhysicalChunkBytes
+		crossJob = st.CrossJobDedupRatio
+
+		// Independent: the same jobs, each on its own store.
+		indepPhys = 0
+		for j := 0; j <= forks; j++ {
+			store, err := cas.Open(storage.NewMemStore(), cas.Options{ChunkSize: chunkSize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := store.WriteRound(r, jobPayloads[j][r]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			indepPhys += store.Stats().BytesWritten
+		}
+		fleetRatio = 1 - float64(sharedPhys)/float64(logical)
+		indepRatio = 1 - float64(indepPhys)/float64(logical)
+	}
+	b.StopTimer()
+	b.SetBytes(int64((forks + 1) * rounds * moduleCount * moduleBytes))
+	b.ReportMetric(fleetRatio, "dedup_fleet")
+	b.ReportMetric(indepRatio, "dedup_independent")
+	b.ReportMetric(crossJob, "cross_job_ratio")
+	if fleetRatio <= indepRatio {
+		b.Fatalf("fleet dedup ratio %.3f not strictly better than independent stores %.3f", fleetRatio, indepRatio)
+	}
+	if float64(sharedPhys) > 0.6*float64(indepPhys) {
+		b.Fatalf("shared store %d B not materially below independent %d B (want ≤ 60%%)", sharedPhys, indepPhys)
 	}
 }
 

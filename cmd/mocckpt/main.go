@@ -9,6 +9,16 @@
 //	mocckpt -dir /path/to/ckpts gc       # refcount GC of superseded state
 //	mocckpt -dir /path/to/ckpts stats    # storage-stack replay: dedup,
 //	                                     # cache hit rate, remote op costs
+//	mocckpt -dir /path/to/ckpts jobs     # fleet job registry, per-job
+//	                                     # volumes, cross-job dedup ratio
+//
+// Multi-job (fleet) stores hold several writers' manifests in one chunk
+// namespace: list and stats aggregate them into one dedup line and add
+// a per-writer breakdown; -writer restricts list/inspect/stats to one
+// writer's manifests; jobs reads the fleet registry (lineage, lease
+// epochs) and reports each job's logical/chunk volumes plus the
+// cross-job dedup ratio — what sharing one store saves over per-job
+// stores.
 //
 // "compact" is accepted as an alias of "gc". inspect and stats report
 // the manifests' chunking mode(s) ("fixed" or "cdc" content-defined
@@ -38,11 +48,13 @@ import (
 	"moc/internal/storage"
 	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/fleet"
 	"moc/internal/storage/remote"
 )
 
 func main() {
 	dir := flag.String("dir", "", "checkpoint directory (FSStore root)")
+	writer := flag.String("writer", "", "list/inspect/stats: restrict to one writer's manifests")
 	cacheMB := flag.Int("cache-mb", 64, "stats: LRU chunk-cache capacity in MiB")
 	latencyMS := flag.Float64("latency-ms", 20, "stats: remote per-request latency in ms")
 	uploadMBps := flag.Float64("upload-mbps", 256, "stats: remote upload bandwidth in MiB/s")
@@ -50,7 +62,7 @@ func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats}")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|jobs}")
 		os.Exit(2)
 	}
 	// Go's flag parsing stops at the first positional argument, so flags
@@ -67,11 +79,15 @@ func main() {
 	}
 	switch cmd {
 	case "list":
-		if err := list(store, false); err != nil {
+		if err := list(store, false, *writer); err != nil {
 			fatal(err)
 		}
 	case "inspect":
-		if err := list(store, true); err != nil {
+		if err := list(store, true, *writer); err != nil {
+			fatal(err)
+		}
+	case "jobs":
+		if err := jobs(store); err != nil {
 			fatal(err)
 		}
 	case "verify":
@@ -90,6 +106,13 @@ func main() {
 		if len(rep.Orphans) > 0 {
 			fmt.Printf("  %d orphan chunks (unreferenced; reclaim with 'gc')\n", len(rep.Orphans))
 		}
+		// The recoverable-blob pass reads each module NAME's newest copy;
+		// on a multi-job store several writers reuse the same names, so
+		// chunks exclusive to another job's lineage are never read back.
+		// Re-hash every stored chunk so corruption anywhere is caught.
+		if err := verifyChunks(store); err != nil {
+			fatal(err)
+		}
 	case "stats":
 		// The remote cost model treats zero as "use the default", so a
 		// zero flag would silently charge the default cost instead of
@@ -97,27 +120,13 @@ func main() {
 		if *cacheMB <= 0 || *latencyMS <= 0 || *uploadMBps <= 0 || *downloadMBps <= 0 {
 			fatal(fmt.Errorf("stats: -cache-mb, -latency-ms, -upload-mbps and -download-mbps must be positive (use a small value like 0.001 to model a near-free remote)"))
 		}
-		if err := stats(store, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps); err != nil {
+		if err := stats(store, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps, *writer); err != nil {
 			fatal(err)
 		}
 	case "gc", "compact":
-		agent := openAgent(store)
-		defer agent.Close()
-		before, err := agent.PersistedBytes()
-		if err != nil {
+		if err := gc(store); err != nil {
 			fatal(err)
 		}
-		st, err := agent.CompactStats()
-		if err != nil {
-			fatal(err)
-		}
-		after, err := agent.PersistedBytes()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("gc: %d manifest entries dropped, %d manifests deleted, %d chunks swept\n",
-			st.EntriesDropped, st.ManifestsDeleted, st.ChunksDeleted)
-		fmt.Printf("    %d -> %d physical bytes\n", before, after)
 	default:
 		fmt.Fprintf(os.Stderr, "mocckpt: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -133,8 +142,10 @@ func openAgent(store storage.PersistStore) *core.Agent {
 }
 
 // list prints the per-round manifest summary; detailed mode adds
-// per-module chunk breakdowns and store-wide dedup accounting.
-func list(store storage.PersistStore, detailed bool) error {
+// per-module chunk breakdowns and store-wide dedup accounting. A
+// non-empty writerFilter restricts the view to that writer's manifests
+// (multi-job stores hold several writers in one chunk namespace).
+func list(store storage.PersistStore, detailed bool, writerFilter string) error {
 	cs, err := cas.Open(store, cas.Options{})
 	if err != nil {
 		return err
@@ -146,8 +157,18 @@ func list(store storage.PersistStore, detailed bool) error {
 	}
 	fmt.Printf("%-8s %-10s %-8s %-8s %-12s %s\n", "round", "writers", "modules", "chunks", "bytes", "status")
 	var acct dedupAccounting
+	matched := false
 	for _, r := range rounds {
-		ms := cs.ManifestsForRound(r)
+		var ms []*cas.Manifest
+		for _, m := range cs.ManifestsForRound(r) {
+			if writerFilter == "" || m.Writer == writerFilter {
+				ms = append(ms, m)
+			}
+		}
+		if len(ms) == 0 {
+			continue
+		}
+		matched = true
 		var modules, chunks int
 		var logical int64
 		for _, m := range ms {
@@ -168,13 +189,126 @@ func list(store storage.PersistStore, detailed bool) error {
 			}
 		}
 	}
+	if !matched {
+		return fmt.Errorf("no manifests for writer %q", writerFilter)
+	}
 	logical, physical := acct.totals()
 	fmt.Printf("\n%d unique chunks; ", len(acct.refs))
 	printDedupLine(logical, physical)
+	acct.printWriterBreakdown()
 	if detailed {
 		fmt.Printf("chunking: %s\n", acct.chunkingModes())
 		acct.printHistogram()
 	}
+	return nil
+}
+
+// jobs prints the fleet job registry and each job's storage footprint
+// on the shared store, ending with the cross-job dedup summary: the
+// chunk volume the shared store holds versus what the same jobs would
+// hold on per-job independent stores.
+func jobs(store storage.PersistStore) error {
+	svc, err := fleet.Open(store, fleet.Config{})
+	if err != nil {
+		return err
+	}
+	st, err := svc.Stats()
+	if err != nil {
+		return err
+	}
+	if len(st.Jobs) == 0 {
+		fmt.Println("no jobs (empty store)")
+		return nil
+	}
+	if len(svc.Jobs()) == 0 {
+		fmt.Println("no fleet registry; showing per-writer footprints")
+	}
+	fmt.Printf("%-16s %-16s %-6s %-6s %-8s %-14s %-14s %s\n",
+		"job", "parent", "epoch", "lease", "rounds", "logical", "chunk-bytes", "exclusive")
+	for _, j := range st.Jobs {
+		id, parent, lease := j.ID, j.Parent, "-"
+		if !j.Registered {
+			id = j.ID + "*" // unregistered writer sharing the store
+		}
+		if parent == "" {
+			parent = "-"
+		}
+		if j.LeaseHeld {
+			lease = "held"
+		}
+		fmt.Printf("%-16s %-16s %-6d %-6s %-8d %-14d %-14d %d\n",
+			id, parent, j.Epoch, lease, j.Rounds, j.LogicalBytes, j.ChunkBytes, j.ExclusiveChunkBytes)
+	}
+	fmt.Printf("\nshared store: %d chunk bytes; independent per-job stores would hold %d",
+		st.PhysicalChunkBytes, st.IndependentChunkBytes)
+	if st.IndependentChunkBytes > 0 {
+		fmt.Printf(" (cross-job dedup %.1f%%)", 100*st.CrossJobDedupRatio)
+	}
+	fmt.Println()
+	fmt.Print("dedup: ")
+	printDedupLine(st.LogicalBytes, st.PhysicalChunkBytes)
+	return nil
+}
+
+// verifyChunks re-hashes every stored chunk against its content
+// address — the exhaustive sweep the fleet scrub daemon runs a bounded
+// window of per pass.
+func verifyChunks(store storage.PersistStore) error {
+	keys, err := store.Keys(cas.ChunkPrefix)
+	if err != nil {
+		return err
+	}
+	var corrupt []string
+	for _, k := range keys {
+		want, err := cas.ParseHash(strings.TrimPrefix(k, cas.ChunkPrefix))
+		if err != nil {
+			return fmt.Errorf("foreign key %q under chunk prefix", k)
+		}
+		blob, err := store.Get(k)
+		if err != nil {
+			return fmt.Errorf("read chunk %s: %w", k, err)
+		}
+		if cas.HashBytes(blob) != want {
+			corrupt = append(corrupt, want.String())
+		}
+	}
+	if len(corrupt) > 0 {
+		return fmt.Errorf("%d of %d stored chunks fail their content address (first %s)",
+			len(corrupt), len(keys), corrupt[0])
+	}
+	fmt.Printf("  %d stored chunks re-hashed against their addresses\n", len(keys))
+	return nil
+}
+
+// gc is the offline collection: every writer keeps, per module, its
+// newest persisted copy (what that writer's recovery would read) plus
+// its latest round's manifest as the completeness anchor; chunks then
+// live by refcount across all surviving manifests. The liveness is
+// writer-scoped — on a multi-job store, one job's rounds never count
+// against another's, matching the fleet service's Retain — but unlike
+// the online service this admin tool judges every writer: the store is
+// assumed quiesced.
+func gc(store storage.PersistStore) error {
+	cs, err := cas.Open(store, cas.Options{})
+	if err != nil {
+		return err
+	}
+	before, err := cs.PhysicalBytes()
+	if err != nil {
+		return err
+	}
+	live, keepEmpty := cas.NewestLiveness(cs.Manifests(), nil)
+	st, err := cs.RetainScoped(live, keepEmpty)
+	if err != nil {
+		return err
+	}
+	after, err := cs.PhysicalBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: %d manifest entries dropped, %d manifests deleted, %d chunks swept\n",
+		st.EntriesDropped, st.ManifestsDeleted, st.ChunksDeleted)
+	fmt.Printf("    %d -> %d physical bytes\n", before, after)
 	return nil
 }
 
@@ -185,8 +319,18 @@ type dedupAccounting struct {
 	chunkSize map[cas.Hash]int64
 	rounds    map[int]bool
 	modes     map[string]int // manifest count per chunking mode
+	writers   map[string]*writerAcct
 	modules   int
 	manifests int
+}
+
+// writerAcct is one writer's share of the accounting — the per-job view
+// of a multi-writer store.
+type writerAcct struct {
+	manifests int
+	modules   int
+	logical   int64
+	chunks    map[cas.Hash]int64
 }
 
 func (d *dedupAccounting) add(m *cas.Manifest) {
@@ -195,16 +339,59 @@ func (d *dedupAccounting) add(m *cas.Manifest) {
 		d.chunkSize = map[cas.Hash]int64{}
 		d.rounds = map[int]bool{}
 		d.modes = map[string]int{}
+		d.writers = map[string]*writerAcct{}
 	}
 	d.rounds[m.Round] = true
 	d.manifests++
 	d.modules += len(m.Modules)
 	d.modes[fmt.Sprintf("%s (manifest v%d)", m.Chunking, m.Version)]++
+	w := d.writers[m.Writer]
+	if w == nil {
+		w = &writerAcct{chunks: map[cas.Hash]int64{}}
+		d.writers[m.Writer] = w
+	}
+	w.manifests++
+	w.modules += len(m.Modules)
+	w.logical += m.LogicalBytes()
 	for _, e := range m.Modules {
 		for _, c := range e.Chunks {
 			d.refs[c.Hash]++
 			d.chunkSize[c.Hash] = int64(c.Size)
+			w.chunks[c.Hash] = int64(c.Size)
 		}
+	}
+}
+
+// printWriterBreakdown prints one line per writer — the per-job view of
+// a multi-job store — with each writer's unique chunk bytes and the
+// subset no other writer shares. Single-writer stores print nothing.
+func (d *dedupAccounting) printWriterBreakdown() {
+	if len(d.writers) <= 1 {
+		return
+	}
+	chunkWriters := map[cas.Hash]int{}
+	for _, w := range d.writers {
+		for h := range w.chunks {
+			chunkWriters[h]++
+		}
+	}
+	names := make([]string, 0, len(d.writers))
+	for name := range d.writers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("per-writer breakdown (%d writers share the chunk namespace):\n", len(names))
+	for _, name := range names {
+		w := d.writers[name]
+		var unique, exclusive int64
+		for h, size := range w.chunks {
+			unique += size
+			if chunkWriters[h] == 1 {
+				exclusive += size
+			}
+		}
+		fmt.Printf("  %-24s %3d manifests  %4d modules  %12d logical  %12d chunk bytes (%d exclusive)\n",
+			name, w.manifests, w.modules, w.logical, unique, exclusive)
 	}
 }
 
@@ -287,7 +474,9 @@ func printDedupLine(logical, physical int64) {
 // stack — the directory as an object store with a cost model, fronted by
 // an LRU chunk cache — and prints dedup, cache, and remote counters.
 // The first pass is the cold-cache recovery; the second replays it warm.
-func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, downloadMBps float64) error {
+// A non-empty writerFilter restricts the accounting and the replay to
+// one writer's manifests.
+func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, downloadMBps float64, writerFilter string) error {
 	rs, err := remote.New(remote.Config{
 		Inner:          fsStore,
 		LatencySeconds: latencyMS / 1000,
@@ -306,6 +495,18 @@ func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, dow
 		return err
 	}
 	manifests := store.Manifests()
+	if writerFilter != "" {
+		kept := manifests[:0]
+		for _, m := range manifests {
+			if m.Writer == writerFilter {
+				kept = append(kept, m)
+			}
+		}
+		manifests = kept
+		if len(manifests) == 0 {
+			return fmt.Errorf("no manifests for writer %q", writerFilter)
+		}
+	}
 	if len(manifests) == 0 {
 		fmt.Println("no checkpoints")
 		return nil
@@ -321,6 +522,7 @@ func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, dow
 	fmt.Printf("chunking: %s\n", acct.chunkingModes())
 	fmt.Print("dedup: ")
 	printDedupLine(logical, physical)
+	acct.printWriterBreakdown()
 	acct.printHistogram()
 
 	// Replay: read every module of every round, cold then warm.

@@ -18,6 +18,15 @@
 //     cost models and a discrete-event pipeline simulator, reproducing the
 //     paper's efficiency results (Figures 10–13).
 //
+// Beyond the paper, the storage stack scales the checkpoint store to
+// production shapes: content-addressed dedup with fixed or
+// content-defined chunking, an LRU chunk cache, N-way replication with
+// read repair, a simulated object-store backend (remotestore.go), and a
+// multi-job fleet service (fleet.go) that serves many training jobs —
+// a base model and its fine-tune forks — from one shared chunk store
+// with cross-job dedup, epoch-fenced job leases, fleet-safe garbage
+// collection, and a background scrub/repair daemon.
+//
 // See README.md for a walkthrough and EXPERIMENTS.md for the full
 // paper-versus-measured experiment index.
 package moc

@@ -1,0 +1,155 @@
+// Multi-job fleet tour: a base pretrain plus three fine-tune forks
+// share ONE replicated chunk store through the fleet checkpoint
+// service. The forks' checkpoints dedup against the base model's
+// chunks (cross-job dedup — a fork pays only for what it changed), a
+// persist backend fails and heals mid-run, and the background
+// scrub/repair daemon — never a manual Sync — detects the heal and
+// restores full replication. Fleet-safe GC then retires superseded
+// rounds across all four jobs at once.
+//
+//	go run ./examples/multijob_fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	moc "moc"
+)
+
+func main() {
+	// The shared store: two replicas, the second one failable.
+	flaky := moc.NewFlakyStore(moc.NewMemStore())
+	repl, err := moc.NewReplicatedStore(moc.NewMemStore(), flaky)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := moc.NewFleet(repl, moc.FleetConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	if err := fleet.StartScrubDaemon(2 * time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	// The base job pretrains and checkpoints into the fleet.
+	cfg := moc.Config{
+		Layers: 4, Hidden: 32, Experts: 8, TopK: 2,
+		Vocab: 64, Window: 8, BatchSize: 32,
+		LR: 0.01, Seed: 11,
+		Interval: 10,
+	}
+	base, err := fleet.NewSystem(cfg, "base")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer base.Close()
+	if _, err := base.RunTo(40); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three fine-tune forks on domain corpora, experts frozen (the
+	// FT-w.o.E workflow): the frozen experts stay byte-identical to the
+	// base checkpoint, so each fork's rounds reference the base's chunks
+	// instead of re-persisting the model.
+	domains := []struct {
+		name string
+		seed uint64
+	}{{"law", 101}, {"med", 202}, {"code", 303}}
+	for i, d := range domains {
+		corpus := moc.NewCorpus(d.name, 64, d.seed)
+		fork, err := base.ForkOnFleet(fleet, "ft-"+d.name, corpus, moc.Config{
+			Interval: 10, FreezeExperts: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fork.Close()
+
+		// The second replica dies under fork #2's run and heals after:
+		// checkpoints keep landing on the survivor, and the daemon owes
+		// the healed backend a Sync.
+		if i == 1 {
+			flaky.Fail()
+			fmt.Println("--- replica 1 FAILED (checkpoints continue on the survivor)")
+		}
+		if _, err := fork.RunTo(60); err != nil {
+			log.Fatal(err)
+		}
+		if err := fork.FlushCheckpoints(); err != nil {
+			log.Fatal(err)
+		}
+		if i == 1 {
+			flaky.Heal()
+			fmt.Println("--- replica 1 HEALED (repair is the daemon's job now)")
+		}
+	}
+
+	// Wait for the daemon to observe the heal and re-replicate. No
+	// manual Sync anywhere in this program.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := fleet.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("daemon did not repair in time: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st, err := fleet.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s %-8s %-8s %12s %14s %12s\n", "job", "parent", "rounds", "logical", "chunk bytes", "exclusive")
+	for _, j := range st.Jobs {
+		parent := j.Parent
+		if parent == "" {
+			parent = "-"
+		}
+		fmt.Printf("%-12s %-8s %-8d %12d %14d %12d\n",
+			j.ID, parent, j.Rounds, j.LogicalBytes, j.ChunkBytes, j.ExclusiveChunkBytes)
+	}
+	fmt.Printf("\nshared store holds %.1f MiB of chunks; independent per-job stores would hold %.1f MiB\n",
+		float64(st.PhysicalChunkBytes)/(1<<20), float64(st.IndependentChunkBytes)/(1<<20))
+	fmt.Printf("cross-job dedup ratio: %.1f%% (overall dedup vs logical: %.1f%%)\n",
+		100*st.CrossJobDedupRatio, 100*st.DedupRatio)
+	fmt.Printf("scrub daemon: %d passes, %d heals observed, %d keys re-replicated, %d read-repairs, %d findings\n",
+		st.ScrubPasses, st.HealsDetected, st.SyncCopies, st.Repairs, st.ScrubFindings)
+	for i, herr := range repl.Health() {
+		status := "healthy"
+		if herr != nil {
+			status = herr.Error()
+		}
+		fmt.Printf("replica %d: %s\n", i, status)
+	}
+
+	// Fleet-safe GC: retire rounds superseded within each job; chunks
+	// stay as long as ANY job references them.
+	removed, err := fleet.Retain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := fleet.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet GC: %d objects removed, chunks %.1f -> %.1f MiB\n",
+		removed, float64(st.PhysicalChunkBytes)/(1<<20), float64(after.PhysicalChunkBytes)/(1<<20))
+	rep, err := fleet.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final scrub: %d chunks verified, %d missing, %d corrupt\n",
+		rep.ChunksVerified, rep.Missing, rep.Corrupt)
+}

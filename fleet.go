@@ -1,0 +1,259 @@
+package moc
+
+// Public API for the multi-job fleet checkpoint service: N concurrent
+// training jobs — typically a base pretrain plus its fine-tune forks —
+// share one content-addressed chunk store, so a fork persists only the
+// chunks it actually changed relative to the lineage it came from. The
+// fleet owns the coordination no single job can provide: a persisted
+// job registry with epoch-fenced leases, fleet-safe garbage collection
+// (the union of every job's live state), and a background scrub/repair
+// daemon that re-replicates a healed backend and audits chunk
+// integrity without any manual Sync call.
+
+import (
+	"time"
+
+	"moc/internal/storage/fleet"
+)
+
+// FleetConfig tunes a Fleet.
+type FleetConfig struct {
+	// LeaseTTL is the job lease duration (default 30s). Leases renew on
+	// every committed checkpoint round, so the TTL only has to outlast
+	// the longest gap between a job's rounds; a job whose lease ran out
+	// can be re-acquired (crash recovery), fencing the old writer.
+	LeaseTTL time.Duration
+	// ScrubChunksPerPass bounds the chunk content verification of one
+	// scrub pass (default 128; negative disables the sweep).
+	ScrubChunksPerPass int
+}
+
+// FleetJob is one registered job's identity and lease state.
+type FleetJob struct {
+	ID     string
+	Parent string
+	Epoch  int64
+	// LeaseHeld reports an unexpired lease (an attached System, or a
+	// recently crashed one whose lease has not run out yet).
+	LeaseHeld bool
+}
+
+// FleetJobStats is one job's storage footprint on the shared store.
+type FleetJobStats struct {
+	ID         string
+	Parent     string
+	Registered bool
+	Rounds     int
+	// LogicalBytes is the job's presented checkpoint volume; ChunkBytes
+	// the unique chunk bytes it references (what a per-job independent
+	// store would hold); ExclusiveChunkBytes the subset no other job
+	// shares.
+	LogicalBytes        int64
+	ChunkBytes          int64
+	ExclusiveChunkBytes int64
+}
+
+// FleetStats is the fleet-wide storage and maintenance summary.
+type FleetStats struct {
+	Jobs []FleetJobStats
+	// LogicalBytes sums every job's presented volume;
+	// PhysicalChunkBytes is the shared store's unique chunk volume;
+	// IndependentChunkBytes what the same jobs would hold on per-job
+	// independent stores.
+	LogicalBytes          int64
+	PhysicalChunkBytes    int64
+	IndependentChunkBytes int64
+	// DedupRatio is 1 − physical/logical; CrossJobDedupRatio is
+	// 1 − physical/independent — the saving attributable to sharing one
+	// chunk namespace specifically (0 when no chunk is shared).
+	DedupRatio         float64
+	CrossJobDedupRatio float64
+	// Repairs counts replica read-repair write-backs; BackendsDown the
+	// replicas probing unhealthy at the last scrub; the remaining fields
+	// are scrub/repair daemon lifetime counters.
+	Repairs       int64
+	BackendsDown  int
+	ScrubPasses   int64
+	SyncCopies    int64
+	HealsDetected int64
+	ScrubFindings int64
+}
+
+// FleetScrubReport summarizes one scrub/repair pass (see Fleet.Scrub).
+type FleetScrubReport struct {
+	Backends, Down, Healed int
+	SyncCopies             int
+	Missing, Orphans       int
+	ChunksVerified         int
+	Corrupt                int
+}
+
+// Fleet is the multi-job checkpoint service over one shared store.
+type Fleet struct {
+	svc *fleet.Service
+}
+
+// NewFleet opens the fleet service over a shared persistent store. A
+// replicated store (NewReplicatedStore) additionally enables the repair
+// half of the scrub daemon: a backend observed failing and healing is
+// re-replicated by a scheduled anti-entropy Sync. The registry —
+// persisted in the store itself — survives restarts, so reopening a
+// fleet over an existing store resumes its jobs.
+func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
+	svc, err := fleet.Open(store, fleet.Config{
+		LeaseTTL:           cfg.LeaseTTL,
+		ScrubChunksPerPass: cfg.ScrubChunksPerPass,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{svc: svc}, nil
+}
+
+// Register adds a job to the registry without attaching a System (the
+// parent, if non-empty, must already be registered). Attaching through
+// NewSystem or ForkOnFleet registers implicitly.
+func (f *Fleet) Register(id, parent string) error {
+	_, err := f.svc.Register(id, parent)
+	return err
+}
+
+// Jobs lists the registered jobs, sorted by id.
+func (f *Fleet) Jobs() []FleetJob {
+	jobs := f.svc.Jobs()
+	out := make([]FleetJob, len(jobs))
+	now := time.Now()
+	for i, j := range jobs {
+		out[i] = FleetJob{
+			ID:        j.ID,
+			Parent:    j.Parent,
+			Epoch:     j.Epoch,
+			LeaseHeld: j.LeaseExpires().After(now),
+		}
+	}
+	return out
+}
+
+// NewSystem builds a System whose checkpoints persist into the fleet's
+// shared store under the given job id (registered on first use). The
+// job's lease is acquired for the System's lifetime — Close releases it
+// — and every checkpoint commit is epoch-fenced, so a crashed job can
+// be re-attached (or adopted) without two writers splitting one
+// lineage. With cfg.Resume set, the System restores the job's latest
+// complete checkpoint: the fleet counterpart of reopening a store.
+func (f *Fleet) NewSystem(cfg Config, jobID string) (*System, error) {
+	sess, err := f.svc.AcquireOrRegister(jobID, "")
+	if err != nil {
+		return nil, err
+	}
+	sys, err := newSystemOn(cfg, nil, nil, sess)
+	if err != nil {
+		sess.Release()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// ForkOnFleet is ForkOn persisting into the fleet instead of a fresh
+// in-memory store: the fork is registered as a child job of this
+// system's fleet job (lineage ""→root when the parent is not
+// fleet-attached) and its checkpoints dedup against every chunk already
+// in the shared store — for a fine-tune fork of a base model, the
+// entire unchanged remainder of the model costs zero new bytes.
+func (s *System) ForkOnFleet(f *Fleet, jobID string, corpus *Corpus, overrides Config) (*System, error) {
+	parent := ""
+	if s.sess != nil {
+		parent = s.sess.JobID()
+	}
+	sess, err := f.svc.AcquireOrRegister(jobID, parent)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := s.forkInto(corpus, s.forkConfig(overrides), nil, sess)
+	if err != nil {
+		sess.Release()
+		return nil, err
+	}
+	return ns, nil
+}
+
+// Retain is the fleet-safe garbage collector — the only safe GC entry
+// point when several jobs share one store. It computes the union of
+// live module entries across every registered job (each keeps, per
+// module, the newest copy its own recovery would read; unregistered
+// writers are kept untouched) and sweeps only chunks no surviving
+// manifest references. The collection is serialized against every
+// attached System's in-flight checkpoint round, so a round committing
+// concurrently from another job can never lose chunks to the sweep. It
+// returns the number of objects removed.
+func (f *Fleet) Retain() (int, error) {
+	st, err := f.svc.Retain()
+	return st.Removed(), err
+}
+
+// Stats reports the fleet-wide storage footprint — per-job volumes and
+// the cross-job dedup ratio — plus the scrub/repair counters.
+func (f *Fleet) Stats() (FleetStats, error) {
+	st, err := f.svc.Stats()
+	if err != nil {
+		return FleetStats{}, err
+	}
+	out := FleetStats{
+		LogicalBytes:          st.LogicalBytes,
+		PhysicalChunkBytes:    st.PhysicalChunkBytes,
+		IndependentChunkBytes: st.IndependentChunkBytes,
+		DedupRatio:            st.DedupRatio,
+		CrossJobDedupRatio:    st.CrossJobDedupRatio,
+		Repairs:               st.Repairs,
+		BackendsDown:          st.BackendsDown,
+		ScrubPasses:           st.ScrubPasses,
+		SyncCopies:            st.SyncCopies,
+		HealsDetected:         st.HealsDetected,
+		ScrubFindings:         st.ScrubFindings,
+	}
+	for _, j := range st.Jobs {
+		out.Jobs = append(out.Jobs, FleetJobStats{
+			ID: j.ID, Parent: j.Parent, Registered: j.Registered,
+			Rounds:       j.Rounds,
+			LogicalBytes: j.LogicalBytes, ChunkBytes: j.ChunkBytes,
+			ExclusiveChunkBytes: j.ExclusiveChunkBytes,
+		})
+	}
+	return out, nil
+}
+
+// Scrub runs one scrub/repair pass synchronously: probe replica
+// health, run the owed anti-entropy Sync once a failed backend probes
+// healthy again, audit chunk refcounts, and re-hash a rotating window
+// of chunk contents (which doubles as a read-repair sweep on a
+// replicated store). StartScrubDaemon runs the same pass on an
+// interval in the background.
+func (f *Fleet) Scrub() (FleetScrubReport, error) {
+	rep, err := f.svc.Scrub()
+	return FleetScrubReport{
+		Backends: rep.Backends, Down: rep.Down, Healed: rep.Healed,
+		SyncCopies: rep.SyncCopies,
+		Missing:    rep.Missing, Orphans: rep.Orphans,
+		ChunksVerified: rep.ChunksVerified, Corrupt: rep.Corrupt,
+	}, err
+}
+
+// StartScrubDaemon starts the background scrub/repair goroutine.
+func (f *Fleet) StartScrubDaemon(interval time.Duration) error {
+	return f.svc.StartDaemon(interval)
+}
+
+// StopScrubDaemon stops it, waiting for an in-flight pass to finish.
+func (f *Fleet) StopScrubDaemon() { f.svc.StopDaemon() }
+
+// Close stops the scrub daemon. Attached Systems keep working and
+// release their leases through their own Close.
+func (f *Fleet) Close() error { return f.svc.Close() }
+
+// ErrFleetFenced reports a checkpoint commit refused because the job's
+// lease was adopted by a newer session (see Fleet.NewSystem).
+var ErrFleetFenced = fleet.ErrFenced
+
+// ErrFleetLeaseHeld reports an attach refused because the job's lease
+// is still held.
+var ErrFleetLeaseHeld = fleet.ErrLeaseHeld

@@ -48,13 +48,24 @@ func (a *Agent) CompactStats() (cas.GCStats, error) {
 	}
 	a.mu.Unlock()
 
-	// Modules this agent never indexed (another writer's, on a shared
-	// backend) are kept conservatively — only their owner may judge them.
-	live := func(round int, module string) bool {
+	// Liveness is writer-scoped: this agent judges only the manifests it
+	// wrote. Other writers on a shared backend — NodeGroup peers, or
+	// other jobs of a fleet store, which reuse the same module NAMES for
+	// entirely separate model lineages — are kept unconditionally; only
+	// their owner may retire their entries (the fleet service's Retain
+	// unions every job's liveness for exactly this reason).
+	own := a.store.Writer()
+	live := func(round int, writer, module string) bool {
+		if writer != own {
+			return true
+		}
 		nr, ok := newest[module]
 		return !ok || round >= nr
 	}
-	st, err := a.store.Retain(live, latest)
+	keep := func(round int, writer string) bool {
+		return writer != own || round == latest
+	}
+	st, err := a.store.RetainScoped(live, keep)
 	if err != nil {
 		return st, fmt.Errorf("core: compact: %w", err)
 	}

@@ -49,9 +49,19 @@ func ParseHash(s string) (Hash, error) {
 	return h, nil
 }
 
+// ChunkPrefix and ManifestPrefix are the backend key prefixes of the
+// two object kinds. They are exported for coordination layers above the
+// store — the fleet service fences manifest commits by key, and scrub
+// tooling enumerates chunks directly — which must agree with the store
+// on the layout without re-deriving it.
 const (
-	chunkPrefix    = "cas/chunks/"
-	manifestPrefix = "cas/manifests/"
+	ChunkPrefix    = "cas/chunks/"
+	ManifestPrefix = "cas/manifests/"
+)
+
+const (
+	chunkPrefix    = ChunkPrefix
+	manifestPrefix = ManifestPrefix
 )
 
 // ChunkKey returns the backend key holding the chunk with the given

@@ -78,6 +78,24 @@ func (p *presenceIndex) Len() int {
 	return n
 }
 
+// SharedPresence is a presence index shared by several Stores over one
+// backend (Options.Shared). Chunks committed through any sharing store
+// dedup in all of them without a rescan — the cross-job dedup path of a
+// fleet deployment — and a fleet-wide GC's sweep removals become
+// visible to every writer immediately, so the no-over-claim invariant
+// (see presenceIndex) holds fleet-wide: no session can dedup against a
+// chunk another session's GC just swept.
+type SharedPresence struct{ idx *presenceIndex }
+
+// NewSharedPresence returns an empty shared index. Hand the same value
+// to every Store opened over one backend.
+func NewSharedPresence() *SharedPresence {
+	return &SharedPresence{idx: newPresenceIndex()}
+}
+
+// Len counts the chunks known present.
+func (p *SharedPresence) Len() int { return p.idx.Len() }
+
 // roundClaims is the per-WriteRound claim set deciding, once per
 // distinct new chunk, which hash worker forwards it to the put stage.
 // It is separate from the presence index on purpose: a claim is an

@@ -56,6 +56,26 @@ type Options struct {
 	// plus a per-process pid/random tag), so two processes opening the
 	// same backend with default options never collide on manifest keys.
 	Writer string
+	// ScopeToWriter restricts the store's manifest view — Rounds,
+	// Manifests, ReadModule, ReadRound — to manifests written by Writer.
+	// A fleet session sets it so each job sees only its own checkpoint
+	// lineage on the shared backend (the dedup index still spans every
+	// writer's chunks). Store-wide operations (Retain, Audit,
+	// PhysicalBytes) always cover the whole backend regardless.
+	ScopeToWriter bool
+	// Shared, when non-nil, replaces the store's private presence index
+	// with one shared among several Stores over the same backend:
+	// chunks committed by any sharing writer dedup in all of them, and
+	// GC sweep removals propagate to every writer immediately (the
+	// fleet-wide no-over-claim invariant — see SharedPresence).
+	Shared *SharedPresence
+	// Guard, when non-nil, is read-locked for the duration of every
+	// WriteRound and write-locked for the duration of every Retain, so
+	// several writers sharing one backend can garbage-collect safely: a
+	// GC can never sweep the not-yet-committed chunks of a round another
+	// writer is persisting. Stores sharing a backend must share the
+	// guard (the fleet service hands one to every session).
+	Guard *sync.RWMutex
 }
 
 // DefaultChunkSize is the chunk length used when Options.ChunkSize is 0.
@@ -238,12 +258,23 @@ func Open(backend storage.PersistStore, opts Options) (*Store, error) {
 	if err := opts.fillDefaults(); err != nil {
 		return nil, err
 	}
+	// The presence seed must not interleave with a guarded GC sweep: a
+	// chunk scan started before the sweep deletes chunk X would re-add X
+	// to a SHARED index after the sweep removed it — an over-claim, the
+	// one staleness direction the index must never have.
+	if opts.Guard != nil {
+		opts.Guard.RLock()
+		defer opts.Guard.RUnlock()
+	}
 	s := &Store{
 		backend:   backend,
 		opts:      opts,
 		present:   newPresenceIndex(),
 		manifests: make(map[int][]*Manifest),
 		memo:      make(map[string]*moduleMemo),
+	}
+	if opts.Shared != nil {
+		s.present = opts.Shared.idx
 	}
 	chunkKeys, err := backend.Keys(chunkPrefix)
 	if err != nil {
@@ -261,9 +292,61 @@ func Open(backend storage.PersistStore, opts Options) (*Store, error) {
 		return nil, err
 	}
 	for _, m := range manifests {
+		if s.scopedOut(m) {
+			continue
+		}
 		s.manifests[m.Round] = append(s.manifests[m.Round], m)
 	}
 	return s, nil
+}
+
+// scopedOut reports whether a manifest is hidden from this store's view
+// by Options.ScopeToWriter.
+func (s *Store) scopedOut(m *Manifest) bool {
+	return s.opts.ScopeToWriter && m.Writer != s.opts.Writer
+}
+
+// Refresh re-reads the backend's manifests (and, for stores with a
+// private presence index, its chunk set), replacing the in-memory
+// caches. A coordination layer calls it on every open store after a
+// store-wide GC ran through a *different* Store handle, so stale caches
+// cannot serve dropped manifest entries. Stores on a shared presence
+// index skip the chunk rescan: the GC's sweep already removed swept
+// chunks from the index they share.
+func (s *Store) Refresh() error {
+	manifests, err := loadManifests(s.backend)
+	if err != nil {
+		return err
+	}
+	byRound := make(map[int][]*Manifest)
+	for _, m := range manifests {
+		if s.scopedOut(m) {
+			continue
+		}
+		byRound[m.Round] = append(byRound[m.Round], m)
+	}
+	var fresh *presenceIndex
+	if s.opts.Shared == nil {
+		chunkKeys, err := s.backend.Keys(chunkPrefix)
+		if err != nil {
+			return fmt.Errorf("cas: scan chunks: %w", err)
+		}
+		fresh = newPresenceIndex()
+		for _, k := range chunkKeys {
+			h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
+			if err != nil {
+				return fmt.Errorf("cas: foreign key %q under chunk prefix", k)
+			}
+			fresh.Add(h)
+		}
+	}
+	s.mu.Lock()
+	s.manifests = byRound
+	if fresh != nil {
+		s.present = fresh
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // loadManifests reads and decodes every manifest in the backend, sorted
@@ -396,6 +479,14 @@ type putTask struct {
 func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, error) {
 	if round < 0 {
 		return nil, fmt.Errorf("cas: negative round %d", round)
+	}
+	// Multi-writer GC exclusion: hold the shared guard (when configured)
+	// for the whole round, so a Retain running through any store over
+	// this backend waits for the commit instead of sweeping chunks whose
+	// manifest is still in flight.
+	if g := s.opts.Guard; g != nil {
+		g.RLock()
+		defer g.RUnlock()
 	}
 	m := &Manifest{Round: round, Writer: s.opts.Writer, Version: ManifestVersion, Chunking: s.opts.Chunking}
 
@@ -798,8 +889,73 @@ func (g GCStats) Removed() int {
 // chunk reference counts over the surviving manifests — rescanning the
 // backend, so references from writers this store never saw are honored —
 // and sweeps every chunk whose count reached zero. Writers must be
-// quiesced while Retain runs.
+// quiesced while Retain runs (stores configured with a Guard enforce
+// this themselves by write-locking it).
 func (s *Store) Retain(live func(round int, module string) bool, keepRound int) (GCStats, error) {
+	return s.RetainScoped(
+		func(round int, _, module string) bool { return live == nil || live(round, module) },
+		func(round int, _ string) bool { return round == keepRound },
+	)
+}
+
+// NewestLiveness derives RetainScoped's callbacks from a manifest set:
+// every writer for which judge returns true keeps, per module, only
+// its newest round — what that writer's recovery would read — plus its
+// latest round's manifest as the completeness anchor; writers judged
+// false are kept untouched (only their owner may retire their
+// entries). A nil judge judges every writer. It is the retention
+// policy shared by the fleet service's online Retain (judging only
+// registered jobs) and mocckpt's offline gc (judging everyone).
+func NewestLiveness(manifests []*Manifest, judge func(writer string) bool) (live func(round int, writer, module string) bool, keepEmpty func(round int, writer string) bool) {
+	judged := func(w string) bool { return judge == nil || judge(w) }
+	newest := make(map[string]map[string]int) // writer → module → newest round
+	latest := make(map[string]int)            // writer → latest round
+	for _, m := range manifests {
+		if !judged(m.Writer) {
+			continue
+		}
+		nm := newest[m.Writer]
+		if nm == nil {
+			nm = make(map[string]int)
+			newest[m.Writer] = nm
+		}
+		if cur, ok := latest[m.Writer]; !ok || m.Round > cur {
+			latest[m.Writer] = m.Round
+		}
+		for _, e := range m.Modules {
+			if cur, ok := nm[e.Module]; !ok || m.Round > cur {
+				nm[e.Module] = m.Round
+			}
+		}
+	}
+	live = func(round int, writer, module string) bool {
+		if !judged(writer) {
+			return true
+		}
+		return round >= newest[writer][module]
+	}
+	keepEmpty = func(round int, writer string) bool {
+		if !judged(writer) {
+			return true
+		}
+		return round == latest[writer]
+	}
+	return live, keepEmpty
+}
+
+// RetainScoped is Retain with writer-aware liveness: live also receives
+// the manifest's writer id, so a multi-writer deployment can judge only
+// its own entries (returning true for every other writer's), and
+// keepEmpty decides per (round, writer) which manifests survive even
+// when emptied. It is the GC entry point for stores shared by several
+// writers — the per-writer Retain above cannot distinguish two writers'
+// same-named modules, which on a fleet store would let one job sweep
+// another's older rounds.
+func (s *Store) RetainScoped(live func(round int, writer, module string) bool, keepEmpty func(round int, writer string) bool) (GCStats, error) {
+	if g := s.opts.Guard; g != nil {
+		g.Lock()
+		defer g.Unlock()
+	}
 	var st GCStats
 	manifests, err := loadManifests(s.backend)
 	if err != nil {
@@ -809,7 +965,7 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 	for _, m := range manifests {
 		kept := make([]ModuleEntry, 0, len(m.Modules))
 		for _, e := range m.Modules {
-			if live == nil || live(m.Round, e.Module) {
+			if live == nil || live(m.Round, m.Writer, e.Module) {
 				kept = append(kept, e)
 			}
 		}
@@ -817,7 +973,7 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 		switch {
 		case len(kept) == len(m.Modules):
 			// Untouched.
-		case len(kept) == 0 && m.Round != keepRound:
+		case len(kept) == 0 && (keepEmpty == nil || !keepEmpty(m.Round, m.Writer)):
 			if err := s.backend.Delete(manifestKey(m.Round, m.Writer)); err != nil {
 				return st, fmt.Errorf("cas: delete manifest %06d.%s: %w", m.Round, m.Writer, err)
 			}
@@ -833,8 +989,17 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 	}
 	// The manifest phase is done: refresh the cache now, so a failure in
 	// the sweep phase below cannot leave it pointing at deleted entries.
+	cache := make(map[int][]*Manifest, len(surviving))
+	for r, ms := range surviving {
+		for _, m := range ms {
+			if s.scopedOut(m) {
+				continue
+			}
+			cache[r] = append(cache[r], m)
+		}
+	}
 	s.mu.Lock()
-	s.manifests = surviving
+	s.manifests = cache
 	s.mu.Unlock()
 
 	refs := make(map[Hash]int)
@@ -851,14 +1016,22 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 	if err != nil {
 		return st, fmt.Errorf("cas: scan chunks: %w", err)
 	}
-	present := newPresenceIndex()
+	// A private presence index is rebuilt from the post-GC state; a
+	// shared one is shrunk in place by the per-chunk Removes below —
+	// replacing it here would disconnect the other stores sharing it.
+	var present *presenceIndex
+	if s.opts.Shared == nil {
+		present = newPresenceIndex()
+	}
 	for _, k := range chunkKeys {
 		h, err := ParseHash(strings.TrimPrefix(k, chunkPrefix))
 		if err != nil {
 			return st, fmt.Errorf("cas: foreign key %q under chunk prefix", k)
 		}
 		if refs[h] > 0 {
-			present.Add(h)
+			if present != nil {
+				present.Add(h)
+			}
 			continue
 		}
 		blob, err := s.backend.Get(k)
@@ -880,9 +1053,11 @@ func (s *Store) Retain(live func(round int, module string) bool, keepRound int) 
 		st.ChunksDeleted++
 	}
 
-	s.mu.Lock()
-	s.present = present
-	s.mu.Unlock()
+	if present != nil {
+		s.mu.Lock()
+		s.present = present
+		s.mu.Unlock()
+	}
 	return st, nil
 }
 

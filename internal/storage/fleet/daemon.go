@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"moc/internal/storage/cas"
+)
+
+// ScrubReport summarizes one scrub/repair pass.
+type ScrubReport struct {
+	// Backends is the replica count (0 when the backend is not
+	// replicated); Down counts backends probing unhealthy this pass, and
+	// Healed the down→healthy transitions observed since the last pass.
+	Backends int
+	Down     int
+	Healed   int
+	// SyncCopies counts keys the pass's anti-entropy Sync copied or
+	// reconciled (0 when no Sync was owed).
+	SyncCopies int
+	// Missing and Orphans come from the refcount audit: referenced
+	// chunks absent from the backend (data loss — a finding) and stored
+	// chunks no manifest references (harmless; in-flight rounds appear
+	// here transiently).
+	Missing int
+	Orphans int
+	// ChunksVerified counts chunks whose content was re-hashed by the
+	// rotating verification sweep this pass; Corrupt counts address
+	// mismatches among them (a finding).
+	ChunksVerified int
+	Corrupt        int
+}
+
+// Findings counts the pass's integrity findings (missing + corrupt).
+func (r ScrubReport) Findings() int { return r.Missing + r.Corrupt }
+
+// Scrub runs one scrub/repair pass:
+//
+//  1. Probe replica health (replicated backends only). A backend seen
+//     down marks a Sync as owed; once every backend probes healthy
+//     again, the owed anti-entropy Sync runs and converges the healed
+//     replicas — no manual Sync call anywhere.
+//  2. Audit chunk refcounts across every manifest in the store.
+//  3. Re-hash a bounded, rotating window of stored chunks against their
+//     addresses. On a replicated backend these reads take the same
+//     first-healthy path recovery would, so they double as read-repair
+//     sweeps: a healed replica that missed a chunk gets it written back.
+//
+// The pass holds the read side of the fleet write guard: writers
+// proceed concurrently, Retain does not (a concurrent sweep would make
+// the audit report transient false findings).
+func (s *Service) Scrub() (ScrubReport, error) {
+	s.guard.RLock()
+	defer s.guard.RUnlock()
+	var rep ScrubReport
+	if s.rep != nil {
+		health := s.rep.Probe()
+		rep.Backends = len(health)
+		s.mu.Lock()
+		for i, err := range health {
+			down := err != nil
+			if down {
+				rep.Down++
+				s.needSync = true
+			} else if i < len(s.prevDown) && s.prevDown[i] {
+				rep.Healed++
+				s.heals++
+			}
+			if i < len(s.prevDown) {
+				s.prevDown[i] = down
+			}
+		}
+		doSync := s.needSync && rep.Down == 0
+		s.mu.Unlock()
+		if doSync {
+			n, err := s.rep.Sync()
+			if err != nil {
+				// The owed Sync stays owed; the next pass retries.
+				return rep, fmt.Errorf("fleet: scrub sync: %w", err)
+			}
+			rep.SyncCopies = n
+			s.mu.Lock()
+			s.syncCopies += int64(n)
+			s.needSync = false
+			s.mu.Unlock()
+		}
+	}
+
+	audit, err := s.admin.Audit()
+	if err != nil {
+		return rep, fmt.Errorf("fleet: scrub audit: %w", err)
+	}
+	rep.Missing = len(audit.Missing)
+	rep.Orphans = len(audit.Orphans)
+
+	verified, corrupt, err := s.verifySweep()
+	if err != nil {
+		return rep, err
+	}
+	rep.ChunksVerified = verified
+	rep.Corrupt = corrupt
+
+	s.mu.Lock()
+	s.scrubs++
+	s.findings += int64(rep.Findings())
+	s.orphans = int64(rep.Orphans)
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// verifySweep re-hashes up to ScrubChunksPerPass chunks, resuming where
+// the previous pass's rotating cursor stopped, and reports how many it
+// read and how many failed their address check. A chunk deleted between
+// the listing and the read (a racing writer's failed round cleanup) is
+// skipped, not a finding.
+func (s *Service) verifySweep() (verified, corrupt int, err error) {
+	limit := s.cfg.ScrubChunksPerPass
+	if limit < 0 {
+		return 0, 0, nil
+	}
+	keys, err := s.backend.Keys(cas.ChunkPrefix)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fleet: scrub scan chunks: %w", err)
+	}
+	if len(keys) == 0 {
+		return 0, 0, nil
+	}
+	s.mu.Lock()
+	start := s.scrubPos % len(keys)
+	n := limit
+	if n > len(keys) {
+		n = len(keys)
+	}
+	s.scrubPos = (start + n) % len(keys)
+	s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		k := keys[(start+i)%len(keys)]
+		want, perr := cas.ParseHash(strings.TrimPrefix(k, cas.ChunkPrefix))
+		if perr != nil {
+			return verified, corrupt, fmt.Errorf("fleet: foreign key %q under chunk prefix", k)
+		}
+		blob, gerr := s.backend.Get(k)
+		if gerr != nil {
+			continue // deleted or unreachable mid-sweep; the audit covers loss
+		}
+		verified++
+		if cas.HashBytes(blob) != want {
+			corrupt++
+		}
+	}
+	return verified, corrupt, nil
+}
+
+// StartDaemon runs Scrub on the given interval in a background
+// goroutine until StopDaemon (or Close). Pass errors are counted, not
+// fatal: a scrub that failed because a backend was down is exactly the
+// situation a later pass repairs.
+func (s *Service) StartDaemon(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("fleet: daemon interval must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.daemonStop != nil {
+		return fmt.Errorf("fleet: daemon already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.daemonStop, s.daemonDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if _, err := s.Scrub(); err != nil {
+					s.mu.Lock()
+					s.scrubErrs++
+					s.mu.Unlock()
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// StopDaemon stops the background scrubber and waits for the in-flight
+// pass (if any) to finish. No-op when the daemon is not running.
+func (s *Service) StopDaemon() {
+	s.mu.Lock()
+	stop, done := s.daemonStop, s.daemonDone
+	s.daemonStop, s.daemonDone = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -172,6 +172,24 @@ func (r *Store) Repairs() int64 {
 	return r.repairs
 }
 
+// probePrefix is an improbable key prefix: a probe only needs the
+// backend round-trip to succeed or fail, not to return data.
+const probePrefix = "zz/probe/"
+
+// Probe actively checks every backend with a cheap Keys call and
+// records the outcome, returning the refreshed Health. Health alone
+// only reflects errors from organic traffic, so a backend that fails
+// and heals while reads happen to be served by earlier replicas would
+// stay marked down forever; the scrub daemon probes on a schedule to
+// observe down→healthy transitions and trigger anti-entropy Sync.
+func (r *Store) Probe() []error {
+	for i, b := range r.backends {
+		_, err := b.Keys(probePrefix)
+		r.note(i, err)
+	}
+	return r.Health()
+}
+
 // Delete removes the key from every backend. Replicas that are down keep
 // their stale copy until Sync or a later Delete; the call fails only when
 // every backend failed with a real error.

@@ -342,3 +342,30 @@ func TestGetRepairCanResurrectDeleteMissedWhileDown(t *testing.T) {
 		t.Fatal("deleted key not resurrected onto A — update Get's GC-caveat doc")
 	}
 }
+
+func TestProbeObservesFailAndHealWithoutTraffic(t *testing.T) {
+	// Health only reflects organic traffic; Probe actively refreshes it,
+	// so a daemon polling Probe sees the down→healthy transition even
+	// when no read or write ever touched the failed replica.
+	flaky := NewFlaky(storage.NewMemStore())
+	r, err := New(storage.NewMemStore(), flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range r.Probe() {
+		if e != nil {
+			t.Fatalf("backend %d unhealthy at start: %v", i, e)
+		}
+	}
+	flaky.Fail()
+	health := r.Probe()
+	if health[0] != nil || health[1] == nil {
+		t.Fatalf("probe missed the outage: %v", health)
+	}
+	flaky.Heal()
+	for i, e := range r.Probe() {
+		if e != nil {
+			t.Fatalf("backend %d still unhealthy after heal: %v", i, e)
+		}
+	}
+}

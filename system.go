@@ -9,6 +9,7 @@ import (
 	"moc/internal/model"
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/fleet"
 	"moc/internal/storage/replica"
 	"moc/internal/train"
 )
@@ -35,9 +36,15 @@ func NewFSStore(dir string) (PersistStore, error) { return storage.NewFSStore(di
 // backends and reading from the first healthy replica. Sync is the
 // anti-entropy repair: it copies every key a backend is missing (because
 // it was down, or was replaced after a loss) from a surviving replica.
+// Health reports, per backend, the error of its most recent operation
+// (nil = healthy), and Repairs counts the read-repair write-backs
+// performed when a Get fell through a stale replica — the observability
+// the fleet scrub daemon drives its repair scheduling from.
 type ReplicatedStore interface {
 	PersistStore
 	Sync() (copied int, err error)
+	Health() []error
+	Repairs() int64
 }
 
 // NewReplicatedStore builds a replicating persistent store over the given
@@ -286,6 +293,9 @@ type System struct {
 	aware   *core.LoadAwareSelector
 	dynamic *core.DynamicK
 	variant train.Variant
+	// sess is the fleet session this system persists through, nil for a
+	// standalone system (see NewFleet / Fleet.NewSystem).
+	sess *fleet.Session
 
 	round         int
 	nextFaultNode int
@@ -317,6 +327,14 @@ func (c *Corpus) Name() string { return c.c.Name() }
 // NewSystemOn builds a System training on the provided corpus (nil = the
 // default pre-training corpus).
 func NewSystemOn(cfg Config, store PersistStore, corpus *Corpus) (*System, error) {
+	return newSystemOn(cfg, store, corpus, nil)
+}
+
+// newSystemOn is the shared constructor. A non-nil fleet session
+// replaces the store with the session's fenced view of the fleet's
+// shared backend and scopes the checkpoint store to the job's writer
+// (sharing the fleet presence index and write guard).
+func newSystemOn(cfg Config, store PersistStore, corpus *Corpus, sess *fleet.Session) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -357,20 +375,34 @@ func NewSystemOn(cfg Config, store PersistStore, corpus *Corpus) (*System, error
 	if err != nil {
 		return nil, err
 	}
-	agent, err := core.NewAgentWithOptions(storage.NewSnapshotStore(), store, cfg.Buffers,
-		cas.Options{
-			Chunking:    chunking,
-			Workers:     cfg.PersistWorkers,
-			HashWorkers: cfg.HashWorkers,
-			ReadWorkers: cfg.RecoverWorkers,
-		})
+	casOpts := cas.Options{
+		Chunking:    chunking,
+		Workers:     cfg.PersistWorkers,
+		HashWorkers: cfg.HashWorkers,
+		ReadWorkers: cfg.RecoverWorkers,
+	}
+	var persist storage.PersistStore = store
+	if sess != nil {
+		persist = sess.Backend()
+		casOpts = sess.Options(casOpts)
+	}
+	agent, err := core.NewAgentWithOptions(storage.NewSnapshotStore(), persist, cfg.Buffers, casOpts)
 	if err != nil {
+		if sess != nil {
+			sess.Release()
+		}
 		return nil, err
+	}
+	if sess != nil {
+		// Register the agent's store with the session so a fleet-wide GC
+		// refreshes its manifest cache.
+		sess.Track(agent.Store())
 	}
 	s := &System{
 		cfg:       cfg,
 		model:     m,
 		agent:     agent,
+		sess:      sess,
 		plt:       core.NewPLTTracker(m.NumMoELayers(), cfg.Experts),
 		seq:       core.NewSequentialSelector(m.NumMoELayers(), cfg.Experts),
 		aware:     core.NewLoadAwareSelector(m.NumMoELayers(), cfg.Experts),
@@ -389,16 +421,16 @@ func NewSystemOn(cfg Config, store PersistStore, corpus *Corpus) (*System, error
 	if cfg.Resume {
 		latest := agent.LatestCompleteRound()
 		if latest < 0 {
-			agent.Close()
+			s.Close()
 			return nil, fmt.Errorf("moc: Resume requested but the store holds no complete checkpoint")
 		}
 		rec, err := agent.Recover(nil)
 		if err != nil {
-			agent.Close()
+			s.Close()
 			return nil, fmt.Errorf("moc: resume: %w", err)
 		}
 		if _, err := m.Restore(rec); err != nil {
-			agent.Close()
+			s.Close()
 			return nil, fmt.Errorf("moc: resume restore: %w", err)
 		}
 		s.round = latest + 1
@@ -609,7 +641,16 @@ func (s *System) InjectFault() error {
 // counter carry over. Checkpointing fields of overrides (Interval,
 // KSnapshot/KPersist, Variant, Selection, TwoLevelRecovery, DynamicK,
 // FreezeExperts) replace the parent's; model-shape fields are inherited.
+// To fork into a shared fleet store instead — so the fork's checkpoints
+// dedup against the parent's chunks — use ForkOnFleet.
 func (s *System) ForkOn(corpus *Corpus, overrides Config) (*System, error) {
+	return s.forkInto(corpus, s.forkConfig(overrides), NewMemStore(), nil)
+}
+
+// forkConfig merges the checkpointing fields of overrides into the
+// parent's configuration (the ForkOn contract). Resume is cleared: a
+// fork continues from the parent's in-memory state, never from a store.
+func (s *System) forkConfig(overrides Config) Config {
 	cfg := s.cfg
 	cfg.Interval = overrides.Interval
 	cfg.KSnapshot = overrides.KSnapshot
@@ -619,7 +660,14 @@ func (s *System) ForkOn(corpus *Corpus, overrides Config) (*System, error) {
 	cfg.TwoLevelRecovery = overrides.TwoLevelRecovery
 	cfg.DynamicK = overrides.DynamicK
 	cfg.FreezeExperts = overrides.FreezeExperts
-	ns, err := NewSystemOn(cfg, NewMemStore(), corpus)
+	cfg.Resume = false
+	return cfg
+}
+
+// forkInto builds the forked system over the given store (or fleet
+// session) and clones the parent's full model state into it.
+func (s *System) forkInto(corpus *Corpus, cfg Config, store PersistStore, sess *fleet.Session) (*System, error) {
+	ns, err := newSystemOn(cfg, store, corpus, sess)
 	if err != nil {
 		return nil, err
 	}
@@ -721,11 +769,18 @@ func (s *System) VerifyStorage() (int, error) {
 	return s.agent.Verify()
 }
 
-// Close flushes outstanding checkpoints and releases the agent.
+// Close flushes outstanding checkpoints and releases the agent (and,
+// for a fleet-attached system, the job lease).
 func (s *System) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	return s.agent.Close()
+	err := s.agent.Close()
+	if s.sess != nil {
+		if rerr := s.sess.Release(); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
