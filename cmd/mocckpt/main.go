@@ -11,6 +11,17 @@
 //	                                     # cache hit rate, remote op costs
 //	mocckpt -dir /path/to/ckpts jobs     # fleet job registry, per-job
 //	                                     # volumes, cross-job dedup ratio
+//	mocckpt -dir /path/to/ckpts -shards 4 shards
+//	                                     # per-shard distribution, balance
+//	                                     # factor, misplaced keys
+//
+// Sharded stores (moc.NewShardedStore over FSStores) live as shard-000,
+// shard-001, ... subdirectories of one root. -shards N opens the same
+// consistent-hash router over them, so every subcommand sees the
+// combined keyspace exactly as the writing process did; the shards
+// subcommand then reports each shard's slice of it — chunk and byte
+// counts, the balance factor (max/mean bytes), and any keys sitting on
+// a shard the ring no longer routes them to (an interrupted rebalance).
 //
 // Multi-job (fleet) stores hold several writers' manifests in one chunk
 // namespace: list and stats aggregate them into one dedup line and add
@@ -40,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -50,10 +62,12 @@ import (
 	"moc/internal/storage/cas"
 	"moc/internal/storage/fleet"
 	"moc/internal/storage/remote"
+	"moc/internal/storage/shard"
 )
 
 func main() {
 	dir := flag.String("dir", "", "checkpoint directory (FSStore root)")
+	shardCount := flag.Int("shards", 0, "open <dir>/shard-000..shard-NNN as one consistent-hash sharded store (0 = unsharded)")
 	writer := flag.String("writer", "", "list/inspect/stats: restrict to one writer's manifests")
 	cacheMB := flag.Int("cache-mb", 64, "stats: LRU chunk-cache capacity in MiB")
 	latencyMS := flag.Float64("latency-ms", 20, "stats: remote per-request latency in ms")
@@ -62,7 +76,7 @@ func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|jobs}")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|jobs|shards}")
 		os.Exit(2)
 	}
 	// Go's flag parsing stops at the first positional argument, so flags
@@ -73,11 +87,15 @@ func main() {
 			cmd, flag.Args()[1:])
 		os.Exit(2)
 	}
-	store, err := storage.NewFSStore(*dir)
+	store, router, err := openStore(*dir, *shardCount)
 	if err != nil {
 		fatal(err)
 	}
 	switch cmd {
+	case "shards":
+		if err := shardsView(router); err != nil {
+			fatal(err)
+		}
 	case "list":
 		if err := list(store, false, *writer); err != nil {
 			fatal(err)
@@ -131,6 +149,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mocckpt: unknown command %q\n", cmd)
 		os.Exit(2)
 	}
+}
+
+// openStore opens the directory as a plain FSStore, or — with -shards
+// N > 1 — as the consistent-hash router over its shard-%03d
+// subdirectories (the layout a fleet over NewShardedStore FSStore
+// shards writes). Shard names derive from the directory names, so the
+// router places every key exactly where the writing process did.
+func openStore(dir string, shards int) (storage.PersistStore, *shard.Router, error) {
+	if shards <= 1 {
+		s, err := storage.NewFSStore(dir)
+		return s, nil, err
+	}
+	stores := make([]storage.PersistStore, shards)
+	for i := range stores {
+		fs, err := storage.NewFSStore(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		stores[i] = fs
+	}
+	r, err := shard.New(shard.Config{Stores: stores})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, r, nil
+}
+
+// shardsView prints each shard's slice of the keyspace: chunk counts
+// and bytes, manifests, the balance factor, and misplaced keys — keys
+// stored on a shard the ring no longer routes them to, the footprint an
+// interrupted rebalance leaves behind.
+func shardsView(r *shard.Router) error {
+	if r == nil {
+		return fmt.Errorf("the shards view needs -shards N (N > 1) to open a sharded store")
+	}
+	fmt.Printf("%-12s %-8s %-14s %-10s %-8s %s\n",
+		"shard", "chunks", "chunk-bytes", "manifests", "other", "misplaced")
+	var totalBytes, maxBytes int64
+	var totalMisplaced int
+	n := r.ShardCount()
+	for i := 0; i < n; i++ {
+		keys, err := r.Shard(i).Keys("")
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", r.ShardName(i), err)
+		}
+		var chunks, manifests, other, misplaced int
+		var bytes int64
+		for _, k := range keys {
+			switch {
+			case strings.HasPrefix(k, cas.ChunkPrefix):
+				chunks++
+				if blob, err := r.Shard(i).Get(k); err == nil {
+					bytes += int64(len(blob))
+				}
+			case strings.HasPrefix(k, cas.ManifestPrefix):
+				manifests++
+			default:
+				other++
+			}
+			if r.Locate(k) != i {
+				misplaced++
+			}
+		}
+		totalBytes += bytes
+		totalMisplaced += misplaced
+		if bytes > maxBytes {
+			maxBytes = bytes
+		}
+		fmt.Printf("%-12s %-8d %-14d %-10d %-8d %d\n",
+			r.ShardName(i), chunks, bytes, manifests, other, misplaced)
+	}
+	if totalBytes > 0 {
+		mean := float64(totalBytes) / float64(n)
+		fmt.Printf("\nbalance factor: %.2f (max/mean chunk bytes; 1.00 = perfectly even)\n",
+			float64(maxBytes)/mean)
+	}
+	if totalMisplaced > 0 {
+		fmt.Printf("%d keys sit on shards the ring does not route them to — an interrupted\nrebalance; re-run the membership change and Rebalance to finish it\n", totalMisplaced)
+	}
+	return nil
 }
 
 func openAgent(store storage.PersistStore) *core.Agent {

@@ -1,0 +1,164 @@
+// Sharded fleet tour: two training jobs persist through ONE
+// consistent-hash sharded store — four shards, each an independent
+// backend, one of them a replica pair. Persist bandwidth fans out
+// across shards (the write pipeline keeps a put queue per shard, so a
+// slow shard never stalls a round), the replicated shard degrades
+// mid-run and heals, and the scrub daemon reports health and repairs
+// PER SHARD. The finale grows the fleet online: a fifth shard joins
+// and Rebalance migrates only ~1/5 of the keys — concurrent reads are
+// served from either location throughout — before the stats view shows
+// the rebalanced distribution.
+//
+//	go run ./examples/sharded_fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	moc "moc"
+)
+
+func main() {
+	// Four shards; shard 1 is a replica pair whose second backend can
+	// fail — the shard the scrub daemon will have to repair.
+	flaky := moc.NewFlakyStore(moc.NewMemStore())
+	repl, err := moc.NewReplicatedStore(moc.NewMemStore(), flaky)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := moc.NewShardedStore(moc.ShardConfig{Shards: []moc.PersistStore{
+		moc.NewMemStore(), repl, moc.NewMemStore(), moc.NewMemStore(),
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := moc.NewFleet(store, moc.FleetConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	if err := fleet.StartScrubDaemon(2 * time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := moc.Config{
+		Layers: 4, Hidden: 32, Experts: 8, TopK: 2,
+		Vocab: 64, Window: 8, BatchSize: 32,
+		LR: 0.01, Seed: 11,
+		Interval: 10,
+	}
+	base, err := fleet.NewSystem(cfg, "base")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer base.Close()
+	if _, err := base.RunTo(30); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Shard 1's second replica dies mid-run: checkpoints keep landing —
+	// the shard's surviving replica absorbs them — and the daemon's
+	// per-shard probes attribute the outage to shard-001 alone.
+	flaky.Fail()
+	fmt.Println("--- shard-001 replica FAILED (rounds continue on its survivor)")
+	fork, err := base.ForkOnFleet(fleet, "ft-law", moc.NewCorpus("law", 64, 101), moc.Config{
+		Interval: 10, FreezeExperts: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fork.Close()
+	if _, err := fork.RunTo(50); err != nil {
+		log.Fatal(err)
+	}
+	if err := fork.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fleet.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mid-outage scrub: %d/%d backends down\n", rep.Down, rep.Backends)
+	for _, ss := range rep.Shards {
+		if ss.Down > 0 {
+			fmt.Printf("  %s: %d of %d backends down\n", ss.Name, ss.Down, ss.Backends)
+		}
+	}
+
+	flaky.Heal()
+	fmt.Println("--- shard-001 replica HEALED (repair is the daemon's job now)")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := fleet.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("daemon did not repair in time: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	printShards := func(st moc.FleetStats) {
+		fmt.Printf("\n%-12s %-8s %-14s %-6s %s\n", "shard", "chunks", "chunk-bytes", "down", "findings")
+		for _, ss := range st.Shards {
+			fmt.Printf("%-12s %-8d %-14d %-6d %d\n",
+				ss.Name, ss.Chunks, ss.ChunkBytes, ss.BackendsDown, ss.Findings)
+		}
+		fmt.Printf("balance factor: %.2f (max/mean chunk bytes; 1.00 = perfectly even)\n", st.ShardBalance)
+	}
+	st, err := fleet.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printShards(st)
+	fmt.Printf("scrub daemon: %d passes, %d heals observed, %d keys re-replicated, %d findings\n",
+		st.ScrubPasses, st.HealsDetected, st.SyncCopies, st.ScrubFindings)
+
+	// Grow the fleet online: a fifth shard joins the ring and Rebalance
+	// migrates only the keys the ring remapped (~1/5 with consistent
+	// hashing, versus ~100% under modulo placement). The migration is
+	// serialized against writers and GC by the fleet's guard; reads keep
+	// succeeding from either location throughout.
+	if err := store.AddShard("shard-004", moc.NewMemStore()); err != nil {
+		log.Fatal(err)
+	}
+	mig, err := store.Rebalance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngrew 4 -> 5 shards: moved %d of %d keys (%.1f%%, %.1f KiB; %d already placed)\n",
+		mig.KeysMoved, mig.KeysExamined, 100*mig.MovedFraction(),
+		float64(mig.BytesMoved)/(1<<10), mig.KeysDeduped)
+
+	// Training and recovery continue seamlessly on the grown fleet.
+	if _, err := base.RunTo(40); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.InjectFault(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("post-rebalance fault recovered across all five shards")
+	st, err = fleet.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printShards(st)
+	rep, err = fleet.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final scrub: %d backends, %d down, %d chunks verified, %d missing, %d corrupt\n",
+		rep.Backends, rep.Down, rep.ChunksVerified, rep.Missing, rep.Corrupt)
+}

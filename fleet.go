@@ -77,6 +77,25 @@ type FleetStats struct {
 	SyncCopies    int64
 	HealsDetected int64
 	ScrubFindings int64
+	// Shards breaks the storage distribution down per shard when the
+	// shared store is sharded (NewShardedStore; nil otherwise), in ring
+	// order. ShardBalance is then max/mean chunk bytes across shards
+	// (1.0 = perfectly even).
+	Shards       []FleetShardStats
+	ShardBalance float64
+}
+
+// FleetShardStats is one shard's slice of the fleet's storage and
+// health.
+type FleetShardStats struct {
+	Name string
+	// Chunks/ChunkBytes count the live chunks routing to this shard.
+	Chunks     int
+	ChunkBytes int64
+	// BackendsDown counts the shard's backends probing unhealthy at the
+	// last scrub; Findings its lifetime integrity findings.
+	BackendsDown int
+	Findings     int64
 }
 
 // FleetScrubReport summarizes one scrub/repair pass (see Fleet.Scrub).
@@ -86,6 +105,17 @@ type FleetScrubReport struct {
 	Missing, Orphans       int
 	ChunksVerified         int
 	Corrupt                int
+	// Shards breaks the pass down per shard when the shared store is
+	// sharded (nil otherwise); the counters above are then aggregates.
+	Shards []FleetShardScrub
+}
+
+// FleetShardScrub is one shard's slice of a scrub pass.
+type FleetShardScrub struct {
+	Name                   string
+	Backends, Down, Healed int
+	SyncCopies             int
+	Missing, Corrupt       int
 }
 
 // Fleet is the multi-job checkpoint service over one shared store.
@@ -96,7 +126,11 @@ type Fleet struct {
 // NewFleet opens the fleet service over a shared persistent store. A
 // replicated store (NewReplicatedStore) additionally enables the repair
 // half of the scrub daemon: a backend observed failing and healing is
-// re-replicated by a scheduled anti-entropy Sync. The registry —
+// re-replicated by a scheduled anti-entropy Sync. A sharded store
+// (NewShardedStore) gets the per-shard variant — each shard probed and
+// repaired independently, with per-shard findings in scrub reports and
+// per-shard distribution in Stats — and its Rebalance is serialized
+// against the fleet's writers and GC automatically. The registry —
 // persisted in the store itself — survives restarts, so reopening a
 // fleet over an existing store resumes its jobs.
 func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
@@ -210,6 +244,13 @@ func (f *Fleet) Stats() (FleetStats, error) {
 		SyncCopies:            st.SyncCopies,
 		HealsDetected:         st.HealsDetected,
 		ScrubFindings:         st.ScrubFindings,
+		ShardBalance:          st.ShardBalance,
+	}
+	for _, ss := range st.Shards {
+		out.Shards = append(out.Shards, FleetShardStats{
+			Name: ss.Name, Chunks: ss.Chunks, ChunkBytes: ss.ChunkBytes,
+			BackendsDown: ss.BackendsDown, Findings: ss.Findings,
+		})
 	}
 	for _, j := range st.Jobs {
 		out.Jobs = append(out.Jobs, FleetJobStats{
@@ -230,12 +271,20 @@ func (f *Fleet) Stats() (FleetStats, error) {
 // interval in the background.
 func (f *Fleet) Scrub() (FleetScrubReport, error) {
 	rep, err := f.svc.Scrub()
-	return FleetScrubReport{
+	out := FleetScrubReport{
 		Backends: rep.Backends, Down: rep.Down, Healed: rep.Healed,
 		SyncCopies: rep.SyncCopies,
 		Missing:    rep.Missing, Orphans: rep.Orphans,
 		ChunksVerified: rep.ChunksVerified, Corrupt: rep.Corrupt,
-	}, err
+	}
+	for _, ss := range rep.Shards {
+		out.Shards = append(out.Shards, FleetShardScrub{
+			Name: ss.Name, Backends: ss.Backends, Down: ss.Down,
+			Healed: ss.Healed, SyncCopies: ss.SyncCopies,
+			Missing: ss.Missing, Corrupt: ss.Corrupt,
+		})
+	}
+	return out, err
 }
 
 // StartScrubDaemon starts the background scrub/repair goroutine.

@@ -511,9 +511,26 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	}
 
 	hashCh := make(chan hashTask, 4*s.opts.HashWorkers)
-	putCh := make(chan putTask, 4*s.opts.Workers)
 	claims := newRoundClaims()
 	owned, _ := s.backend.(storage.OwnedPutter)
+
+	// Against a sharded backend the put fan-out is partitioned per
+	// shard: each shard gets its own queue and worker set, so a slow
+	// shard backs up only its own queue while the others keep draining
+	// — one degraded backend cannot stall the whole round, and adding
+	// shards adds put parallelism. Queue choice is load partitioning
+	// only; the backend routes every put by key itself.
+	shardCount := 1
+	var sharder storage.Sharder
+	if sh, ok := s.backend.(storage.Sharder); ok {
+		if n := sh.ShardCount(); n > 1 {
+			sharder, shardCount = sh, n
+		}
+	}
+	putChs := make([]chan putTask, shardCount)
+	for i := range putChs {
+		putChs[i] = make(chan putTask, 4*s.opts.Workers)
+	}
 
 	// Worker stages, spawned lazily on the first chunk that actually
 	// needs hashing: a round whose modules all hit the unchanged-module
@@ -531,34 +548,38 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 		pipelineStarted = true
 		// Put stage: striped backend writers. Successful puts are
 		// recorded so presence is extended only with chunks the backend
-		// accepted.
-		for w := 0; w < s.opts.Workers; w++ {
-			putWG.Add(1)
-			go func() {
-				defer putWG.Done()
-				for t := range putCh {
-					if failed.Load() {
-						continue
+		// accepted. With a sharded backend the Workers budget is split
+		// across the per-shard queues (at least one worker each).
+		perShard := (s.opts.Workers + shardCount - 1) / shardCount
+		for _, ch := range putChs {
+			for w := 0; w < perShard; w++ {
+				putWG.Add(1)
+				go func(putCh chan putTask) {
+					defer putWG.Done()
+					for t := range putCh {
+						if failed.Load() {
+							continue
+						}
+						var err error
+						if owned != nil {
+							// Zero-copy: t.data aliases the caller's blob, which
+							// outlives this call — WriteRound has not returned —
+							// and the backend has waived retention.
+							err = owned.PutOwned(ChunkKey(t.hash), t.data)
+						} else {
+							err = s.backend.Put(ChunkKey(t.hash), append([]byte(nil), t.data...))
+						}
+						if err != nil {
+							fail(fmt.Errorf("cas: put chunk %s: %w", t.hash, err))
+							continue
+						}
+						putMu.Lock()
+						putHashes = append(putHashes, t.hash)
+						putBytes += int64(len(t.data))
+						putMu.Unlock()
 					}
-					var err error
-					if owned != nil {
-						// Zero-copy: t.data aliases the caller's blob, which
-						// outlives this call — WriteRound has not returned —
-						// and the backend has waived retention.
-						err = owned.PutOwned(ChunkKey(t.hash), t.data)
-					} else {
-						err = s.backend.Put(ChunkKey(t.hash), append([]byte(nil), t.data...))
-					}
-					if err != nil {
-						fail(fmt.Errorf("cas: put chunk %s: %w", t.hash, err))
-						continue
-					}
-					putMu.Lock()
-					putHashes = append(putHashes, t.hash)
-					putBytes += int64(len(t.data))
-					putMu.Unlock()
-				}
-			}()
+				}(ch)
+			}
 		}
 		// Hash stage: digest chunks, fill their manifest slots, and
 		// claim distinct new chunks for the put stage.
@@ -575,7 +596,13 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 						t.slots[i].Hash = h
 						t.slots[i].Size = uint32(len(c))
 						if !s.present.Has(h) && claims.Claim(h) {
-							putCh <- putTask{hash: h, data: c}
+							qi := 0
+							if sharder != nil {
+								if i := sharder.Locate(ChunkKey(h)); i >= 0 && i < shardCount {
+									qi = i
+								}
+							}
+							putChs[qi] <- putTask{hash: h, data: c}
 						}
 					}
 				}
@@ -623,7 +650,9 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	if pipelineStarted {
 		close(hashCh)
 		hashWG.Wait()
-		close(putCh)
+		for _, ch := range putChs {
+			close(ch)
+		}
 		putWG.Wait()
 	}
 	if firstErr != nil {

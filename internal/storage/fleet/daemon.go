@@ -30,6 +30,27 @@ type ScrubReport struct {
 	// mismatches among them (a finding).
 	ChunksVerified int
 	Corrupt        int
+	// Shards breaks the pass down per shard when the backend is
+	// hash-partitioned (nil otherwise). The top-level counters above
+	// are then the aggregates across shards.
+	Shards []ShardScrub
+}
+
+// ShardScrub is one shard's slice of a scrub pass.
+type ShardScrub struct {
+	Name string
+	// Backends is the shard's replica count (1 for a plain backend);
+	// Down and Healed mirror the top-level meanings within the shard.
+	Backends int
+	Down     int
+	Healed   int
+	// SyncCopies counts keys this shard's owed anti-entropy Sync
+	// copied or reconciled this pass.
+	SyncCopies int
+	// Missing and Corrupt are this pass's integrity findings attributed
+	// to the shard by key routing.
+	Missing int
+	Corrupt int
 }
 
 // Findings counts the pass's integrity findings (missing + corrupt).
@@ -40,7 +61,10 @@ func (r ScrubReport) Findings() int { return r.Missing + r.Corrupt }
 //  1. Probe replica health (replicated backends only). A backend seen
 //     down marks a Sync as owed; once every backend probes healthy
 //     again, the owed anti-entropy Sync runs and converges the healed
-//     replicas — no manual Sync call anywhere.
+//     replicas — no manual Sync call anywhere. Against a sharded
+//     backend this step runs per shard (scrubShards): each shard is
+//     probed independently, owes its own Sync, and reports its own
+//     slice of the pass in Shards.
 //  2. Audit chunk refcounts across every manifest in the store.
 //  3. Re-hash a bounded, rotating window of stored chunks against their
 //     addresses. On a replicated backend these reads take the same
@@ -85,6 +109,10 @@ func (s *Service) Scrub() (ScrubReport, error) {
 			s.needSync = false
 			s.mu.Unlock()
 		}
+	} else if s.sh != nil {
+		if err := s.scrubShards(&rep); err != nil {
+			return rep, err
+		}
 	}
 
 	audit, err := s.admin.Audit()
@@ -94,12 +122,33 @@ func (s *Service) Scrub() (ScrubReport, error) {
 	rep.Missing = len(audit.Missing)
 	rep.Orphans = len(audit.Orphans)
 
-	verified, corrupt, err := s.verifySweep()
+	verified, corruptKeys, err := s.verifySweep()
 	if err != nil {
 		return rep, err
 	}
 	rep.ChunksVerified = verified
-	rep.Corrupt = corrupt
+	rep.Corrupt = len(corruptKeys)
+
+	// Attribute integrity findings to their shards by key routing.
+	if s.sh != nil && len(rep.Shards) > 0 {
+		for _, h := range audit.Missing {
+			if i := s.sh.Locate(cas.ChunkKey(h)); i >= 0 && i < len(rep.Shards) {
+				rep.Shards[i].Missing++
+			}
+		}
+		for _, k := range corruptKeys {
+			if i := s.sh.Locate(k); i >= 0 && i < len(rep.Shards) {
+				rep.Shards[i].Corrupt++
+			}
+		}
+		s.mu.Lock()
+		for _, ss := range rep.Shards {
+			if st := s.shardState[ss.Name]; st != nil {
+				st.findings += int64(ss.Missing + ss.Corrupt)
+			}
+		}
+		s.mu.Unlock()
+	}
 
 	s.mu.Lock()
 	s.scrubs++
@@ -109,22 +158,103 @@ func (s *Service) Scrub() (ScrubReport, error) {
 	return rep, nil
 }
 
+// scrubShards is the probe/repair half of a pass against a sharded
+// backend: every shard is probed — replicated shards through their
+// replica Probe, plain ones with a cheap Keys round-trip — health
+// transitions are tracked per shard, and a replicated shard that saw
+// downtime gets its owed anti-entropy Sync once all its replicas probe
+// healthy again. One degraded shard never blocks the others' probes.
+func (s *Service) scrubShards(rep *ScrubReport) error {
+	s.mu.Lock()
+	names, states := s.syncShardState()
+	s.mu.Unlock()
+	var firstErr error
+	for i, name := range names {
+		st := states[i]
+		ss := ShardScrub{Name: name}
+		if st.rep != nil {
+			health := st.rep.Probe()
+			ss.Backends = len(health)
+			s.mu.Lock()
+			for b, err := range health {
+				down := err != nil
+				if down {
+					ss.Down++
+					st.needSync = true
+				} else if b < len(st.prevDown) && st.prevDown[b] {
+					ss.Healed++
+					s.heals++
+				}
+				if b < len(st.prevDown) {
+					st.prevDown[b] = down
+				}
+			}
+			doSync := st.needSync && ss.Down == 0
+			s.mu.Unlock()
+			if doSync {
+				n, err := st.rep.Sync()
+				if err != nil {
+					// The owed Sync stays owed; the next pass retries.
+					// Other shards still get their probes and repairs.
+					if firstErr == nil {
+						firstErr = fmt.Errorf("fleet: scrub sync shard %s: %w", name, err)
+					}
+				} else {
+					ss.SyncCopies = n
+					s.mu.Lock()
+					s.syncCopies += int64(n)
+					st.needSync = false
+					s.mu.Unlock()
+				}
+			}
+		} else {
+			// A plain backend: one probe, no repair path — downtime is
+			// surfaced, and the refcount audit reports what it cost.
+			_, err := s.sh.Shard(i).Keys(shardProbePrefix)
+			ss.Backends = 1
+			down := err != nil
+			s.mu.Lock()
+			if down {
+				ss.Down = 1
+			} else if len(st.prevDown) > 0 && st.prevDown[0] {
+				ss.Healed = 1
+				s.heals++
+			}
+			if len(st.prevDown) > 0 {
+				st.prevDown[0] = down
+			}
+			s.mu.Unlock()
+		}
+		rep.Backends += ss.Backends
+		rep.Down += ss.Down
+		rep.Healed += ss.Healed
+		rep.SyncCopies += ss.SyncCopies
+		rep.Shards = append(rep.Shards, ss)
+	}
+	return firstErr
+}
+
+// shardProbePrefix mirrors the replica package's probe key: the listing
+// is a pure round-trip liveness check.
+const shardProbePrefix = "zz/probe/"
+
 // verifySweep re-hashes up to ScrubChunksPerPass chunks, resuming where
 // the previous pass's rotating cursor stopped, and reports how many it
-// read and how many failed their address check. A chunk deleted between
-// the listing and the read (a racing writer's failed round cleanup) is
-// skipped, not a finding.
-func (s *Service) verifySweep() (verified, corrupt int, err error) {
+// read and which keys failed their address check (so findings can be
+// attributed to shards). A chunk deleted between the listing and the
+// read (a racing writer's failed round cleanup) is skipped, not a
+// finding.
+func (s *Service) verifySweep() (verified int, corruptKeys []string, err error) {
 	limit := s.cfg.ScrubChunksPerPass
 	if limit < 0 {
-		return 0, 0, nil
+		return 0, nil, nil
 	}
 	keys, err := s.backend.Keys(cas.ChunkPrefix)
 	if err != nil {
-		return 0, 0, fmt.Errorf("fleet: scrub scan chunks: %w", err)
+		return 0, nil, fmt.Errorf("fleet: scrub scan chunks: %w", err)
 	}
 	if len(keys) == 0 {
-		return 0, 0, nil
+		return 0, nil, nil
 	}
 	s.mu.Lock()
 	start := s.scrubPos % len(keys)
@@ -138,7 +268,7 @@ func (s *Service) verifySweep() (verified, corrupt int, err error) {
 		k := keys[(start+i)%len(keys)]
 		want, perr := cas.ParseHash(strings.TrimPrefix(k, cas.ChunkPrefix))
 		if perr != nil {
-			return verified, corrupt, fmt.Errorf("fleet: foreign key %q under chunk prefix", k)
+			return verified, corruptKeys, fmt.Errorf("fleet: foreign key %q under chunk prefix", k)
 		}
 		blob, gerr := s.backend.Get(k)
 		if gerr != nil {
@@ -146,10 +276,10 @@ func (s *Service) verifySweep() (verified, corrupt int, err error) {
 		}
 		verified++
 		if cas.HashBytes(blob) != want {
-			corrupt++
+			corruptKeys = append(corruptKeys, k)
 		}
 	}
-	return verified, corrupt, nil
+	return verified, corruptKeys, nil
 }
 
 // StartDaemon runs Scrub on the given interval in a background

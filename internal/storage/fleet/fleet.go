@@ -144,6 +144,28 @@ type repairable interface {
 	Repairs() int64
 }
 
+// sharded is the router interface the scrub daemon and stats drive when
+// the shared backend is hash-partitioned (a shard.Router, directly or
+// through the public ShardedStore wrapper). Shards counts backends
+// (including one pending removal mid-migration), Shard returns one for
+// per-shard probing — each may itself be a replica set — and Locate
+// attributes a key to its shard. The daemon tracks health, owed
+// anti-entropy, and findings per shard rather than per backend.
+type sharded interface {
+	Shards() int
+	ShardName(i int) string
+	Shard(i int) storage.PersistStore
+	Locate(key string) int
+}
+
+// guardable lets the service hand its fleet-wide write guard to a
+// backend that serializes maintenance against GC (a shard router's
+// Rebalance write-locks it, so a migration never races Retain or an
+// in-flight WriteRound).
+type guardable interface {
+	SetGuard(*sync.RWMutex)
+}
+
 // Service is the fleet checkpoint service over one shared backend.
 type Service struct {
 	backend storage.PersistStore
@@ -157,6 +179,7 @@ type Service struct {
 	// every session.
 	admin *cas.Store
 	rep   repairable // nil when the backend is not replicated
+	sh    sharded    // nil when the backend is not sharded
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -176,6 +199,12 @@ type Service struct {
 	orphans    int64 // orphan chunks seen by the latest audit
 	scrubErrs  int64
 	scrubPos   int // rotating cursor of the verification sweep
+	// Per-shard scrub state (sharded backends only), keyed by shard
+	// name so state survives membership changes reindexing the router:
+	// each shard's repairable handle (nil when the shard is a single
+	// backend), previous-probe down flags, owed anti-entropy flag, and
+	// lifetime integrity findings.
+	shardState map[string]*shardScrubState
 
 	daemonStop chan struct{}
 	daemonDone chan struct{}
@@ -206,6 +235,14 @@ func Open(backend storage.PersistStore, cfg Config) (*Service, error) {
 		s.rep = rep
 		s.prevDown = make([]bool, rep.Backends())
 		s.needSync = true // startup reconciliation (see Open doc)
+	} else if sh, ok := backend.(sharded); ok {
+		s.sh = sh
+		s.mu.Lock()
+		s.syncShardState()
+		s.mu.Unlock()
+	}
+	if g, ok := backend.(guardable); ok {
+		g.SetGuard(&s.guard)
 	}
 	keys, err := backend.Keys(jobPrefix)
 	if err != nil {
@@ -233,6 +270,53 @@ func Open(backend storage.PersistStore, cfg Config) (*Service, error) {
 func (s *Service) Close() error {
 	s.StopDaemon()
 	return nil
+}
+
+// shardScrubState is one shard's maintenance state.
+type shardScrubState struct {
+	rep      repairable // nil when the shard is a single backend
+	prevDown []bool
+	needSync bool
+	findings int64
+}
+
+// syncShardState reconciles the per-shard scrub state with the
+// router's current membership (shards can be added or removed while
+// the service runs). A newly tracked replicated shard starts with a
+// Sync owed — the same startup reconciliation the unsharded path
+// applies, since divergence that predates tracking leaves no health
+// transition to observe. Caller holds s.mu; returns the current shard
+// names in router order with their states.
+func (s *Service) syncShardState() ([]string, []*shardScrubState) {
+	if s.shardState == nil {
+		s.shardState = make(map[string]*shardScrubState)
+	}
+	n := s.sh.Shards()
+	names := make([]string, n)
+	states := make([]*shardScrubState, n)
+	current := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		name := s.sh.ShardName(i)
+		names[i] = name
+		current[name] = true
+		st := s.shardState[name]
+		if st == nil {
+			rep, _ := s.sh.Shard(i).(repairable)
+			backends := 1
+			if rep != nil {
+				backends = rep.Backends()
+			}
+			st = &shardScrubState{rep: rep, prevDown: make([]bool, backends), needSync: rep != nil}
+			s.shardState[name] = st
+		}
+		states[i] = st
+	}
+	for name := range s.shardState {
+		if !current[name] {
+			delete(s.shardState, name)
+		}
+	}
+	return names, states
 }
 
 // jobLock returns the per-job mutex. Lock ordering: the fleet guard

@@ -160,8 +160,27 @@ func (f *fencedStore) Delete(key string) error { return f.inner.Delete(key) }
 // Keys implements storage.PersistStore.
 func (f *fencedStore) Keys(prefix string) ([]string, error) { return f.inner.Keys(prefix) }
 
+// ShardCount and Locate forward storage.Sharder when the shared backend
+// is hash-partitioned, so a session's WriteRound still partitions its
+// put fan-out per shard through the fence. An unsharded backend reports
+// a single shard, which writers treat as the unpartitioned path.
+func (f *fencedStore) ShardCount() int {
+	if sh, ok := f.inner.(storage.Sharder); ok {
+		return sh.ShardCount()
+	}
+	return 1
+}
+
+func (f *fencedStore) Locate(key string) int {
+	if sh, ok := f.inner.(storage.Sharder); ok {
+		return sh.Locate(key)
+	}
+	return 0
+}
+
 var (
 	_ storage.PersistStore = (*fencedStore)(nil)
 	_ storage.OwnedPutter  = (*fencedStore)(nil)
 	_ storage.Viewer       = (*fencedStore)(nil)
+	_ storage.Sharder      = (*fencedStore)(nil)
 )

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"testing"
+
+	"moc/internal/storage"
+	"moc/internal/storage/cas"
+	"moc/internal/storage/replica"
+	"moc/internal/storage/shard"
+)
+
+// fleetOverShards builds a 4-shard fixture whose shard 1 is a replica
+// pair with a failable second backend — the per-shard repair scenario.
+func fleetOverShards(t *testing.T, cfg Config) (*Service, *shard.Router, *replica.Flaky) {
+	t.Helper()
+	flaky := replica.NewFlaky(storage.NewMemStore())
+	rep, err := replica.New(storage.NewMemStore(), flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.New(shard.Config{Stores: []storage.PersistStore{
+		storage.NewMemStore(), rep, storage.NewMemStore(), storage.NewMemStore(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := Open(router, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, router, flaky
+}
+
+func TestScrubTracksPerShardHealthAndRepairs(t *testing.T) {
+	svc, _, flaky := fleetOverShards(t, Config{})
+	sess, err := svc.AcquireOrRegister("job", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := sess.Open(cas.Options{ChunkSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(round int) {
+		t.Helper()
+		if _, err := store.WriteRound(round, map[string][]byte{"w": blob(uint64(round), 8<<10)}); err != nil {
+			// Writes may legitimately fail while shard 1's only healthy
+			// path is gone — but here the replica pair keeps one backend
+			// up throughout, so any failure is a bug.
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	write(1)
+	rep, err := svc.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != 4 {
+		t.Fatalf("scrub reported %d shards, want 4: %+v", len(rep.Shards), rep)
+	}
+	if rep.Backends != 5 { // 3 plain + 1 replica pair
+		t.Fatalf("backends = %d, want 5", rep.Backends)
+	}
+	if rep.Down != 0 {
+		t.Fatalf("healthy fleet reports %d down: %+v", rep.Down, rep.Shards)
+	}
+
+	// Shard 1's second replica fails; rounds keep committing through the
+	// surviving replica. The scrub must attribute the outage to shard 1
+	// alone.
+	flaky.Fail()
+	write(2)
+	write(3)
+	rep, err = svc.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Down != 1 || rep.Shards[1].Down != 1 {
+		t.Fatalf("down attribution wrong: %+v", rep.Shards)
+	}
+	for i, ss := range rep.Shards {
+		if i != 1 && ss.Down != 0 {
+			t.Fatalf("shard %d wrongly marked down: %+v", i, ss)
+		}
+	}
+
+	// Heal: the next pass observes the transition on shard 1 and runs
+	// that shard's owed anti-entropy Sync (the startup reconciliation
+	// sync already ran in the first pass, so these copies are from the
+	// outage).
+	flaky.Heal()
+	rep, err = svc.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards[1].Healed != 1 || rep.Healed != 1 {
+		t.Fatalf("heal not attributed to shard 1: %+v", rep.Shards)
+	}
+	if rep.Shards[1].SyncCopies == 0 {
+		t.Fatalf("no anti-entropy copies on the healed shard: %+v", rep.Shards)
+	}
+	if rep.Findings() != 0 {
+		t.Fatalf("findings on an intact fleet: %+v", rep)
+	}
+
+	st, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats shards = %d, want 4", len(st.Shards))
+	}
+	var chunks int
+	var bytes int64
+	for _, ss := range st.Shards {
+		chunks += ss.Chunks
+		bytes += ss.ChunkBytes
+	}
+	if chunks == 0 || bytes == 0 {
+		t.Fatalf("per-shard distribution empty: %+v", st.Shards)
+	}
+	if st.ShardBalance < 1.0 {
+		t.Fatalf("shard balance %f < 1.0", st.ShardBalance)
+	}
+	if st.HealsDetected == 0 || st.SyncCopies == 0 {
+		t.Fatalf("lifetime counters missed the repair: %+v", st)
+	}
+}
+
+// Integrity findings land on the shard whose keyspace they belong to.
+func TestScrubAttributesFindingsToShard(t *testing.T) {
+	svc, router, _ := fleetOverShards(t, Config{})
+	sess, err := svc.AcquireOrRegister("job", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := sess.Open(cas.Options{ChunkSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.WriteRound(1, map[string][]byte{"w": blob(7, 16<<10)}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one stored chunk in place on whatever shard holds it.
+	keys, err := router.Keys(cas.ChunkPrefix)
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("chunk scan: %v (%d keys)", err, len(keys))
+	}
+	victim := keys[0]
+	home := router.Locate(victim)
+	if err := router.Shard(home).Put(victim, []byte("rotten")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", rep.Corrupt)
+	}
+	if rep.Shards[home].Corrupt != 1 {
+		t.Fatalf("corruption not attributed to shard %d: %+v", home, rep.Shards)
+	}
+	st, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards[home].Findings == 0 {
+		t.Fatalf("lifetime findings not attributed to shard %d: %+v", home, st.Shards)
+	}
+}

@@ -64,6 +64,25 @@ type Stats struct {
 	ScrubFindings int64
 	OrphansSeen   int64
 	ScrubErrors   int64
+	// Shards lists per-shard chunk distribution and health when the
+	// shared backend is hash-partitioned (nil otherwise), in router
+	// order; ShardBalance is then max/mean chunk bytes across shards
+	// (1.0 = perfectly even).
+	Shards       []ShardStats
+	ShardBalance float64
+}
+
+// ShardStats is one shard's slice of the fleet's storage and health.
+type ShardStats struct {
+	Name string
+	// Chunks/ChunkBytes count the live chunks routing to this shard
+	// (from the manifest scan — orphans not included).
+	Chunks     int
+	ChunkBytes int64
+	// BackendsDown counts the shard's backends probing unhealthy at the
+	// last scrub; Findings its lifetime integrity findings.
+	BackendsDown int
+	Findings     int64
 }
 
 // Stats computes the fleet summary from the store's manifests and the
@@ -127,9 +146,44 @@ func (s *Service) Stats() (Stats, error) {
 			st.BackendsDown++
 		}
 	}
+	if s.sh != nil {
+		names, states := s.syncShardState()
+		for i, name := range names {
+			ss := ShardStats{Name: name, Findings: states[i].findings}
+			for _, down := range states[i].prevDown {
+				if down {
+					ss.BackendsDown++
+				}
+			}
+			st.BackendsDown += ss.BackendsDown
+			st.Shards = append(st.Shards, ss)
+		}
+	}
 	s.mu.Unlock()
 	if s.rep != nil {
 		st.Repairs = s.rep.Repairs()
+	} else if rp, ok := s.backend.(interface{ Repairs() int64 }); ok {
+		// A shard router sums read-repairs across replicated shards.
+		st.Repairs = rp.Repairs()
+	}
+	if len(st.Shards) > 0 {
+		for h, size := range chunkSize {
+			if i := s.sh.Locate(cas.ChunkKey(h)); i >= 0 && i < len(st.Shards) {
+				st.Shards[i].Chunks++
+				st.Shards[i].ChunkBytes += size
+			}
+		}
+		var maxBytes, total int64
+		for _, ss := range st.Shards {
+			total += ss.ChunkBytes
+			if ss.ChunkBytes > maxBytes {
+				maxBytes = ss.ChunkBytes
+			}
+		}
+		if total > 0 {
+			mean := float64(total) / float64(len(st.Shards))
+			st.ShardBalance = float64(maxBytes) / mean
+		}
 	}
 
 	names := make(map[string]bool)

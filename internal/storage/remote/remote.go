@@ -82,6 +82,14 @@ type Config struct {
 	// cost model. 0 keeps the clock purely virtual.
 	SleepScale float64
 
+	// MaxConcurrent, when positive, caps the requests in flight against
+	// this endpoint; excess requests queue. Real object stores throttle
+	// per-bucket/per-prefix concurrency, which is what makes a single
+	// backend an aggregate bandwidth cap no matter how many client
+	// workers fan in — the bottleneck sharding exists to remove. 0 =
+	// unlimited (each stream gets full bandwidth, as before).
+	MaxConcurrent int
+
 	// Inner is the backing PersistStore holding the objects (default: a
 	// private in-memory map). Costs and faults apply on top of it.
 	Inner storage.PersistStore
@@ -121,7 +129,7 @@ func (c *Config) fillDefaults() error {
 	if c.LatencySeconds < 0 || c.UploadBps <= 0 || c.DownloadBps <= 0 ||
 		c.RequestOverheadBytes < 0 || c.PartSize < 0 || c.PartWorkers < 0 ||
 		c.MaxRetries < 0 || c.BackoffSeconds < 0 || c.BackoffCapSeconds < 0 ||
-		c.SleepScale < 0 {
+		c.SleepScale < 0 || c.MaxConcurrent < 0 {
 		return fmt.Errorf("remote: negative cost-model parameter")
 	}
 	if c.FailureRate < 0 || c.FailureRate >= 1 {
@@ -161,6 +169,10 @@ type Metrics struct {
 // Store is the simulated object store. It is safe for concurrent use.
 type Store struct {
 	cfg Config
+	// sem is the endpoint's in-flight request limiter (nil when
+	// MaxConcurrent is 0): a slot is held for a request's full duration,
+	// sleeps included, like an occupied connection.
+	sem chan struct{}
 
 	mu sync.Mutex
 	// occ counts how often each request identity has been issued, so a
@@ -176,7 +188,11 @@ func New(cfg Config) (*Store, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, occ: make(map[string]uint64)}, nil
+	s := &Store{cfg: cfg, occ: make(map[string]uint64)}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return s, nil
 }
 
 // Metrics returns a copy of the per-op counters.
@@ -231,6 +247,10 @@ func (s *Store) requestCost(payloadBytes int64, bps float64) float64 {
 // the payload volume, bps the stream bandwidth, do the effect applied
 // on the attempt that succeeds. It returns the simulated seconds spent.
 func (s *Store) attempt(identity string, transfer int64, bps float64, counter *int64, do func() error) (float64, error) {
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
 	cost := s.requestCost(transfer, bps)
 	backoff := s.cfg.BackoffSeconds
 	faults := s.faultRNG(identity)

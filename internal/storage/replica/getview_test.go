@@ -1,0 +1,120 @@
+package replica
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"moc/internal/storage"
+	"moc/internal/storage/cas"
+)
+
+// countingViewer wraps a MemStore and counts chunk-key reads by path,
+// so a test can prove which interface a reader actually used.
+type countingViewer struct {
+	*storage.MemStore
+	chunkGets  atomic.Int64
+	chunkViews atomic.Int64
+}
+
+func (c *countingViewer) Get(key string) ([]byte, error) {
+	if strings.HasPrefix(key, cas.ChunkPrefix) {
+		c.chunkGets.Add(1)
+	}
+	return c.MemStore.Get(key)
+}
+
+func (c *countingViewer) GetView(key string) ([]byte, error) {
+	if strings.HasPrefix(key, cas.ChunkPrefix) {
+		c.chunkViews.Add(1)
+	}
+	return c.MemStore.GetView(key)
+}
+
+func TestGetViewFirstHealthyPassthrough(t *testing.T) {
+	r, a, b := newPair(t)
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.GetView("k")
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("getview: %v %q", err, got)
+	}
+	// Replica 0 missing the key: the view read falls through to 1.
+	if err := a.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.GetView("k")
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("getview after delete on first: %v %q", err, got)
+	}
+	// Unlike Get, the view path performs no read-repair write-back.
+	if _, err := a.Get("k"); err == nil {
+		t.Fatal("view read repaired replica 0 — views must not write back")
+	}
+	_ = b
+}
+
+func TestGetViewNotFoundAndFailureSemantics(t *testing.T) {
+	mem := storage.NewMemStore()
+	fl := NewFlaky(storage.NewMemStore())
+	r, err := New(mem, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetView("absent"); err == nil || !strings.Contains(err.Error(), "key not found") {
+		t.Fatalf("want not-found, got %v", err)
+	}
+	fl.Fail()
+	// A down backend might hold the key: its failure must not read as
+	// absence.
+	if _, err := r.GetView("absent"); err == nil || strings.Contains(err.Error(), "key not found") {
+		t.Fatalf("down backend reported as absence: %v", err)
+	}
+	// Flaky passes views through when up, fails them when down.
+	if _, err := fl.GetView("x"); err != ErrBackendDown {
+		t.Fatalf("flaky down getview: %v", err)
+	}
+	fl.Heal()
+	if err := fl.Put("x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fl.GetView("x"); err != nil || string(got) != "y" {
+		t.Fatalf("flaky healed getview: %v %q", err, got)
+	}
+}
+
+// Regression for the zero-copy read gap: recovery through a replicated
+// MemStore must take the view path. Before replica.Store implemented
+// storage.Viewer, the CAS read pipeline silently degraded every chunk
+// fetch to a copying Get whenever replication was on.
+func TestRecoveryThroughReplicatedStoreTakesViewPath(t *testing.T) {
+	first := &countingViewer{MemStore: storage.NewMemStore()}
+	second := &countingViewer{MemStore: storage.NewMemStore()}
+	rep, err := New(first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cas.Open(rep, cas.Options{ChunkSize: 1 << 10, Writer: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("view-path-regression "), 512)
+	if _, err := s.WriteRound(0, map[string][]byte{"mod": payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadModule(0, "mod")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("recovery: %v", err)
+	}
+	if v := first.chunkViews.Load(); v == 0 {
+		t.Fatal("recovery made zero GetView chunk reads through the replica")
+	}
+	if g := first.chunkGets.Load(); g != 0 {
+		t.Fatalf("recovery made %d copying chunk Gets — view path not taken", g)
+	}
+	if second.chunkViews.Load() != 0 || second.chunkGets.Load() != 0 {
+		t.Fatal("first-healthy read touched the second replica")
+	}
+}

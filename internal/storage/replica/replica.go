@@ -165,6 +165,41 @@ func (r *Store) Get(key string) ([]byte, error) {
 	return nil, fmt.Errorf("replica: get %s: %w", key, lastFailure)
 }
 
+// GetView implements storage.Viewer: the first healthy replica holding
+// the key serves the read through its zero-copy path when it has one
+// (plain Get otherwise — a private copy is a valid view). Fall-through
+// semantics mirror Get, but a view read performs no read-repair: repair
+// needs a write-back, and the point of the view path is to move no
+// bytes — converging lagging replicas stays the job of Get and Sync.
+func (r *Store) GetView(key string) ([]byte, error) {
+	var lastFailure error
+	notFound := 0
+	for i, b := range r.backends {
+		var data []byte
+		var err error
+		if v, ok := b.(storage.Viewer); ok {
+			data, err = v.GetView(key)
+		} else {
+			data, err = b.Get(key)
+		}
+		if err == nil {
+			r.note(i, nil)
+			return data, nil
+		}
+		if errors.Is(err, storage.ErrNotFound) {
+			r.note(i, nil) // a healthy miss, not a failure
+			notFound++
+		} else {
+			r.note(i, err)
+			lastFailure = err
+		}
+	}
+	if notFound == len(r.backends) {
+		return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, key)
+	}
+	return nil, fmt.Errorf("replica: getview %s: %w", key, lastFailure)
+}
+
 // Repairs returns the number of read-repair write-backs Get performed.
 func (r *Store) Repairs() int64 {
 	r.mu.Lock()
@@ -356,6 +391,18 @@ func (f *Flaky) Get(key string) ([]byte, error) {
 	return f.inner.Get(key)
 }
 
+// GetView implements storage.Viewer, passing through to the inner
+// store's zero-copy path (or its plain Get — a copy is a valid view).
+func (f *Flaky) GetView(key string) ([]byte, error) {
+	if f.down.Load() {
+		return nil, ErrBackendDown
+	}
+	if v, ok := f.inner.(storage.Viewer); ok {
+		return v.GetView(key)
+	}
+	return f.inner.Get(key)
+}
+
 // Delete implements PersistStore.
 func (f *Flaky) Delete(key string) error {
 	if f.down.Load() {
@@ -377,4 +424,6 @@ var (
 	_ storage.PersistStore = (*Flaky)(nil)
 	_ storage.OwnedPutter  = (*Store)(nil)
 	_ storage.OwnedPutter  = (*Flaky)(nil)
+	_ storage.Viewer       = (*Store)(nil)
+	_ storage.Viewer       = (*Flaky)(nil)
 )

@@ -1,0 +1,128 @@
+// Package shard provides a hash-partitioned PersistStore: a Router
+// spreads keys over N backend shards with a consistent-hash ring, so
+// aggregate persist bandwidth scales with shard count instead of being
+// capped by a single backend. Shards can be added and removed online —
+// the ring remaps only ~1/N of the keyspace per membership change, and
+// Rebalance migrates the affected keys copy-then-delete while reads are
+// served from either location.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count used when a
+// configuration leaves it zero. 128 points per shard keeps the max/min
+// shard load ratio modest (see the balance property test) while ring
+// construction and lookup stay cheap.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring: each shard name owns
+// vnodes points on a 64-bit circle, and a key belongs to the shard
+// owning the first point at or after the key's hash. Immutability is
+// what makes migration reasoning simple — membership changes build a
+// new ring and compare placements across the two.
+type Ring struct {
+	names  []string
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into names
+}
+
+// hashPoint maps an arbitrary string to a position on the circle. The
+// first 8 bytes of a sha256 are uniform enough for both vnode points
+// and keys, and being cryptographic means no chosen workload (e.g.
+// content-addressed chunk keys, themselves hex sha256) clusters.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given shard names. vnodes <= 0 takes
+// DefaultVirtualNodes. Names must be unique and non-empty: a shard's
+// points are derived from its name, so a duplicate name would collapse
+// two shards onto the same arcs.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("shard: empty shard name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("shard: duplicate shard name %q", n)
+		}
+		seen[n] = true
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for i, n := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashPoint(n + "#" + strconv.Itoa(v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break by name so point order — and therefore key
+		// placement — never depends on the order shards were listed.
+		return r.names[r.points[a].shard] < r.names[r.points[b].shard]
+	})
+	return r, nil
+}
+
+// Locate returns the index (into Names) of the shard owning key.
+func (r *Ring) Locate(key string) int {
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point to the first
+	}
+	return r.points[i].shard
+}
+
+// LocateName returns the name of the shard owning key.
+func (r *Ring) LocateName(key string) string { return r.names[r.Locate(key)] }
+
+// Names returns the ring's shard names in index order.
+func (r *Ring) Names() []string { return append([]string(nil), r.names...) }
+
+// VirtualNodes returns the per-shard point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// WithShard returns a new ring with name added; the original is
+// untouched.
+func (r *Ring) WithShard(name string) (*Ring, error) {
+	return NewRing(append(r.Names(), name), r.vnodes)
+}
+
+// WithoutShard returns a new ring with name removed.
+func (r *Ring) WithoutShard(name string) (*Ring, error) {
+	names := r.Names()
+	for i, n := range names {
+		if n == name {
+			return NewRing(append(names[:i], names[i+1:]...), r.vnodes)
+		}
+	}
+	return nil, fmt.Errorf("shard: unknown shard %q", name)
+}

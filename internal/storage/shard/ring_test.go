@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real chunk keys: a hex digest under a prefix.
+		keys[i] = fmt.Sprintf("cas/chunks/%064x", i*2654435761)
+	}
+	return keys
+}
+
+// Balance property: at 128 vnodes the ring spreads a large keyspace so
+// no shard carries wildly more than another.
+func TestRingBalance(t *testing.T) {
+	const keyCount = 20000
+	for _, shards := range []int{2, 4, 8} {
+		names := make([]string, shards)
+		for i := range names {
+			names[i] = fmt.Sprintf("shard-%03d", i)
+		}
+		ring, err := NewRing(names, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, shards)
+		for _, k := range ringKeys(keyCount) {
+			counts[ring.Locate(k)]++
+		}
+		minC, maxC := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if minC == 0 {
+			t.Fatalf("%d shards: a shard received zero keys: %v", shards, counts)
+		}
+		ratio := float64(maxC) / float64(minC)
+		if ratio > 1.7 {
+			t.Errorf("%d shards: max/min load %.2f > 1.7 (counts %v)", shards, ratio, counts)
+		}
+		t.Logf("%d shards @128 vnodes: counts=%v max/min=%.2f", shards, counts, ratio)
+	}
+}
+
+// Minimal-movement property: adding shard N+1 remaps only ~1/(N+1) of
+// keys, and every remapped key moves TO the new shard — consistent
+// hashing never shuffles keys between surviving shards.
+func TestRingMinimalMovement(t *testing.T) {
+	const keyCount = 20000
+	keys := ringKeys(keyCount)
+	for _, n := range []int{3, 4, 7} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("shard-%03d", i)
+		}
+		oldRing, err := NewRing(names, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newName := fmt.Sprintf("shard-%03d", n)
+		newRing, err := oldRing.WithShard(newName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := oldRing.LocateName(k), newRing.LocateName(k)
+			if before == after {
+				continue
+			}
+			if after != newName {
+				t.Fatalf("key %s moved %s -> %s: remap between surviving shards", k, before, after)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(keyCount)
+		limit := 1.5 / float64(n+1)
+		if frac > limit {
+			t.Errorf("%d->%d shards: moved fraction %.3f > %.3f", n, n+1, frac, limit)
+		}
+		if moved == 0 {
+			t.Errorf("%d->%d shards: no keys moved to the new shard", n, n+1)
+		}
+		t.Logf("%d->%d shards: moved %.1f%% (ideal %.1f%%)", n, n+1, 100*frac, 100.0/float64(n+1))
+	}
+}
+
+// Placement must not depend on the order shards are listed — only on
+// their names.
+func TestRingOrderIndependence(t *testing.T) {
+	a, err := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"gamma", "alpha", "beta"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if a.LocateName(k) != b.LocateName(k) {
+			t.Fatalf("key %s placed on %s vs %s under reordered membership", k, a.LocateName(k), b.LocateName(k))
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 128); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 128); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewRing([]string{""}, 128); err == nil {
+		t.Error("empty name accepted")
+	}
+	r, err := NewRing([]string{"a", "b"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WithoutShard("missing"); err == nil {
+		t.Error("removing unknown shard accepted")
+	}
+}

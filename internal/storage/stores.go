@@ -51,6 +51,18 @@ type Viewer interface {
 	GetView(key string) ([]byte, error)
 }
 
+// Sharder is an optional PersistStore extension implemented by
+// hash-partitioned stores. ShardCount reports how many backend shards
+// the store routes over and Locate which of them (0-based) a key maps
+// to. Pipelined writers probe for it to partition their put fan-out per
+// shard — a queue per shard keeps one slow backend from stalling the
+// whole round — and observability surfaces use it to attribute keys to
+// shards without re-hashing.
+type Sharder interface {
+	ShardCount() int
+	Locate(key string) int
+}
+
 // PutNoRetain writes data to s without granting it retention: through
 // PutOwned when s supports it, otherwise through Put with a private
 // copy. It is the bridge wrapper stores use to forward owned buffers to

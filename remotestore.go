@@ -42,6 +42,9 @@ type RemoteConfig struct {
 	// SleepScale > 0 makes operations really sleep simulated-seconds ×
 	// SleepScale; 0 keeps the clock purely virtual (metrics only).
 	SleepScale float64
+	// MaxConcurrent > 0 caps in-flight requests against the endpoint
+	// (per-bucket throttling); excess requests queue. 0 = unlimited.
+	MaxConcurrent int
 }
 
 func (c RemoteConfig) toInternal() remote.Config {
@@ -58,6 +61,7 @@ func (c RemoteConfig) toInternal() remote.Config {
 		BackoffSeconds:       c.BackoffSeconds,
 		BackoffCapSeconds:    c.BackoffCapSeconds,
 		SleepScale:           c.SleepScale,
+		MaxConcurrent:        c.MaxConcurrent,
 	}
 }
 

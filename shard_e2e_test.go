@@ -1,0 +1,206 @@
+package moc_test
+
+// End-to-end acceptance tests for the sharded storage tier through the
+// public API: a fleet over a consistent-hash sharded store (one shard
+// replicated), per-shard scrub health/repair, per-shard stats, and an
+// online grow-and-rebalance with training state surviving throughout.
+
+import (
+	"testing"
+
+	moc "moc"
+)
+
+func TestShardedFleetEndToEnd(t *testing.T) {
+	// Four shards; shard 1 is a replica pair with a failable second
+	// backend, so the per-shard repair path has something to repair.
+	flaky := moc.NewFlakyStore(moc.NewMemStore())
+	repl, err := moc.NewReplicatedStore(moc.NewMemStore(), flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := moc.NewShardedStore(moc.ShardConfig{Shards: []moc.PersistStore{
+		moc.NewMemStore(), repl, moc.NewMemStore(), moc.NewMemStore(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := moc.NewFleet(store, moc.FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	sys, err := f.NewSystem(fleetBaseConfig(), "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ckpt := func(to int) {
+		t.Helper()
+		if _, err := sys.RunTo(to); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.FlushCheckpoints(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt(12)
+
+	rep, err := f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != 4 || rep.Backends != 5 || rep.Down != 0 {
+		t.Fatalf("healthy sharded scrub wrong: %+v", rep)
+	}
+
+	// Shard 1's second replica fails; checkpoints keep landing through
+	// the survivor, and the scrub attributes the outage to shard 1.
+	flaky.Fail()
+	ckpt(16)
+	rep, err = f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Down != 1 || rep.Shards[1].Down != 1 {
+		t.Fatalf("outage not attributed to shard 1: %+v", rep.Shards)
+	}
+
+	// Heal: the next pass runs shard 1's owed anti-entropy Sync alone.
+	flaky.Heal()
+	rep, err = f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards[1].Healed != 1 || rep.Shards[1].SyncCopies == 0 {
+		t.Fatalf("per-shard repair missed: %+v", rep.Shards)
+	}
+
+	st, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats shards = %d, want 4", len(st.Shards))
+	}
+	var chunks int
+	for _, ss := range st.Shards {
+		chunks += ss.Chunks
+	}
+	if chunks == 0 || st.ShardBalance < 1.0 {
+		t.Fatalf("per-shard distribution wrong: %+v (balance %f)", st.Shards, st.ShardBalance)
+	}
+
+	// Recovery reads fan back in across all shards bit-identically.
+	lossBefore, _, err := sys.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InjectFault(); err != nil {
+		t.Fatal(err)
+	}
+	lossAfter, _, err := sys.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossesClose(lossBefore, lossAfter) {
+		t.Fatalf("sharded recovery not bit-identical: loss %v->%v", lossBefore, lossAfter)
+	}
+
+	// Grow online: add a fifth shard and migrate. Consistent hashing
+	// bounds the movement near 1/5 of the keys, and the migration is
+	// serialized against the fleet's writers and GC by the shared guard.
+	if err := store.AddShard("shard-004", moc.NewMemStore()); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Migrating() {
+		t.Fatal("pending membership change not reported")
+	}
+	mig, err := store.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Migrating() {
+		t.Fatal("migration did not retire the old ring")
+	}
+	if frac := mig.MovedFraction(); frac <= 0 || frac > 0.45 {
+		t.Fatalf("moved fraction %.3f outside (0, 0.45]: %+v", frac, mig)
+	}
+
+	// The grown fleet still verifies, recovers, and reports five shards.
+	if _, err := sys.VerifyStorage(); err != nil {
+		t.Fatalf("verify after rebalance: %v", err)
+	}
+	if err := sys.InjectFault(); err != nil {
+		t.Fatalf("recovery after rebalance: %v", err)
+	}
+	ckpt(20)
+	st, err = f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 5 {
+		t.Fatalf("stats shards after grow = %d, want 5", len(st.Shards))
+	}
+	rep, err = f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 0 || rep.Corrupt != 0 {
+		t.Fatalf("post-rebalance scrub findings: %+v", rep)
+	}
+}
+
+// Sharding composes with the rest of the storage stack: remote shards
+// behind one cache tier still form one coherent checkpoint store.
+func TestShardedOverRemoteComposition(t *testing.T) {
+	var shards []moc.PersistStore
+	for i := 0; i < 3; i++ {
+		r, err := moc.NewRemoteStore(moc.RemoteConfig{Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, r)
+	}
+	sharded, err := moc.NewShardedStore(moc.ShardConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := moc.NewCachedStore(sharded, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleetBaseConfig()
+	sys, err := moc.NewSystem(cfg, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.RunTo(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	lossBefore, _, err := sys.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InjectFault(); err != nil {
+		t.Fatal(err)
+	}
+	lossAfter, _, err := sys.Evaluate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lossesClose(lossBefore, lossAfter) {
+		t.Fatalf("recovery through cached sharded remotes: loss %v->%v", lossBefore, lossAfter)
+	}
+}
