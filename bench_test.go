@@ -25,7 +25,10 @@ package moc_test
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	moc "moc"
 	"moc/internal/cluster"
@@ -38,6 +41,7 @@ import (
 	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
 	"moc/internal/storage/fleet"
+	"moc/internal/storage/readserve"
 	"moc/internal/storage/remote"
 	"moc/internal/storage/shard"
 )
@@ -966,6 +970,157 @@ func BenchmarkShardedPersist(b *testing.B) {
 				if shards == 4 && speedup < 2.5 {
 					b.Fatalf("4-shard persist speedup %.2fx below the 2.5x scaling floor (1 shard %.4fs/round, 4 shards %.4fs/round)",
 						speedup, base, secsPerRound[shards])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkZipfRestore(b *testing.B) {
+	// Restore-at-scale under Zipf access skew: N concurrent readers,
+	// round-robined over 8 serving nodes of one read tier, each restore
+	// a Zipf-drawn model (a few hot base models, a long tail) from a
+	// latency-modeled remote that really sleeps (SleepScale=1). The
+	// shared warm tier holds only a third of the working set, so the
+	// hierarchy has to earn its hit ratio; request coalescing absorbs
+	// the reader fan-in. Scaling is asserted in-bench: going 8 → 256
+	// readers (32× the restore load) must grow backend gets by less
+	// than 12× and p99 time-to-restored-model by less than 15×.
+	const (
+		models       = 12
+		modulesPer   = 4
+		moduleBytes  = 1 << 16 // 64 KiB per module, 16 KiB chunks
+		chunkSize    = 1 << 14
+		servingNodes = 8
+		restoresEach = 4
+		zipfSkew     = 1.1
+	)
+	// Seed the remote's bucket once, directly in memory, so setup pays
+	// no simulated cost: model m is round m, content chunk-unique.
+	mem := storage.NewMemStore()
+	seedStore, err := cas.Open(mem, cas.Options{ChunkSize: chunkSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m := 0; m < models; m++ {
+		mods := make(map[string][]byte, modulesPer)
+		for j := 0; j < modulesPer; j++ {
+			mods[fmt.Sprintf("expert.%02d", j)] = uniqueBlob(uint64(m)*100+uint64(j)+7001, moduleBytes)
+		}
+		if _, err := seedStore.WriteRound(m, mods); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	getsPerIter := map[int]float64{}
+	p99ms := map[int]float64{}
+	for _, readers := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("readers_%d", readers), func(b *testing.B) {
+			var totalGets, totalCoalesced, totalPoolCoalesced int64
+			var durations []time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// Fresh stack per iteration: every iteration starts cold, so
+				// per-iteration backend gets are comparable across reader
+				// counts whatever b.N is.
+				rs, err := remote.New(remote.Config{Inner: mem, LatencySeconds: 0.0005, SleepScale: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tier, err := readserve.New(rs, readserve.Config{L1Bytes: 256 << 10, L2Bytes: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pools := make([]*readserve.Pool, servingNodes)
+				for n := range pools {
+					node, err := tier.NewNode()
+					if err != nil {
+						b.Fatal(err)
+					}
+					cs, err := cas.Open(node, cas.Options{ChunkSize: chunkSize})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if pools[n], err = readserve.NewPool(cs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				base := rng.New(uint64(9000 + i))
+				zipfs := make([]*rng.Zipf, readers)
+				for r := range zipfs {
+					zipfs[r] = rng.NewZipf(base.Split(), models, zipfSkew)
+				}
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				errCh := make(chan error, readers)
+				perReader := make([][]time.Duration, readers)
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						pool := pools[r%servingNodes]
+						<-start
+						for k := 0; k < restoresEach; k++ {
+							round := zipfs[r].Next()
+							t0 := time.Now()
+							got, err := pool.ReadRound(round)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if len(got) != modulesPer {
+								errCh <- fmt.Errorf("restored %d modules of round %d", len(got), round)
+								return
+							}
+							perReader[r] = append(perReader[r], time.Since(t0))
+						}
+					}(r)
+				}
+				b.StartTimer()
+				close(start)
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errCh:
+					b.Fatal(err)
+				default:
+				}
+				st := tier.Stats()
+				totalGets += st.BackendGets
+				totalCoalesced += st.L1Coalesced + st.L2Coalesced
+				for _, p := range pools {
+					totalPoolCoalesced += p.Stats().Coalesced
+				}
+				for _, ds := range perReader {
+					durations = append(durations, ds...)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+			q := func(p int) float64 {
+				i := len(durations) * p / 100
+				if i >= len(durations) {
+					i = len(durations) - 1
+				}
+				return durations[i].Seconds() * 1000
+			}
+			gets := float64(totalGets) / float64(b.N)
+			b.ReportMetric(gets, "backend_gets/iter")
+			b.ReportMetric(float64(totalCoalesced)/float64(b.N), "coalesced/iter")
+			b.ReportMetric(float64(totalPoolCoalesced)/float64(b.N), "restores_coalesced/iter")
+			b.ReportMetric(q(50), "p50_ms")
+			b.ReportMetric(q(99), "p99_ms")
+			getsPerIter[readers] = gets
+			p99ms[readers] = q(99)
+			if readers == 256 {
+				if base, ok := getsPerIter[8]; ok && gets >= 12*base {
+					b.Fatalf("backend gets grew 8→256 readers by %.1fx (%.0f → %.0f per iter): not sublinear (linear would be 32x; floor 12x)",
+						gets/base, base, gets)
+				}
+				if basep, ok := p99ms[8]; ok && p99ms[256] > 15*basep {
+					b.Fatalf("p99 time-to-restored-model grew 8→256 readers by %.1fx (%.2fms → %.2fms): beyond the 15x bound",
+						p99ms[256]/basep, basep, p99ms[256])
 				}
 			}
 		})

@@ -9,6 +9,9 @@
 //	mocckpt -dir /path/to/ckpts gc       # refcount GC of superseded state
 //	mocckpt -dir /path/to/ckpts stats    # storage-stack replay: dedup,
 //	                                     # cache hit rate, remote op costs
+//	mocckpt -dir /path/to/ckpts restore  # many-reader restore probe:
+//	                                     # per-tier hit ratios, p50/p99
+//	                                     # time-to-restored-model
 //	mocckpt -dir /path/to/ckpts jobs     # fleet job registry, per-job
 //	                                     # volumes, cross-job dedup ratio
 //	mocckpt -dir /path/to/ckpts -shards 4 shards
@@ -45,6 +48,16 @@
 // store twice, printing the pipeline's cold and unchanged-round MB/s
 // and its stage counters (chunks hashed / written / deduped, modules
 // skipped by the unchanged-module fast path).
+//
+// restore is the read-serving probe: -readers reader nodes — each with
+// a private L1 cache over one shared warm L2 (-l1-mb / -cache-mb) over
+// the directory behind the same object-store cost model — concurrently
+// restore the newest round -restores times each. It prints each tier's
+// hit ratio and coalescing counters, the backend's cold/repeat get
+// split, and the p50/p99 time-to-restored-model across all restores.
+// The remote model really sleeps its simulated cost here (SleepScale 1)
+// so the percentiles reflect the configured latency and bandwidth; use
+// a small -latency-ms for quick probes.
 package main
 
 import (
@@ -56,11 +69,14 @@ import (
 	"strings"
 	"time"
 
+	"sync"
+
 	"moc/internal/core"
 	"moc/internal/storage"
 	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
 	"moc/internal/storage/fleet"
+	"moc/internal/storage/readserve"
 	"moc/internal/storage/remote"
 	"moc/internal/storage/shard"
 )
@@ -69,14 +85,17 @@ func main() {
 	dir := flag.String("dir", "", "checkpoint directory (FSStore root)")
 	shardCount := flag.Int("shards", 0, "open <dir>/shard-000..shard-NNN as one consistent-hash sharded store (0 = unsharded)")
 	writer := flag.String("writer", "", "list/inspect/stats: restrict to one writer's manifests")
-	cacheMB := flag.Int("cache-mb", 64, "stats: LRU chunk-cache capacity in MiB")
-	latencyMS := flag.Float64("latency-ms", 20, "stats: remote per-request latency in ms")
-	uploadMBps := flag.Float64("upload-mbps", 256, "stats: remote upload bandwidth in MiB/s")
-	downloadMBps := flag.Float64("download-mbps", 512, "stats: remote download bandwidth in MiB/s")
+	cacheMB := flag.Int("cache-mb", 64, "stats: LRU chunk-cache capacity in MiB; restore: shared L2 capacity")
+	latencyMS := flag.Float64("latency-ms", 20, "stats/restore: remote per-request latency in ms")
+	uploadMBps := flag.Float64("upload-mbps", 256, "stats/restore: remote upload bandwidth in MiB/s")
+	downloadMBps := flag.Float64("download-mbps", 512, "stats/restore: remote download bandwidth in MiB/s")
+	readers := flag.Int("readers", 8, "restore: concurrent reader nodes")
+	restores := flag.Int("restores", 3, "restore: sequential restores per reader")
+	l1MB := flag.Int("l1-mb", 16, "restore: per-reader L1 cache capacity in MiB")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|jobs|shards}")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|jobs|shards}")
 		os.Exit(2)
 	}
 	// Go's flag parsing stops at the first positional argument, so flags
@@ -139,6 +158,16 @@ func main() {
 			fatal(fmt.Errorf("stats: -cache-mb, -latency-ms, -upload-mbps and -download-mbps must be positive (use a small value like 0.001 to model a near-free remote)"))
 		}
 		if err := stats(store, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps, *writer); err != nil {
+			fatal(err)
+		}
+	case "restore":
+		if *cacheMB <= 0 || *l1MB <= 0 || *latencyMS <= 0 || *uploadMBps <= 0 || *downloadMBps <= 0 {
+			fatal(fmt.Errorf("restore: -cache-mb, -l1-mb, -latency-ms, -upload-mbps and -download-mbps must be positive (use a small value like 0.001 to model a near-free remote)"))
+		}
+		if *readers <= 0 || *restores <= 0 {
+			fatal(fmt.Errorf("restore: -readers and -restores must be positive"))
+		}
+		if err := restoreProbe(store, *readers, *restores, *l1MB, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps); err != nil {
 			fatal(err)
 		}
 	case "gc", "compact":
@@ -708,6 +737,118 @@ func persistProbe(store *cas.Store, manifests []*cas.Manifest) error {
 	fmt.Printf("  pipeline: %d chunks hashed, %d written, %d deduped, %d modules skipped unchanged\n",
 		st.ChunksHashed, st.ChunksWritten, st.ChunksDeduped, st.ModulesUnchanged)
 	return nil
+}
+
+// restoreProbe drives the read-serving tier against the store's newest
+// round: `readers` reader nodes — each a private L1 over one shared
+// warm L2 over the directory behind the object-store cost model —
+// concurrently restore the round `restores` times each. The remote
+// model really sleeps its simulated cost (SleepScale 1), so the printed
+// time-to-restored-model percentiles reflect the configured latency and
+// bandwidth; the tier counters show where each read was absorbed.
+func restoreProbe(fsStore storage.PersistStore, readers, restores, l1MB, l2MB int, latencyMS, uploadMBps, downloadMBps float64) error {
+	rs, err := remote.New(remote.Config{
+		Inner:          fsStore,
+		LatencySeconds: latencyMS / 1000,
+		UploadBps:      uploadMBps * (1 << 20),
+		DownloadBps:    downloadMBps * (1 << 20),
+		SleepScale:     1,
+	})
+	if err != nil {
+		return err
+	}
+	tier, err := readserve.New(rs, readserve.Config{L1Bytes: int64(l1MB) << 20, L2Bytes: int64(l2MB) << 20})
+	if err != nil {
+		return err
+	}
+	// Pick the newest round through the raw directory, without charging
+	// the cost model for the index scan.
+	idx, err := cas.Open(fsStore, cas.Options{})
+	if err != nil {
+		return err
+	}
+	rounds := idx.Rounds()
+	if len(rounds) == 0 {
+		fmt.Println("no checkpoints")
+		return nil
+	}
+	round := rounds[len(rounds)-1]
+
+	pools := make([]*readserve.Pool, readers)
+	for i := range pools {
+		node, err := tier.NewNode()
+		if err != nil {
+			return err
+		}
+		cs, err := cas.Open(node, cas.Options{})
+		if err != nil {
+			return fmt.Errorf("reader %d: %w", i, err)
+		}
+		pool, err := readserve.NewPool(cs)
+		if err != nil {
+			return err
+		}
+		pools[i] = pool
+	}
+
+	var (
+		mu        sync.Mutex
+		durations []time.Duration
+		firstErr  error
+	)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, pool := range pools {
+		wg.Add(1)
+		go func(p *readserve.Pool) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < restores; r++ {
+				t0 := time.Now()
+				_, err := p.ReadRound(round)
+				d := time.Since(t0)
+				mu.Lock()
+				durations = append(durations, d)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(pool)
+	}
+	close(start)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	st := tier.Stats()
+	m := rs.Metrics()
+	fmt.Printf("restore probe: round %06d, %d readers × %d restores (L1 %d MiB/node, L2 %d MiB shared)\n",
+		round, readers, restores, l1MB, l2MB)
+	fmt.Printf("time-to-restored-model: p50 %s  p99 %s  max %s\n",
+		pctl(durations, 50), pctl(durations, 99), durations[len(durations)-1].Round(time.Microsecond))
+	fmt.Printf("L1 (per-reader): %5.1f%% hit ratio (%d hits / %d misses), %d coalesced\n",
+		100*st.L1HitRatio(), st.L1Hits, st.L1Misses, st.L1Coalesced)
+	fmt.Printf("L2 (shared):     %5.1f%% hit ratio (%d hits / %d misses), %d coalesced, %d promotions\n",
+		100*st.L2HitRatio(), st.L2Hits, st.L2Misses, st.L2Coalesced, st.Promotions)
+	fmt.Printf("backend: %d gets (%d cold, %d repeat), %d bytes down, %.3f sim s\n",
+		st.BackendGets, m.ColdGets, m.RepeatGets, m.BytesDownloaded, m.SimSeconds)
+	return nil
+}
+
+// pctl returns the p-th percentile of sorted durations, rounded for
+// display.
+func pctl(sorted []time.Duration, p int) time.Duration {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
 }
 
 func mbps(n int64, d time.Duration) float64 {

@@ -1,0 +1,162 @@
+// Read-serving tier tour: a base model is trained and checkpointed into
+// a simulated object store, then a fleet of serving replicas hydrates
+// from it concurrently — first raw (every replica pays the remote for
+// every chunk), then through the two-level read tier (per-replica L1
+// over one shared warm L2, with request coalescing), where the whole
+// fleet costs the backend one fetch per unique chunk. The tour closes
+// with the restore pool: concurrent restores of the same module subset
+// — the partial-expert read — collapse into a single recovery fan-out.
+//
+//	go run ./examples/read_tier
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	moc "moc"
+)
+
+const replicas = 8
+
+func main() {
+	remote, err := moc.NewRemoteStore(moc.RemoteConfig{
+		LatencySeconds: 0.010,     // 10 ms per request
+		UploadBps:      128 << 20, // 128 MiB/s up, 256 MiB/s down
+		DownloadBps:    256 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the base model and persist its checkpoints straight into
+	// the object store.
+	cfg := moc.Config{
+		Layers: 4, Hidden: 32, Experts: 8, TopK: 2,
+		Vocab: 64, Window: 8, BatchSize: 32,
+		LR: 0.01, Seed: 11,
+		Interval: 10,
+	}
+	base, err := moc.NewSystem(cfg, remote)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := base.RunTo(60); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.FlushCheckpoints(); err != nil {
+		log.Fatal(err)
+	}
+	base.Close()
+	m := remote.Metrics()
+	fmt.Printf("base model persisted: %d puts, %.1f MiB uploaded\n",
+		m.PutOps, float64(m.BytesUploaded)/(1<<20))
+
+	resume := cfg
+	resume.Resume = true
+
+	// Hydrate a serving fleet the naive way: every replica resumes the
+	// checkpoint directly against the object store, so N replicas pay
+	// for every chunk N times — the RepeatGets column is the waste.
+	before := remote.Metrics()
+	hydrate(func(int) (moc.PersistStore, error) { return remote, nil }, resume)
+	after := remote.Metrics()
+	fmt.Printf("\n%d replicas, no read tier: %d remote gets (%d cold, %d repeat), %.1f MiB down, %.2f simulated s\n",
+		replicas, after.GetOps-before.GetOps,
+		after.ColdGets-before.ColdGets, after.RepeatGets-before.RepeatGets,
+		float64(after.BytesDownloaded-before.BytesDownloaded)/(1<<20),
+		after.SimSeconds-before.SimSeconds)
+
+	// The same hydration through the read tier: each replica gets a
+	// node (private L1) over one shared warm L2; concurrent fetches of
+	// one chunk coalesce into a single backend get fleet-wide.
+	tier, err := moc.NewReadTier(remote, moc.ReadTierConfig{L1Bytes: 8 << 20, L2Bytes: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before = remote.Metrics()
+	hydrate(func(int) (moc.PersistStore, error) { return tier.NewNode() }, resume)
+	after = remote.Metrics()
+	ts := tier.Stats()
+	fmt.Printf("%d replicas, read tier:    %d remote gets (%d repeat), %.1f MiB down, %.2f simulated s\n",
+		replicas, after.GetOps-before.GetOps, after.RepeatGets-before.RepeatGets,
+		float64(after.BytesDownloaded-before.BytesDownloaded)/(1<<20),
+		after.SimSeconds-before.SimSeconds)
+	fmt.Printf("  L1 %.0f%% hit ratio, L2 %.0f%% hit ratio, %d coalesced reads, %d promotions, %d backend gets\n",
+		100*ts.L1HitRatio(), 100*ts.L2HitRatio(), ts.L1Coalesced+ts.L2Coalesced, ts.Promotions, ts.BackendGets)
+
+	// Partial-expert restore: a server pulling a module subset fetches
+	// those modules' chunks and nothing else, and concurrent identical
+	// restores coalesce into one recovery at the pool level.
+	node, err := tier.NewNode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := moc.NewRestorePool(node, moc.StoreTuning{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds := pool.Rounds()
+	round := rounds[len(rounds)-1]
+	names := pool.Modules(round)
+	subset := names[:(len(names)+3)/4]
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	var bytes int64
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := pool.ReadModules(round, subset)
+			if err != nil {
+				once.Do(func() { firstErr = err })
+				return
+			}
+			var n int64
+			for _, blob := range got {
+				n += int64(len(blob))
+			}
+			once.Do(func() { bytes = n })
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+	ps := pool.Stats()
+	fmt.Printf("\nsubset restore: %d of %d modules (%.1f KiB) from round %d, %d concurrent restores -> %d coalesced (%d recoveries ran)\n",
+		len(subset), len(names), float64(bytes)/(1<<10), round,
+		ps.Restores, ps.Coalesced, ps.Restores-ps.Coalesced)
+}
+
+// hydrate resumes the checkpoint on `replicas` concurrent Systems, each
+// over the store the factory hands it.
+func hydrate(storeFor func(i int) (moc.PersistStore, error), resume moc.Config) {
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas)
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			store, err := storeFor(i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sys, err := moc.NewSystem(resume, store)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sys.Close()
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		log.Fatal(err)
+	default:
+	}
+}

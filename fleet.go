@@ -26,6 +26,15 @@ type FleetConfig struct {
 	// ScrubChunksPerPass bounds the chunk content verification of one
 	// scrub pass (default 128; negative disables the sweep).
 	ScrubChunksPerPass int
+	// ReadTier, when non-nil, fronts the shared store with the
+	// read-serving cache hierarchy: each job gets a private L1 over one
+	// fleet-shared warm L2, and every chunk read is coalesced, so forks
+	// hydrating a common base model fetch each of its chunks from the
+	// backend once fleet-wide. Only immutable content-addressed chunks
+	// are cached — manifests and registry records always read the store
+	// directly — and the fleet GC drops both cache levels after every
+	// sweep.
+	ReadTier *ReadTierConfig
 }
 
 // FleetJob is one registered job's identity and lease state.
@@ -83,6 +92,9 @@ type FleetStats struct {
 	// (1.0 = perfectly even).
 	Shards       []FleetShardStats
 	ShardBalance float64
+	// ReadTier reports the read-serving cache hierarchy's counters when
+	// FleetConfig.ReadTier is set (nil otherwise).
+	ReadTier *ReadTierStats
 }
 
 // FleetShardStats is one shard's slice of the fleet's storage and
@@ -134,10 +146,15 @@ type Fleet struct {
 // persisted in the store itself — survives restarts, so reopening a
 // fleet over an existing store resumes its jobs.
 func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
-	svc, err := fleet.Open(store, fleet.Config{
+	fc := fleet.Config{
 		LeaseTTL:           cfg.LeaseTTL,
 		ScrubChunksPerPass: cfg.ScrubChunksPerPass,
-	})
+	}
+	if cfg.ReadTier != nil {
+		rc := cfg.ReadTier.toInternal()
+		fc.ReadTier = &rc
+	}
+	svc, err := fleet.Open(store, fc)
 	if err != nil {
 		return nil, err
 	}
@@ -245,6 +262,10 @@ func (f *Fleet) Stats() (FleetStats, error) {
 		HealsDetected:         st.HealsDetected,
 		ScrubFindings:         st.ScrubFindings,
 		ShardBalance:          st.ShardBalance,
+	}
+	if st.ReadTier != nil {
+		rs := readTierStatsFrom(*st.ReadTier)
+		out.ReadTier = &rs
 	}
 	for _, ss := range st.Shards {
 		out.Shards = append(out.Shards, FleetShardStats{

@@ -152,6 +152,55 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s — the access skew of real read traffic (a few hot base
+// models, a long tail). Implemented as inverse-CDF over a precomputed
+// table: O(n) to build, O(log n) per sample, deterministic given the
+// generator. Like the RNG itself it is not safe for concurrent use;
+// give each reader its own (Split the parent generator).
+type Zipf struct {
+	r   *RNG
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics on
+// n <= 0 or s <= 0 (s ≈ 1 is the classic web-object distribution;
+// larger s is more skew).
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: Zipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against float round-down at the tail
+	return &Zipf{r: r, cdf: cdf}
+}
+
+// Next draws a rank in [0, n); rank 0 is the most popular.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Exp returns an exponential variate with the given rate (mean 1/rate).
 // Used by Poisson fault schedules.
 func (r *RNG) Exp(rate float64) float64 {

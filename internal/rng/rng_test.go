@@ -215,3 +215,61 @@ func TestFillDeterministicDistinctAndOddLengths(t *testing.T) {
 		t.Fatal("tail bytes left unwritten")
 	}
 }
+
+func TestZipfDeterministicAndBounded(t *testing.T) {
+	const n = 64
+	a := NewZipf(New(7), n, 1.1)
+	b := NewZipf(New(7), n, 1.1)
+	for i := 0; i < 4096; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+		if x < 0 || x >= n {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+	}
+}
+
+func TestZipfSkewFavorsLowRanks(t *testing.T) {
+	// Under s=1.1 over 32 ranks, rank 0 should draw roughly a quarter of
+	// the mass — strictly more than any other rank, and far more than
+	// the tail.
+	const n, draws = 32, 100000
+	z := NewZipf(New(123), n, 1.1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for r := 1; r < n; r++ {
+		if counts[r] > counts[0] {
+			t.Fatalf("rank %d drawn %d times, more than rank 0's %d", r, counts[r], counts[0])
+		}
+	}
+	if counts[0] < draws/8 {
+		t.Fatalf("rank 0 drew only %d of %d — not Zipf-skewed", counts[0], draws)
+	}
+	tail := 0
+	for r := n / 2; r < n; r++ {
+		tail += counts[r]
+	}
+	if tail >= counts[0] {
+		t.Fatalf("tail half drew %d, rank 0 drew %d — skew too flat", tail, counts[0])
+	}
+}
+
+func TestZipfRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1.1}, {-3, 1.1}, {8, 0}, {8, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(n=%d, s=%v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}

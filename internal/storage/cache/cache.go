@@ -22,7 +22,13 @@ import (
 type Stats struct {
 	// Hits / Misses count Gets served from memory vs. the backend.
 	Hits, Misses int64
+	// Coalesced counts the subset of Misses served by attaching to
+	// another reader's in-flight backend fetch instead of issuing their
+	// own (singleflight), so backend gets = Misses − Coalesced.
+	Coalesced int64
 	// HitBytes / MissBytes are the corresponding payload volumes.
+	// MissBytes counts backend transfer volume, so a coalesced miss
+	// contributes nothing — its bytes moved once, on the leader's fetch.
 	HitBytes, MissBytes int64
 	// Insertions counts entries admitted; Evictions entries pushed out
 	// by the capacity bound (Delete removals are not evictions).
@@ -64,6 +70,20 @@ type Store struct {
 	// rare (the GC sweep), so skipping the occasional unrelated fill is
 	// the cheap conservative side.
 	delGen uint64
+	// flights tracks the in-flight backend fetch per missing key, so
+	// concurrent misses of one key coalesce into a single inner Get
+	// (singleflight) instead of a thundering herd of identical fetches.
+	flights map[string]*flight
+}
+
+// flight is one in-flight backend fetch that concurrent misses of the
+// same key attach to. Once done is closed, data and err are immutable:
+// view readers may hand data out directly, Get readers copy from it.
+type flight struct {
+	done    chan struct{}
+	waiters int
+	data    []byte
+	err     error
 }
 
 // New wraps a backend with an LRU cache bounded at capacityBytes.
@@ -79,6 +99,7 @@ func New(inner storage.PersistStore, capacityBytes int64) (*Store, error) {
 		capacity: capacityBytes,
 		ll:       list.New(),
 		index:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
 	}, nil
 }
 
@@ -172,38 +193,28 @@ func (c *Store) PutOwned(key string, data []byte) error {
 // verify-and-reassemble pass. Cached slices are replaced on update,
 // never mutated (see insert), so outstanding views survive eviction and
 // overwrite intact. Misses fall through to the backend, admit the
-// value, and return the backend's copy.
+// value, and return the backend's copy. Concurrent misses of one key
+// coalesce into a single backend fetch (see read).
 func (c *Store) GetView(key string) ([]byte, error) {
-	c.mu.Lock()
-	if el, ok := c.index[key]; ok {
-		e := el.Value.(*entry)
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		c.stats.HitBytes += int64(len(e.data))
-		data := e.data
-		c.mu.Unlock()
-		return data, nil
-	}
-	c.stats.Misses++
-	gen := c.delGen
-	c.mu.Unlock()
-
-	data, err := c.inner.Get(key)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.stats.MissBytes += int64(len(data))
-	if gen == c.delGen {
-		c.insert(key, data)
-	}
-	c.mu.Unlock()
-	return data, nil
+	return c.read(key, true)
 }
 
 // Get implements storage.PersistStore: read-through. Hits are served
 // from memory; misses fetch from the backend and admit the value.
+// Concurrent misses of one key coalesce into a single backend fetch.
 func (c *Store) Get(key string) ([]byte, error) {
+	return c.read(key, false)
+}
+
+// read is the shared Get/GetView path. Hits serve from memory. The
+// first miss of a key becomes the flight leader and fetches from the
+// backend; concurrent misses of the same key attach to that flight and
+// share its result (singleflight), so N readers of one cold chunk cost
+// one backend get. A flight's result slice is immutable once published:
+// view readers hand it out directly (the do-not-modify contract), Get
+// readers each take a private copy — except a leader with no waiters,
+// which owns the backend's slice outright.
+func (c *Store) read(key string, view bool) ([]byte, error) {
 	c.mu.Lock()
 	if el, ok := c.index[key]; ok {
 		e := el.Value.(*entry)
@@ -216,23 +227,73 @@ func (c *Store) Get(key string) ([]byte, error) {
 		// serialize behind each other's memcpy.
 		data := e.data
 		c.mu.Unlock()
+		if view {
+			return data, nil
+		}
 		return append([]byte(nil), data...), nil
 	}
 	c.stats.Misses++
+	if f := c.flights[key]; f != nil {
+		c.stats.Coalesced++
+		f.waiters++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		if view {
+			return f.data, nil
+		}
+		return append([]byte(nil), f.data...), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
 	gen := c.delGen
 	c.mu.Unlock()
 
 	data, err := c.inner.Get(key)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	waited := f.waiters // final: no new waiter can attach once unmapped
+	if err == nil {
+		c.stats.MissBytes += int64(len(data))
+		if gen == c.delGen {
+			c.insert(key, data)
+		}
+	}
+	c.mu.Unlock()
+	// Publish to the waiters; the channel close is the memory barrier.
+	f.data, f.err = data, err
+	close(f.done)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.stats.MissBytes += int64(len(data))
-	if gen == c.delGen {
-		c.insert(key, data)
+	if view || waited == 0 {
+		return data, nil
 	}
-	c.mu.Unlock()
-	return data, nil
+	// Waiters share the flight's slice; a Get caller owns its result,
+	// so the leader copies exactly like its waiters do.
+	return append([]byte(nil), data...), nil
+}
+
+// GetCached returns the cached value as a view without consulting the
+// backend: a hit counts (and refreshes recency) exactly like GetView; a
+// miss counts nothing and reports false — the caller decides what a
+// miss means. The read tier uses this to tell an L2 promotion apart
+// from a cold backend fetch.
+func (c *Store) GetCached(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	c.stats.HitBytes += int64(len(e.data))
+	return e.data, true
 }
 
 // Delete implements storage.PersistStore, dropping the cached copy
@@ -246,6 +307,19 @@ func (c *Store) Delete(key string) error {
 	c.delGen++
 	c.mu.Unlock()
 	return c.inner.Delete(key)
+}
+
+// Invalidate drops the cached copy of key (if resident) without
+// touching the backend, bumping the delete generation so an in-flight
+// miss fill cannot resurrect it. The read tier uses it to propagate a
+// chunk delete to every node's L1.
+func (c *Store) Invalidate(key string) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.removeElement(el)
+	}
+	c.delGen++
+	c.mu.Unlock()
 }
 
 // Keys implements storage.PersistStore, passing through to the backend

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"moc/internal/storage"
 )
@@ -367,5 +369,283 @@ func TestGetViewMissFillsAndAdmits(t *testing.T) {
 	}
 	if _, err := c.GetView("absent"); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("GetView(absent) = %v", err)
+	}
+}
+
+// blockingStore parks every Get until release is closed, counting how
+// many backend fetches actually ran — the ground truth a coalescing
+// test asserts against.
+type blockingStore struct {
+	storage.PersistStore
+	release chan struct{}
+	gets    atomic.Int64
+}
+
+func (b *blockingStore) Get(key string) ([]byte, error) {
+	b.gets.Add(1)
+	<-b.release
+	return b.PersistStore.Get(key)
+}
+
+// waitFor polls cond until it holds or the test deadline is blown.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentMissesCoalesceIntoOneBackendGet(t *testing.T) {
+	// N concurrent readers of one cold key must cost the backend exactly
+	// one Get: the first miss leads the flight, the rest attach to it.
+	inner := storage.NewMemStore()
+	payload := []byte("cold chunk payload")
+	if err := inner.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	b := &blockingStore{PersistStore: inner, release: make(chan struct{})}
+	c := mustNew(t, b, 1<<20)
+
+	const readers = 64
+	results := make(chan []byte, readers)
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		view := i%2 == 0 // both read paths share the flight
+		go func() {
+			var got []byte
+			var err error
+			if view {
+				got, err = c.GetView("k")
+			} else {
+				got, err = c.Get("k")
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- got
+		}()
+	}
+	// The leader registers its flight before releasing the lock, so by
+	// the time all N misses are counted the other N−1 readers have
+	// attached to it. Only then does the backend fetch complete.
+	waitFor(t, func() bool { return c.Stats().Misses == readers })
+	close(b.release)
+	for i := 0; i < readers; i++ {
+		select {
+		case got := <-results:
+			if !bytes.Equal(got, payload) {
+				t.Fatal("payload mismatch")
+			}
+		case err := <-errs:
+			t.Fatal(err)
+		}
+	}
+	if n := b.gets.Load(); n != 1 {
+		t.Fatalf("backend gets = %d, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != readers || st.Coalesced != readers-1 {
+		t.Fatalf("misses/coalesced = %d/%d, want %d/%d", st.Misses, st.Coalesced, readers, readers-1)
+	}
+	// MissBytes counts backend transfer volume: one fetch, one payload.
+	if st.MissBytes != int64(len(payload)) {
+		t.Fatalf("MissBytes = %d, want %d (leader only)", st.MissBytes, len(payload))
+	}
+	if st.Insertions != 1 {
+		t.Fatalf("insertions = %d, want 1", st.Insertions)
+	}
+}
+
+func TestCoalescedMissesShareTheLeaderError(t *testing.T) {
+	// Waiters attached to a failed flight all see the leader's error and
+	// nothing is admitted; the next read retries the backend fresh.
+	inner := storage.NewMemStore() // "missing" never written
+	b := &blockingStore{PersistStore: inner, release: make(chan struct{})}
+	c := mustNew(t, b, 1<<20)
+
+	const readers = 8
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		go func() {
+			_, err := c.Get("missing")
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return c.Stats().Misses == readers })
+	close(b.release)
+	for i := 0; i < readers; i++ {
+		if err := <-errs; !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("coalesced miss error = %v, want ErrNotFound", err)
+		}
+	}
+	if n := b.gets.Load(); n != 1 {
+		t.Fatalf("backend gets = %d, want 1", n)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Insertions != 0 {
+		t.Fatalf("failed flight admitted an entry: %+v", st)
+	}
+	// The flight is gone: a later read issues its own fetch.
+	if _, err := c.Get("missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if n := b.gets.Load(); n != 2 {
+		t.Fatalf("post-flight read did not reach the backend: gets = %d", n)
+	}
+}
+
+func TestGetCachedPeeksWithoutBackend(t *testing.T) {
+	inner := storage.NewMemStore()
+	if err := inner.Put("k", []byte("vv")); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, inner, 1<<20)
+	// A cold GetCached reports false and counts nothing — the caller
+	// decides what a miss means, so it must not skew the hit ratio.
+	if _, ok := c.GetCached("k"); ok {
+		t.Fatal("cold cache reported a hit")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("GetCached miss counted: %+v", st)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.GetCached("k")
+	if !ok || !bytes.Equal(v, []byte("vv")) {
+		t.Fatalf("GetCached after fill = %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.HitBytes != 2 {
+		t.Fatalf("GetCached hit not counted like a view hit: %+v", st)
+	}
+}
+
+func TestInvalidateDropsWithoutBackendDelete(t *testing.T) {
+	inner := storage.NewMemStore()
+	if err := inner.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, inner, 1<<20)
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("k")
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("Invalidate left residency: %+v", st)
+	}
+	if _, err := inner.Get("k"); err != nil {
+		t.Fatal("Invalidate must not touch the backend")
+	}
+	// The key refills from the still-live backend copy.
+	got, err := c.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("refill after Invalidate: %q %v", got, err)
+	}
+}
+
+func TestInvalidateDuringMissFillIsNotResurrected(t *testing.T) {
+	// The cache-only twin of the delete-during-fill race: an Invalidate
+	// landing between the backend fetch and the admission must win.
+	inner := storage.NewMemStore()
+	if err := inner.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	hooked := &hookStore{PersistStore: inner}
+	c := mustNew(t, hooked, 1<<20)
+	fired := false
+	hooked.onGet = func(string) {
+		if !fired {
+			fired = true
+			c.Invalidate("k")
+		}
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("invalidated key resurrected into the cache: %+v", st)
+	}
+}
+
+func TestConcurrentReadersDeletersUnderEvictionPressure(t *testing.T) {
+	// Hammers every public entry point over a cache that can hold only a
+	// quarter of the working set, so each fill races evictions, deletes,
+	// and coalesced flights. Run under -race this locks in the delGen
+	// guard and flight accounting; without it, the residency invariants
+	// at the bottom do.
+	inner := storage.NewMemStore()
+	const (
+		keys    = 32
+		valSize = 64
+		workers = 8
+		iters   = 400
+	)
+	key := func(i int) string { return fmt.Sprintf("k%02d", i) }
+	val := func(i int) []byte { return bytes.Repeat([]byte{byte('a' + i%26)}, valSize) }
+	for i := 0; i < keys; i++ {
+		if err := inner.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := mustNew(t, inner, keys/4*valSize)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := (w*7 + i*13) % keys
+				k := key(n)
+				switch i % 5 {
+				case 0:
+					if err := c.Put(k, val(n)); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if err := c.Delete(k); err != nil && !errors.Is(err, storage.ErrNotFound) {
+						t.Error(err)
+					}
+				case 2:
+					c.Invalidate(k)
+				case 3:
+					if v, err := c.GetView(k); err == nil && !bytes.Equal(v, val(n)) {
+						t.Errorf("GetView(%s) corrupt", k)
+					} else if err != nil && !errors.Is(err, storage.ErrNotFound) {
+						t.Error(err)
+					}
+				default:
+					if v, err := c.Get(k); err == nil && !bytes.Equal(v, val(n)) {
+						t.Errorf("Get(%s) corrupt", k)
+					} else if err != nil && !errors.Is(err, storage.ErrNotFound) {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Bytes > st.Capacity {
+		t.Fatalf("residency %d exceeds capacity %d", st.Bytes, st.Capacity)
+	}
+	if st.Misses-st.Coalesced < 0 {
+		t.Fatalf("more coalesced than misses: %+v", st)
+	}
+	// The storm deleted arbitrary keys; restore and verify every payload
+	// round-trips through the post-storm cache.
+	for i := 0; i < keys; i++ {
+		if err := c.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("post-storm read of %s: %v", key(i), err)
+		}
 	}
 }

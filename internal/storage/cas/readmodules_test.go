@@ -1,0 +1,125 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"moc/internal/storage"
+)
+
+// chunkCounter counts backend Gets of chunk keys, so subset-restore
+// tests can assert how much of the round a read actually fetched.
+type chunkCounter struct {
+	storage.PersistStore
+	chunkGets atomic.Int64
+}
+
+func (c *chunkCounter) Get(key string) ([]byte, error) {
+	if strings.HasPrefix(key, ChunkPrefix) {
+		c.chunkGets.Add(1)
+	}
+	return c.PersistStore.Get(key)
+}
+
+func TestReadModulesSubsetRestore(t *testing.T) {
+	counter := &chunkCounter{PersistStore: storage.NewMemStore()}
+	s, err := Open(counter, Options{ChunkSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct payloads so the modules share no chunks: the subset read
+	// below must fetch strictly less than the whole round.
+	modules := map[string][]byte{
+		"w0/embed":    payload(1, 8192),
+		"w0/expert.0": payload(2, 8192),
+		"w0/expert.1": payload(3, 8192),
+		"w0/expert.2": payload(4, 8192),
+	}
+	if _, err := s.WriteRound(7, modules); err != nil {
+		t.Fatal(err)
+	}
+
+	counter.chunkGets.Store(0)
+	got, err := s.ReadModules(7, []string{"w0/embed", "w0/expert.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("subset restore returned %d modules, want 2", len(got))
+	}
+	for _, name := range []string{"w0/embed", "w0/expert.1"} {
+		if !bytes.Equal(got[name], modules[name]) {
+			t.Fatalf("module %s corrupt in subset restore", name)
+		}
+	}
+	subsetGets := counter.chunkGets.Load()
+
+	counter.chunkGets.Store(0)
+	full, err := s.ReadRound(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(modules) {
+		t.Fatalf("full restore returned %d modules, want %d", len(full), len(modules))
+	}
+	fullGets := counter.chunkGets.Load()
+	// The partial-expert read pays for the requested modules' chunks and
+	// nothing else — here half the modules, so half the chunk traffic.
+	if subsetGets == 0 || subsetGets*2 != fullGets {
+		t.Fatalf("subset fetched %d chunks, full round %d; want exactly half", subsetGets, fullGets)
+	}
+}
+
+func TestReadModulesMissingModule(t *testing.T) {
+	s, _ := testStore(t, Options{ChunkSize: 1024})
+	if _, err := s.WriteRound(1, map[string][]byte{"w0/a": payload(1, 2048)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadModules(1, []string{"w0/a", "w0/ghost"}); !errors.Is(err, ErrModuleNotFound) {
+		t.Fatalf("missing module error = %v, want ErrModuleNotFound", err)
+	}
+	if _, err := s.ReadModules(99, []string{"w0/a"}); err == nil {
+		t.Fatal("restore from an uncommitted round succeeded")
+	}
+}
+
+func TestReadModulesLastManifestWins(t *testing.T) {
+	// Two writers persist the same module name in one round; the reader
+	// must see the newest committed manifest's version, matching
+	// ReadRound's precedence.
+	backend := storage.NewMemStore()
+	s1, err := Open(backend, Options{ChunkSize: 1024, Writer: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.WriteRound(4, map[string][]byte{"shared/m": payload(1, 2048)}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(backend, Options{ChunkSize: 1024, Writer: "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload(9, 2048)
+	if _, err := s2.WriteRound(4, map[string][]byte{"shared/m": want}); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := Open(backend, Options{ChunkSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.ReadModules(4, []string{"shared/m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := reader.ReadRound(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got["shared/m"], full["shared/m"]) {
+		t.Fatal("ReadModules and ReadRound disagree on manifest precedence")
+	}
+}

@@ -772,6 +772,46 @@ func (s *Store) ReadModule(round int, module string) ([]byte, error) {
 	return out[module], nil
 }
 
+// ReadModules reassembles only the named modules from a round, sharing
+// one bounded ReadWorkers fan-out across all of them — the partial
+// restore of the PEC read path: the requested experts' chunks are
+// fetched, nothing else. Writer precedence matches ReadModule (when
+// several writers persisted one name, writer order decides). A
+// requested module absent from the round fails with ErrModuleNotFound;
+// duplicate names are read once.
+func (s *Store) ReadModules(round int, modules []string) (map[string][]byte, error) {
+	want := make(map[string]bool, len(modules))
+	for _, m := range modules {
+		want[m] = true
+	}
+	s.mu.Lock()
+	entryOf := make(map[string]*ModuleEntry, len(want))
+	order := make([]string, 0, len(want))
+	for _, m := range s.manifests[round] {
+		for i := range m.Modules {
+			e := &m.Modules[i]
+			if !want[e.Module] {
+				continue
+			}
+			if _, seen := entryOf[e.Module]; !seen {
+				order = append(order, e.Module)
+			}
+			entryOf[e.Module] = e
+		}
+	}
+	s.mu.Unlock()
+	for _, m := range modules {
+		if entryOf[m] == nil {
+			return nil, fmt.Errorf("%w: %s@%06d", ErrModuleNotFound, m, round)
+		}
+	}
+	entries := make([]*ModuleEntry, 0, len(order))
+	for _, name := range order {
+		entries = append(entries, entryOf[name])
+	}
+	return s.entryTasks(round, entries)
+}
+
 // ReadRound reassembles every module committed for a round, across all
 // writers (when several writers persisted the same module, writer order
 // decides, matching ReadModule). All modules' chunk fetches share one

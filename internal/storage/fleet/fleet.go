@@ -36,6 +36,7 @@ import (
 
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/readserve"
 )
 
 const jobPrefix = "fleet/jobs/"
@@ -77,6 +78,15 @@ type Config struct {
 	// Now supplies the clock (default time.Now) — tests drive lease
 	// expiry deterministically through it.
 	Now func() time.Time
+	// ReadTier, when non-nil, puts a read-serving cache hierarchy in
+	// front of the shared backend: every session's chunk reads route
+	// through a per-job L1 over one fleet-shared warm L2 with request
+	// coalescing, so forks hydrating a common base model fetch each of
+	// its chunks from the backend once, fleet-wide. Only immutable
+	// cas/chunks/ keys are cached — manifests and fleet records always
+	// read the backend directly — and Retain drops both cache levels
+	// after every sweep, so the tier never serves a collected chunk.
+	ReadTier *readserve.Config
 }
 
 func (c *Config) fillDefaults() {
@@ -180,6 +190,11 @@ type Service struct {
 	admin *cas.Store
 	rep   repairable // nil when the backend is not replicated
 	sh    sharded    // nil when the backend is not sharded
+	// tier is the read-serving cache hierarchy (nil unless
+	// Config.ReadTier is set); tierNodes maps job id → that job's L1
+	// handle, reused across re-acquires so adoption does not leak nodes.
+	tier      *readserve.Tier
+	tierNodes map[string]*readserve.Node
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -225,6 +240,14 @@ func Open(backend storage.PersistStore, cfg Config) (*Service, error) {
 		jobs:     make(map[string]*Job),
 		sessions: make(map[string]*Session),
 		jobLocks: make(map[string]*sync.Mutex),
+	}
+	if cfg.ReadTier != nil {
+		tier, err := readserve.New(backend, *cfg.ReadTier)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: read tier: %w", err)
+		}
+		s.tier = tier
+		s.tierNodes = make(map[string]*readserve.Node)
 	}
 	admin, err := cas.Open(backend, cas.Options{Writer: adminWriter, Shared: s.shared, Guard: &s.guard})
 	if err != nil {
@@ -474,10 +497,42 @@ func (s *Service) acquire(id string, force bool) (*Session, error) {
 		return nil, err
 	}
 	sess := &Session{svc: s, id: id, writer: j.Writer, epoch: j.Epoch}
+	if s.tier != nil {
+		node, err := s.jobNode(id)
+		if err != nil {
+			return nil, err
+		}
+		sess.node = node
+	}
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	return sess, nil
+}
+
+// jobNode returns the job's read-tier L1 handle, creating it on first
+// acquire and reusing it afterwards — an adopted job keeps its node's
+// warm cache, and repeated re-acquires do not grow the tier.
+func (s *Service) jobNode(id string) (*readserve.Node, error) {
+	s.mu.Lock()
+	node := s.tierNodes[id]
+	s.mu.Unlock()
+	if node != nil {
+		return node, nil
+	}
+	// NewNode outside s.mu (lock ordering: never hold s.mu across other
+	// locks); a racing double-create keeps the first registered node.
+	fresh, err := s.tier.NewNode()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read tier node for %q: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing := s.tierNodes[id]; existing != nil {
+		return existing, nil
+	}
+	s.tierNodes[id] = fresh
+	return fresh, nil
 }
 
 // AcquireOrRegister registers the job if absent (with the given parent)
@@ -582,6 +637,12 @@ func (s *Service) Retain() (cas.GCStats, error) {
 	st, err := s.admin.RetainScoped(live, keepEmpty) // write-locks the guard
 	if err != nil {
 		return st, err
+	}
+	// The collection deleted chunks through the admin handle, below the
+	// read tier's caches; drop both levels so no session is served a
+	// swept chunk. Conservative — the next reads re-warm the tiers.
+	if s.tier != nil {
+		s.tier.Drop()
 	}
 	// Session stores cached manifests the collection may have rewritten;
 	// refresh them so no job serves dropped entries from cache.

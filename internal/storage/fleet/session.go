@@ -7,6 +7,7 @@ import (
 
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
+	"moc/internal/storage/readserve"
 )
 
 // Session is one job's write handle on the fleet: the lease epoch it is
@@ -18,6 +19,7 @@ type Session struct {
 	id       string
 	writer   string
 	epoch    int64
+	node     *readserve.Node // job's read-tier L1 (nil without a tier)
 	released atomic.Bool
 
 	mu     sync.Mutex
@@ -48,9 +50,11 @@ func (se *Session) Release() error {
 // Backend returns the shared backend wrapped with the session's fence:
 // manifest commits are refused once the lease epoch is superseded, so
 // an adopted job's previous writer fails cleanly instead of splitting
-// the lineage. All other keys pass through untouched.
+// the lineage. When the service runs a read tier, immutable chunk keys
+// additionally route through the job's L1 node — caching and
+// coalescing — while every other key passes through untouched.
 func (se *Session) Backend() storage.PersistStore {
-	return &fencedStore{sess: se, inner: se.svc.backend}
+	return &fencedStore{sess: se, inner: se.svc.backend, node: se.node}
 }
 
 // Options injects the session's fleet wiring into a base cas.Options:
@@ -94,14 +98,25 @@ func (se *Session) trackedStores() []*cas.Store {
 // carry the fence check (and renew the lease on success); everything
 // else forwards. Chunk puts need no fence: content-addressed writes are
 // idempotent, and an unreferenced chunk from a fenced writer is swept
-// by the next Retain.
+// by the next Retain. With a read tier attached, chunk keys — immutable
+// by content addressing, so always safe to cache — route through the
+// job's L1 node instead of the raw backend.
 type fencedStore struct {
 	sess  *Session
 	inner storage.PersistStore
+	node  *readserve.Node // nil without a read tier
 }
 
 func (f *fencedStore) isManifest(key string) bool {
 	return strings.HasPrefix(key, cas.ManifestPrefix)
+}
+
+// isChunk reports whether the key should route through the read tier:
+// only content-addressed chunks, and only when a tier node is attached.
+// Mutable keys (manifests, fleet records) must see the backend's
+// current value, never a cache's.
+func (f *fencedStore) isChunk(key string) bool {
+	return f.node != nil && strings.HasPrefix(key, cas.ChunkPrefix)
 }
 
 // commitManifest runs the fence check, the manifest write, and the
@@ -123,10 +138,15 @@ func (f *fencedStore) commitManifest(put func() error) error {
 	return nil
 }
 
-// Put implements storage.PersistStore.
+// Put implements storage.PersistStore. Chunk puts write through the
+// read tier when one is attached, warming the caches with exactly the
+// bytes forks hydrate next.
 func (f *fencedStore) Put(key string, data []byte) error {
 	if f.isManifest(key) {
 		return f.commitManifest(func() error { return f.inner.Put(key, data) })
+	}
+	if f.isChunk(key) {
+		return f.node.Put(key, data)
 	}
 	return f.inner.Put(key, data)
 }
@@ -138,24 +158,41 @@ func (f *fencedStore) PutOwned(key string, data []byte) error {
 	if f.isManifest(key) {
 		return f.commitManifest(func() error { return storage.PutNoRetain(f.inner, key, data) })
 	}
+	if f.isChunk(key) {
+		return f.node.PutOwned(key, data)
+	}
 	return storage.PutNoRetain(f.inner, key, data)
 }
 
 // Get implements storage.PersistStore.
-func (f *fencedStore) Get(key string) ([]byte, error) { return f.inner.Get(key) }
+func (f *fencedStore) Get(key string) ([]byte, error) {
+	if f.isChunk(key) {
+		return f.node.Get(key)
+	}
+	return f.inner.Get(key)
+}
 
 // GetView implements storage.Viewer, delegating when the inner backend
 // supports zero-copy reads and falling back to Get (whose private copy
 // trivially satisfies the do-not-modify contract) otherwise.
 func (f *fencedStore) GetView(key string) ([]byte, error) {
+	if f.isChunk(key) {
+		return f.node.GetView(key)
+	}
 	if v, ok := f.inner.(storage.Viewer); ok {
 		return v.GetView(key)
 	}
 	return f.inner.Get(key)
 }
 
-// Delete implements storage.PersistStore.
-func (f *fencedStore) Delete(key string) error { return f.inner.Delete(key) }
+// Delete implements storage.PersistStore. Chunk deletes go through the
+// tier so every node's cached copy is invalidated with the backend's.
+func (f *fencedStore) Delete(key string) error {
+	if f.isChunk(key) {
+		return f.node.Delete(key)
+	}
+	return f.inner.Delete(key)
+}
 
 // Keys implements storage.PersistStore.
 func (f *fencedStore) Keys(prefix string) ([]string, error) { return f.inner.Keys(prefix) }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"moc/internal/storage/cas"
+	"moc/internal/storage/readserve"
 )
 
 // JobStats is one job's storage footprint on the shared store. A writer
@@ -70,6 +71,11 @@ type Stats struct {
 	// (1.0 = perfectly even).
 	Shards       []ShardStats
 	ShardBalance float64
+	// ReadTier aggregates the read-serving cache hierarchy's counters
+	// when Config.ReadTier is set (nil otherwise): per-level hits and
+	// misses, coalesced fetches, promotions, and the backend gets that
+	// escaped every layer.
+	ReadTier *readserve.Stats
 }
 
 // ShardStats is one shard's slice of the fleet's storage and health.
@@ -129,6 +135,10 @@ func (s *Service) Stats() (Stats, error) {
 	}
 
 	var st Stats
+	if s.tier != nil {
+		ts := s.tier.Stats()
+		st.ReadTier = &ts
+	}
 	s.mu.Lock()
 	now := s.cfg.Now()
 	writers := make(map[string]*Job, len(s.jobs))

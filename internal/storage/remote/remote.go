@@ -147,6 +147,13 @@ type Metrics struct {
 	// PutOps / GetOps / DeleteOps / ListOps count successful top-level
 	// operations by kind.
 	PutOps, GetOps, DeleteOps, ListOps int64
+	// ColdGets / RepeatGets split GetOps by whether this store had
+	// already served the key: a repeat get is backend load an upstream
+	// cache or coalescing tier failed to absorb (a perfectly warm read
+	// tier drives RepeatGets to zero). ColdGetBytes / RepeatGetBytes
+	// are the corresponding download volumes, overhead included.
+	ColdGets, RepeatGets         int64
+	ColdGetBytes, RepeatGetBytes int64
 	// MultipartPuts counts puts that took the multipart path;
 	// PartsUploaded the individual part requests that succeeded.
 	MultipartPuts, PartsUploaded int64
@@ -179,7 +186,12 @@ type Store struct {
 	// repeated request draws a fresh (but still deterministic) failure
 	// stream. Grows with the key space — simulation-scale acceptable,
 	// mirroring the cas dedup index.
-	occ     map[string]uint64
+	occ map[string]uint64
+	// served marks keys this store has returned at least once, splitting
+	// gets into cold (first fetch) vs repeat. Like occ it grows with the
+	// key space and survives ResetMetrics — cold-ness is a property of
+	// the store's lifetime, not of a measurement window.
+	served  map[string]bool
 	metrics Metrics
 }
 
@@ -188,7 +200,7 @@ func New(cfg Config) (*Store, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, occ: make(map[string]uint64)}
+	s := &Store{cfg: cfg, occ: make(map[string]uint64), served: make(map[string]bool)}
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
@@ -202,8 +214,9 @@ func (s *Store) Metrics() Metrics {
 	return s.metrics
 }
 
-// ResetMetrics zeroes the counters (occurrence counters keep counting,
-// so failure streams never replay within one store's lifetime).
+// ResetMetrics zeroes the counters (the occurrence and cold-get
+// indexes keep counting, so failure streams never replay and a
+// once-served key never reads as cold within one store's lifetime).
 func (s *Store) ResetMetrics() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -434,9 +447,18 @@ func (s *Store) Get(key string) ([]byte, error) {
 	// transfer now (attempt charged latency + overhead for a 0-byte
 	// payload).
 	s.charge(float64(len(blob)) / s.cfg.DownloadBps)
+	vol := int64(len(blob)) + s.cfg.RequestOverheadBytes
 	s.mu.Lock()
 	s.metrics.GetOps++
-	s.metrics.BytesDownloaded += int64(len(blob)) + s.cfg.RequestOverheadBytes
+	s.metrics.BytesDownloaded += vol
+	if s.served[key] {
+		s.metrics.RepeatGets++
+		s.metrics.RepeatGetBytes += vol
+	} else {
+		s.served[key] = true
+		s.metrics.ColdGets++
+		s.metrics.ColdGetBytes += vol
+	}
 	s.mu.Unlock()
 	return blob, nil
 }

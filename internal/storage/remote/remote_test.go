@@ -269,3 +269,53 @@ func TestDeterministicFailureStreamConcurrentMultipart(t *testing.T) {
 		t.Fatalf("scenario not exercised: %+v", a)
 	}
 }
+
+func TestColdRepeatGetSplit(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("chunk")
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.GetOps != 3 || m.ColdGets != 1 || m.RepeatGets != 2 {
+		t.Fatalf("get split = %d cold / %d repeat of %d, want 1/2 of 3", m.ColdGets, m.RepeatGets, m.GetOps)
+	}
+	// Byte volumes carry the same per-request overhead as
+	// BytesDownloaded, and the split must tile it exactly.
+	if m.ColdGetBytes+m.RepeatGetBytes != m.BytesDownloaded {
+		t.Fatalf("cold %d + repeat %d != downloaded %d", m.ColdGetBytes, m.RepeatGetBytes, m.BytesDownloaded)
+	}
+	if m.RepeatGetBytes != 2*m.ColdGetBytes {
+		t.Fatalf("repeat bytes %d, want 2x cold bytes %d", m.RepeatGetBytes, m.ColdGetBytes)
+	}
+
+	// The served index outlives a metrics reset: a once-served key never
+	// reads as cold again within this store's lifetime.
+	s.ResetMetrics()
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	if m.ColdGets != 0 || m.RepeatGets != 1 {
+		t.Fatalf("post-reset split = %d cold / %d repeat, want 0/1", m.ColdGets, m.RepeatGets)
+	}
+
+	// A fresh key is cold even after the reset.
+	if err := s.Put("k2", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k2"); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.ColdGets != 1 {
+		t.Fatalf("fresh key not counted cold: %+v", m)
+	}
+}

@@ -74,8 +74,14 @@ type RemoteMetrics struct {
 	MultipartPuts, PartsUploaded       int64
 	AbortedUploads                     int64
 	BytesUploaded, BytesDownloaded     int64
-	Retries, InjectedFailures          int64
-	SimSeconds                         float64
+	// ColdGets/RepeatGets split GetOps by whether the store had served
+	// the key before: repeat gets (and RepeatGetBytes) are load an
+	// upstream caching or coalescing tier failed to absorb — the number
+	// a well-tuned ReadTier drives toward zero.
+	ColdGets, RepeatGets         int64
+	ColdGetBytes, RepeatGetBytes int64
+	Retries, InjectedFailures    int64
+	SimSeconds                   float64
 }
 
 // RemoteStore is a PersistStore with object-store cost/fault semantics
@@ -96,6 +102,8 @@ func (r remoteAdapter) Metrics() RemoteMetrics {
 		MultipartPuts: m.MultipartPuts, PartsUploaded: m.PartsUploaded,
 		AbortedUploads: m.AbortedUploads,
 		BytesUploaded:  m.BytesUploaded, BytesDownloaded: m.BytesDownloaded,
+		ColdGets: m.ColdGets, RepeatGets: m.RepeatGets,
+		ColdGetBytes: m.ColdGetBytes, RepeatGetBytes: m.RepeatGetBytes,
 		Retries: m.Retries, InjectedFailures: m.InjectedFailures,
 		SimSeconds: m.SimSeconds,
 	}
@@ -125,8 +133,12 @@ func NewRemoteStoreOver(inner PersistStore, cfg RemoteConfig) (RemoteStore, erro
 
 // CacheStats counts a cached store's activity and residency.
 type CacheStats struct {
-	Hits, Misses          int64
-	HitBytes, MissBytes   int64
+	Hits, Misses        int64
+	HitBytes, MissBytes int64
+	// Coalesced counts misses that attached to another reader's
+	// in-flight backend fetch of the same key instead of issuing their
+	// own (backend gets = Misses − Coalesced).
+	Coalesced             int64
 	Insertions, Evictions int64
 	Entries               int
 	Bytes, Capacity       int64
@@ -158,6 +170,7 @@ func (c cacheAdapter) CacheStats() CacheStats {
 	return CacheStats{
 		Hits: st.Hits, Misses: st.Misses,
 		HitBytes: st.HitBytes, MissBytes: st.MissBytes,
+		Coalesced:  st.Coalesced,
 		Insertions: st.Insertions, Evictions: st.Evictions,
 		Entries: st.Entries, Bytes: st.Bytes, Capacity: st.Capacity,
 	}
