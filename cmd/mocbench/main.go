@@ -15,13 +15,14 @@ import (
 	"time"
 
 	"moc/internal/experiments"
+	"moc/internal/simtime"
 )
 
 func section(name string, f func() string) {
-	start := time.Now()
+	start := simtime.WallNow()
 	out := f()
 	fmt.Println(out)
-	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[%s completed in %v]\n\n", name, simtime.WallSince(start).Round(time.Millisecond))
 }
 
 func main() {

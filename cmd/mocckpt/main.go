@@ -14,6 +14,10 @@
 //	                                     # time-to-restored-model
 //	mocckpt -dir /path/to/ckpts jobs     # fleet job registry, per-job
 //	                                     # volumes, cross-job dedup ratio
+//	mocckpt vet [packages]               # project-invariant static
+//	                                     # analysis (the mocvet registry
+//	                                     # run in-process; see
+//	                                     # internal/analysis)
 //	mocckpt -dir /path/to/ckpts -shards 4 shards
 //	                                     # per-shard distribution, balance
 //	                                     # factor, misplaced keys
@@ -72,6 +76,7 @@ import (
 	"sync"
 
 	"moc/internal/core"
+	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/cache"
 	"moc/internal/storage/cas"
@@ -94,8 +99,13 @@ func main() {
 	l1MB := flag.Int("l1-mb", 16, "restore: per-reader L1 cache capacity in MiB")
 	flag.Parse()
 	cmd := flag.Arg(0)
+	// vet works on a source tree, not a checkpoint directory: dispatch
+	// before the -dir requirement, with its own flag set.
+	if cmd == "vet" {
+		os.Exit(runVet(flag.Args()[1:]))
+	}
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|jobs|shards}")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|jobs|shards} | mocckpt vet [packages]")
 		os.Exit(2)
 	}
 	// Go's flag parsing stops at the first positional argument, so flags
@@ -717,16 +727,16 @@ func persistProbe(store *cas.Store, manifests []*cas.Manifest) error {
 	if err != nil {
 		return fmt.Errorf("persist probe: %w", err)
 	}
-	start := time.Now()
+	start := simtime.WallNow()
 	if _, err := probe.WriteRound(0, mods); err != nil {
 		return fmt.Errorf("persist probe: %w", err)
 	}
-	cold := time.Since(start)
-	start = time.Now()
+	cold := simtime.WallSince(start)
+	start = simtime.WallNow()
 	if _, err := probe.WriteRound(1, mods); err != nil {
 		return fmt.Errorf("persist probe: %w", err)
 	}
-	unchanged := time.Since(start)
+	unchanged := simtime.WallSince(start)
 	st := probe.Stats()
 	fmt.Printf("persist probe (round %06d replayed into a fresh %s-chunked memory store):\n",
 		newest.Round, newest.Chunking)
@@ -804,9 +814,9 @@ func restoreProbe(fsStore storage.PersistStore, readers, restores, l1MB, l2MB in
 			defer wg.Done()
 			<-start
 			for r := 0; r < restores; r++ {
-				t0 := time.Now()
+				t0 := simtime.WallNow()
 				_, err := p.ReadRound(round)
-				d := time.Since(t0)
+				d := simtime.WallSince(t0)
 				mu.Lock()
 				durations = append(durations, d)
 				if err != nil && firstErr == nil {

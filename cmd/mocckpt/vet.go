@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moc/internal/analysis"
+)
+
+// runVet is `mocckpt vet`: the mocvet analyzer registry run
+// in-process, so an operator already holding mocckpt can check a
+// working tree without building the standalone linter. Exit codes
+// match mocvet: 0 clean, 1 violations, 2 usage or load failure.
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("mocckpt vet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the stable JSON diagnostic report")
+	root := fs.String("root", ".", "module root (directory containing go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mocckpt vet [-json] [-root dir] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(analysis.Config{Root: *root, Patterns: patterns})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mocckpt vet:", err)
+		return 2
+	}
+	if *jsonOut {
+		out, err := analysis.MarshalJSONReport(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mocckpt vet:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mocckpt vet: %d invariant violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -27,6 +27,14 @@
 // with cross-job dedup, epoch-fenced job leases, fleet-safe garbage
 // collection, and a background scrub/repair daemon.
 //
+// The stack's concurrency and ownership contracts — copy-on-put,
+// PutOwned ownership transfer, GetBuf/PutBuf pairing, the write-guard
+// lock discipline, errors.Is for wrapped sentinels, and the
+// internal/simtime wall-clock monopoly — are mechanically enforced by
+// the project linter (internal/analysis, run as `go run ./cmd/mocvet
+// ./...` or `mocckpt vet`); see the "Static analysis" section of
+// README.md.
+//
 // See README.md for a walkthrough and EXPERIMENTS.md for the full
 // paper-versus-measured experiment index.
 package moc

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	moc "moc"
+	"moc/internal/simtime"
 )
 
 func main() {
@@ -92,19 +93,16 @@ func main() {
 
 	// Wait for the daemon to observe the heal and re-replicate. No
 	// manual Sync anywhere in this program.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	repaired := simtime.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
 		st, err := fleet.Stats()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			log.Fatalf("daemon did not repair in time: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
+		return st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0
+	})
+	if !repaired {
+		st, _ := fleet.Stats()
+		log.Fatalf("daemon did not repair in time: %+v", st)
 	}
 
 	st, err := fleet.Stats()

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	moc "moc"
+	"moc/internal/simtime"
 )
 
 func main() {
@@ -92,19 +93,16 @@ func main() {
 
 	flaky.Heal()
 	fmt.Println("--- shard-001 replica HEALED (repair is the daemon's job now)")
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	repaired := simtime.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
 		st, err := fleet.Stats()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			log.Fatalf("daemon did not repair in time: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
+		return st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0
+	})
+	if !repaired {
+		st, _ := fleet.Stats()
+		log.Fatalf("daemon did not repair in time: %+v", st)
 	}
 
 	printShards := func(st moc.FleetStats) {

@@ -13,6 +13,7 @@ package moc
 import (
 	"time"
 
+	"moc/internal/simtime"
 	"moc/internal/storage/fleet"
 )
 
@@ -173,7 +174,7 @@ func (f *Fleet) Register(id, parent string) error {
 func (f *Fleet) Jobs() []FleetJob {
 	jobs := f.svc.Jobs()
 	out := make([]FleetJob, len(jobs))
-	now := time.Now()
+	now := simtime.WallNow()
 	for i, j := range jobs {
 		out[i] = FleetJob{
 			ID:        j.ID,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	moc "moc"
+	"moc/internal/simtime"
 )
 
 // fleetBaseConfig is a small full-checkpoint config for fleet tests.
@@ -186,20 +187,19 @@ func TestFleetScrubDaemonRestoresReplicationEndToEnd(t *testing.T) {
 
 	waitFor := func(what string, pred func(moc.FleetStats) bool) moc.FleetStats {
 		t.Helper()
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			st, err := f.Stats()
+		var st moc.FleetStats
+		ok := simtime.Eventually(10*time.Second, 2*time.Millisecond, func() bool {
+			var err error
+			st, err = f.Stats()
 			if err != nil {
 				t.Fatal(err)
 			}
-			if pred(st) {
-				return st
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("daemon never %s: %+v", what, st)
-			}
-			time.Sleep(2 * time.Millisecond)
+			return pred(st)
+		})
+		if !ok {
+			t.Fatalf("daemon never %s: %+v", what, st)
 		}
+		return st
 	}
 
 	flaky.Fail()

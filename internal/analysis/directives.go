@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//moc:allow <analyzer> <reason>
+//
+// On the flagged line or the line directly above it, the directive
+// suppresses that analyzer at that site; in a function's doc comment it
+// suppresses the analyzer for the whole function. The reason is
+// mandatory: an allow that cannot say why the invariant does not apply
+// is exactly the unchecked assumption this suite exists to kill, so a
+// bare directive is reported as a diagnostic of its own.
+const directivePrefix = "//moc:allow"
+
+// directive is one parsed //moc:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// suppressions indexes a unit's directives for the report filter.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzers allowed on that line.
+	byLine map[string]map[int][]string
+	// funcRanges holds (analyzer, body span) pairs from function doc
+	// comments.
+	funcRanges []funcAllow
+	// malformed collects directives missing their reason or naming an
+	// unknown analyzer; these become diagnostics.
+	malformed []Diagnostic
+}
+
+type funcAllow struct {
+	analyzer   string
+	start, end token.Pos
+}
+
+// parseDirective decodes one comment, returning ok=false when the
+// comment is not a moc:allow directive at all.
+func parseDirective(c *ast.Comment) (d directive, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return d, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return d, false // e.g. //moc:allowother
+	}
+	fields := strings.Fields(rest)
+	d.pos = c.Pos()
+	if len(fields) > 0 {
+		d.analyzer = fields[0]
+	}
+	if len(fields) > 1 {
+		d.reason = strings.Join(fields[1:], " ")
+	}
+	return d, true
+}
+
+// collectSuppressions scans a unit's comments for directives. Known
+// analyzer names come from the active registry so a typoed directive is
+// caught rather than silently ignored.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) *suppressions {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]string)}
+	record := func(d directive) {
+		pos := fset.Position(d.pos)
+		switch {
+		case d.analyzer == "" || d.reason == "":
+			s.malformed = append(s.malformed, Diagnostic{
+				Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: "malformed //moc:allow: want \"//moc:allow <analyzer> <reason>\" (the reason is required)",
+			})
+		case !known[d.analyzer]:
+			s.malformed = append(s.malformed, Diagnostic{
+				Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: "//moc:allow names unknown analyzer " + d.analyzer,
+			})
+		default:
+			lines := s.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]string)
+				s.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], d.analyzer)
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok {
+					record(d)
+				}
+			}
+		}
+		// Function-scoped allows: a valid directive inside a FuncDecl's
+		// doc comment covers the whole body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if d, ok := parseDirective(c); ok && d.analyzer != "" && d.reason != "" && known[d.analyzer] {
+					s.funcRanges = append(s.funcRanges, funcAllow{d.analyzer, fd.Body.Pos(), fd.Body.End()})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by a directive. posInUnit is
+// the diagnostic's original token.Pos (needed for function-range
+// checks).
+func (s *suppressions) suppressed(d Diagnostic, pos token.Pos) bool {
+	if lines := s.byLine[d.File]; lines != nil {
+		for _, name := range lines[d.Line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+		for _, name := range lines[d.Line-1] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	for _, fr := range s.funcRanges {
+		if fr.analyzer == d.Analyzer && pos >= fr.start && pos < fr.end {
+			return true
+		}
+	}
+	return false
+}

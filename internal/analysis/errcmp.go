@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmpAnalyzer flags sentinel errors compared with == or != (or a
+// switch over an error value with sentinel cases). The storage stack
+// wraps sentinels at every boundary — "%w: key" around
+// storage.ErrNotFound, fleet.ErrFenced wrapped with the job id, fs/io
+// sentinels wrapped by path — so identity comparison silently stops
+// matching the moment a layer adds context. errors.Is is the contract.
+// Comparisons against nil are, of course, fine.
+var ErrCmpAnalyzer = &Analyzer{
+	Name: "errcmp",
+	Doc: "flags ==/!= (and switch cases) comparing an error against a sentinel error " +
+		"variable; wrapped errors break identity — use errors.Is",
+	Run: runErrCmp,
+}
+
+func runErrCmp(pass *Pass) {
+	info := pass.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if s := sentinelSide(info, e.X, e.Y); s != "" {
+					pass.Reportf(e.Pos(),
+						"sentinel error %s compared with %s: wrapped errors break identity — use errors.Is(err, %s)",
+						s, e.Op, s)
+				}
+			case *ast.TypeSwitchStmt:
+				return true
+			case *ast.SwitchStmt:
+				if e.Tag == nil || !isErrorType(typeOf(info, e.Tag)) {
+					return true
+				}
+				for _, clause := range e.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						if name := sentinelName(info, expr); name != "" {
+							pass.Reportf(expr.Pos(),
+								"switch case compares error against sentinel %s by identity: wrapped errors break identity — use errors.Is(err, %s)",
+								name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// typeOf returns the static type of expr, or nil.
+func typeOf(info *types.Info, expr ast.Expr) types.Type {
+	if tv, ok := info.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// sentinelSide returns the rendered name of the sentinel operand when
+// one side is an error expression and the other a package-level error
+// variable (and neither is nil).
+func sentinelSide(info *types.Info, x, y ast.Expr) string {
+	if !isErrorType(typeOf(info, x)) && !isErrorType(typeOf(info, y)) {
+		return ""
+	}
+	if name := sentinelName(info, x); name != "" {
+		return name
+	}
+	return sentinelName(info, y)
+}
+
+// sentinelName reports expr's source form when it denotes a
+// package-level variable of type error — the sentinel pattern.
+func sentinelName(info *types.Info, expr ast.Expr) string {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return ""
+	}
+	// Package-level: declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return types.ExprString(ast.Unparen(expr))
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDisciplineAnalyzer enforces the stack's mutex pairing contract:
+// every sync.Mutex/RWMutex Lock or RLock acquired in a function must
+// be released in that same function — either by a matching deferred
+// unlock or by an unlock on every return path after the acquisition.
+// It also flags read-to-write upgrades (RLock held while Lock is
+// requested on the same mutex), the deadlock class the
+// cas.Options.Guard discipline (WriteRound RLocks, Retain Locks)
+// exists to prevent.
+//
+// The path analysis is lexical: a return statement after a Lock with
+// no textually intervening unlock is reported. That approximation
+// catches the real bug class (early error returns that skip the
+// unlock) while accepting the codebase's conventional shapes
+// (lock/defer-unlock, lock/work/unlock blocks, unlock-before-return).
+// Functions that intentionally hand a locked mutex to their caller are
+// rare and must say so with //moc:allow lockdiscipline <reason>.
+var LockDisciplineAnalyzer = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flags mutex Lock/RLock calls with no deferred unlock and a return path " +
+		"(or function end) with no unlock, and RLock-then-Lock upgrades on one mutex",
+	Run: runLockDiscipline,
+}
+
+// lockEvent is one mutex operation or return inside a function body.
+type lockEvent struct {
+	kind string // "lock", "unlock", "defer-unlock", "return"
+	// write distinguishes Lock/Unlock from RLock/RUnlock.
+	write bool
+	// key is the canonical receiver expression ("s.mu", "g").
+	key string
+	pos token.Pos
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, fb := range functionBodies(pass.Files) {
+		events := collectLockEvents(pass.Info, fb.body)
+		checkLockPairing(pass, fb, events)
+		checkLockUpgrade(pass, events)
+	}
+}
+
+// mutexMethod classifies a call as a sync mutex operation, returning
+// the receiver key and method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// collectLockEvents walks one body (not nested literals) recording
+// mutex operations and returns in source order. Unlocks inside a
+// deferred closure count as deferred unlocks of their keys.
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	addUnlocks := func(n ast.Node, asDefer bool) {
+		// Used for defer payloads: scan a call or closure body for
+		// unlock operations, descending into the closure.
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, method, ok := mutexMethod(info, call); ok {
+				switch method {
+				case "Unlock", "RUnlock":
+					kind := "unlock"
+					if asDefer {
+						kind = "defer-unlock"
+					}
+					events = append(events, lockEvent{kind: kind, write: method == "Unlock", key: key, pos: call.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	walkBody(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			addUnlocks(stmt.Call, true)
+			return false
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{kind: "return", pos: stmt.Pos()})
+		case *ast.CallExpr:
+			if key, method, ok := mutexMethod(info, stmt); ok {
+				switch method {
+				case "Lock", "RLock":
+					events = append(events, lockEvent{kind: "lock", write: method == "Lock", key: key, pos: stmt.Pos()})
+				case "Unlock", "RUnlock":
+					events = append(events, lockEvent{kind: "unlock", write: method == "Unlock", key: key, pos: stmt.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// checkLockPairing reports locks that can leak past a return or the
+// function end.
+func checkLockPairing(pass *Pass, fb funcBody, events []lockEvent) {
+	for _, lk := range events {
+		if lk.kind != "lock" {
+			continue
+		}
+		// A matching deferred unlock anywhere in the body releases every
+		// path from this acquisition on.
+		deferred := false
+		for _, e := range events {
+			if e.kind == "defer-unlock" && e.key == lk.key && e.write == lk.write {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		released := func(upto token.Pos) bool {
+			for _, e := range events {
+				if e.kind == "unlock" && e.key == lk.key && e.write == lk.write && e.pos > lk.pos && e.pos < upto {
+					return true
+				}
+			}
+			return false
+		}
+		reported := false
+		for _, e := range events {
+			if e.kind == "return" && e.pos > lk.pos && !released(e.pos) {
+				verb := "Lock"
+				if !lk.write {
+					verb = "RLock"
+				}
+				pass.Reportf(e.pos,
+					"return path may leak %s.%s() acquired on line %d: unlock before returning or defer the unlock",
+					lk.key, verb, pass.Fset.Position(lk.pos).Line)
+				reported = true
+			}
+		}
+		// Falling off the end of the function is a return path too.
+		if !reported && !released(fb.body.End()) {
+			verb := "Lock"
+			if !lk.write {
+				verb = "RLock"
+			}
+			pass.Reportf(lk.pos,
+				"%s.%s() is never released in %s: pair it with a defer %s.%s-unlock or an unlock on every path",
+				lk.key, verb, fb.name, lk.key, verb)
+		}
+	}
+}
+
+// checkLockUpgrade reports RLock-then-Lock sequences on one mutex with
+// no intervening RUnlock — a self-deadlock on sync.RWMutex, and the
+// exact misuse the cas write-guard discipline forbids (WriteRound
+// holds the read side; only Retain may take the write side, never a
+// reader trying to upgrade).
+func checkLockUpgrade(pass *Pass, events []lockEvent) {
+	for _, rl := range events {
+		if rl.kind != "lock" || rl.write {
+			continue
+		}
+		for _, wl := range events {
+			if wl.kind != "lock" || !wl.write || wl.key != rl.key || wl.pos <= rl.pos {
+				continue
+			}
+			releasedBetween := false
+			for _, e := range events {
+				if e.kind == "unlock" && !e.write && e.key == rl.key && e.pos > rl.pos && e.pos < wl.pos {
+					releasedBetween = true
+					break
+				}
+			}
+			if !releasedBetween {
+				pass.Reportf(wl.pos,
+					"read-to-write upgrade: %s.Lock() requested while %s.RLock() from line %d is held — "+
+						"RWMutex upgrades self-deadlock; release the read lock first",
+					wl.key, rl.key, pass.Fset.Position(rl.pos).Line)
+			}
+		}
+	}
+}

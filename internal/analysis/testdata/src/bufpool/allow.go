@@ -1,0 +1,11 @@
+package bufpool
+
+import "moc/internal/storage"
+
+// Dropped abandons the buffer deliberately — the directive on the
+// line above the acquisition suppresses the finding.
+func Dropped() int {
+	//moc:allow bufpool fixture: deliberate drop to exercise the allocation floor
+	b := storage.GetBuf(32)
+	return cap(b)
+}

@@ -1,0 +1,20 @@
+// Package directive holds malformed //moc:allow fixtures: a directive
+// without a reason, or naming an unknown analyzer, is reported rather
+// than honored.
+package directive
+
+import "time"
+
+// Stamp carries a reasonless directive: the directive itself is a
+// diagnostic, and the walltime finding it tried to cover still fires.
+func Stamp() int64 {
+	//moc:allow walltime
+	return time.Now().UnixNano()
+}
+
+// Zero carries a directive naming an analyzer that does not exist.
+//
+//moc:allow nosuchanalyzer the name is wrong
+func Zero() int {
+	return 0
+}

@@ -1,0 +1,8 @@
+package errcmp
+
+// Identity deliberately tests pointer identity (say, to assert a
+// sentinel is returned unwrapped); the directive documents it.
+func Identity(err error) bool {
+	//moc:allow errcmp fixture: asserting the sentinel is returned unwrapped
+	return err == ErrStop
+}

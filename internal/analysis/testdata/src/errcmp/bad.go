@@ -1,0 +1,23 @@
+// Package errcmp holds golden fixtures for the sentinel comparison
+// analyzer: identity comparisons against package-level error
+// variables are true positives.
+package errcmp
+
+import "errors"
+
+// ErrStop is a package-level sentinel.
+var ErrStop = errors.New("stop")
+
+// Check compares the sentinel by identity; wrapping breaks it.
+func Check(err error) bool {
+	return err == ErrStop // want:errcmp
+}
+
+// Classify switches on the error value with a sentinel case.
+func Classify(err error) int {
+	switch err {
+	case ErrStop: // want:errcmp
+		return 1
+	}
+	return 0
+}

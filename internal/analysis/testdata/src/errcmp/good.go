@@ -1,0 +1,13 @@
+package errcmp
+
+import "errors"
+
+// Wrapped matches through wrapping, as the contract requires.
+func Wrapped(err error) bool {
+	return errors.Is(err, ErrStop)
+}
+
+// NilCheck compares against nil, which is always fine.
+func NilCheck(err error) bool {
+	return err != nil
+}

@@ -1,0 +1,14 @@
+package lockdiscipline
+
+import "sync"
+
+var handoffMu sync.Mutex
+
+// LockForCaller intentionally returns with the mutex held; releasing
+// is the caller's job, and the doc-comment directive says so.
+//
+//moc:allow lockdiscipline fixture: the locked mutex is handed to the caller by contract
+func LockForCaller() *sync.Mutex {
+	handoffMu.Lock()
+	return &handoffMu
+}

@@ -1,0 +1,44 @@
+// Package lockdiscipline holds golden fixtures for the mutex pairing
+// analyzer: leaked locks, drop-off-the-end locks, and read-to-write
+// upgrades are true positives.
+package lockdiscipline
+
+import (
+	"errors"
+	"sync"
+)
+
+var errNegative = errors.New("negative")
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// LeakOnError forgets the unlock on the early-error path.
+func (c *counter) LeakOnError(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errNegative // want:lockdiscipline
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// NeverUnlocks falls off the end of the function with the mutex held.
+func (c *counter) NeverUnlocks() {
+	c.mu.Lock() // want:lockdiscipline
+	c.n++
+}
+
+// Upgrade requests the write lock while still holding the read lock —
+// a self-deadlock on sync.RWMutex.
+func (c *counter) Upgrade() {
+	c.rw.RLock()
+	n := c.n
+	c.rw.Lock() // want:lockdiscipline
+	c.n = n + 1
+	c.rw.Unlock()
+	c.rw.RUnlock()
+}

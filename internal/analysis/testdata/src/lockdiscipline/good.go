@@ -1,0 +1,38 @@
+package lockdiscipline
+
+import "sync"
+
+type gauge struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Read uses the canonical defer pairing.
+func (g *gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Set unlocks on every return path.
+func (g *gauge) Set(n int) bool {
+	g.mu.Lock()
+	if n < 0 {
+		g.mu.Unlock()
+		return false
+	}
+	g.n = n
+	g.mu.Unlock()
+	return true
+}
+
+// Bump releases via a deferred cleanup closure, which counts as a
+// deferred unlock.
+func (g *gauge) Bump() int {
+	g.mu.Lock()
+	defer func() {
+		g.mu.Unlock()
+	}()
+	g.n++
+	return g.n
+}

@@ -1,0 +1,14 @@
+package retainput
+
+type pinnedStore struct {
+	blobs map[string][]byte
+}
+
+// Put pins the caller's slice on purpose — an adversarial fake like
+// the ones the storage tests use to prove callers copy.
+//
+//moc:allow retainput fixture: adversarial store that retains by design
+func (s *pinnedStore) Put(key string, data []byte) error {
+	s.blobs[key] = data
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package retainput holds golden fixtures for the slice-ownership
+// analyzer: Put implementations that retain their input and callers
+// that reuse a buffer after PutOwned are true positives.
+package retainput
+
+type leakyStore struct {
+	blobs map[string][]byte
+	last  []byte
+}
+
+// Put stores the caller's slice (and a subslice of it) without
+// copying — the copy-on-put contract violation.
+func (s *leakyStore) Put(key string, data []byte) error {
+	s.blobs[key] = data // want:retainput
+	s.last = data[1:]   // want:retainput
+	return nil
+}
+
+type ownedStore struct {
+	blobs map[string][]byte
+}
+
+// PutOwned takes ownership; this implementation copies, so only the
+// caller below is at fault.
+func (o *ownedStore) PutOwned(key string, data []byte) error {
+	o.blobs[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Reuse keeps reading the buffer after ownership transferred.
+func Reuse(o *ownedStore, buf []byte) byte {
+	if err := o.PutOwned("k", buf); err != nil {
+		return 0
+	}
+	return buf[0] // want:retainput
+}

@@ -1,0 +1,12 @@
+// Package walltime holds golden fixtures for the walltime analyzer:
+// raw clock calls outside internal/simtime are true positives.
+package walltime
+
+import "time"
+
+// Delay reads and sleeps on the raw wall clock — three violations.
+func Delay() time.Duration {
+	start := time.Now()          // want:walltime
+	time.Sleep(time.Millisecond) // want:walltime
+	return time.Since(start)     // want:walltime
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalltimeAnalyzer enforces the simtime clock monopoly: outside
+// internal/simtime, code must not read the wall clock or start raw
+// timers. The storage stack's behavior is reproduced and measured
+// under simulated timelines; a stray time.Now or time.Sleep introduces
+// nondeterminism the simulation cannot see. Real-time needs go through
+// the audited helpers in internal/simtime (WallNow/WallSince/SleepWall
+// for genuinely wall-clock measurement and cost-model sleeps,
+// Eventually for test polling). Benchmark functions are allowed — they
+// measure real time by definition — and deliberate exceptions (daemon
+// tickers, lease clocks) carry //moc:allow walltime directives.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "flags raw wall-clock and timer calls (time.Now, time.Sleep, time.After, " +
+		"time.NewTimer, ...) outside internal/simtime; route them through the simtime " +
+		"wall-clock helpers or annotate the deliberate exception",
+	Run: runWalltime,
+}
+
+// walltimeBanned is the set of time-package functions that read the
+// clock or schedule real timers. Duration arithmetic and time.Time
+// formatting stay legal — only acquiring "now" or sleeping is fenced.
+var walltimeBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runWalltime(pass *Pass) {
+	if pass.Pkg.Path() == pass.ModulePath+"/internal/simtime" {
+		return // the one package allowed to own the wall clock
+	}
+	// Benchmark bodies (and any closures inside them) are exempt.
+	type span struct{ start, end int }
+	var benchSpans []span
+	for _, fb := range functionBodies(pass.Files) {
+		if isBenchmark(fb) {
+			benchSpans = append(benchSpans, span{int(fb.body.Pos()), int(fb.body.End())})
+		}
+	}
+	inBenchmark := func(pos int) bool {
+		for _, s := range benchSpans {
+			if pos >= s.start && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fb := range functionBodies(pass.Files) {
+		if isBenchmark(fb) || inBenchmark(int(fb.body.Pos())) {
+			continue
+		}
+		walkBody(fb.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.Info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			// Package-level functions only: time.Time methods like
+			// t.After(u) are pure arithmetic on an already-read clock.
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if walltimeBanned[obj.Name()] {
+				pass.Reportf(call.Pos(),
+					"raw time.%s outside internal/simtime: use the simtime wall-clock helpers "+
+						"(simtime.WallNow/WallSince/SleepWall/Eventually) so timing stays auditable, "+
+						"or annotate a deliberate exception with //moc:allow walltime <reason>",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}

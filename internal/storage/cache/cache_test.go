@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"moc/internal/simtime"
 	"moc/internal/storage"
 )
 
@@ -296,6 +297,7 @@ func TestDeleteDuringPutIsNotResurrected(t *testing.T) {
 	}
 }
 
+//moc:allow retainput this test reuses the buffer after PutOwned on purpose to prove the cache and backend copied
 func TestPutOwnedWriteThrough(t *testing.T) {
 	inner := storage.NewMemStore()
 	c := mustNew(t, inner, 1<<20)
@@ -390,12 +392,8 @@ func (b *blockingStore) Get(key string) ([]byte, error) {
 // waitFor polls cond until it holds or the test deadline is blown.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition not reached in time")
-		}
-		time.Sleep(time.Millisecond)
+	if !simtime.Eventually(10*time.Second, time.Millisecond, cond) {
+		t.Fatal("condition not reached in time")
 	}
 }
 

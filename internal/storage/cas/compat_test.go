@@ -250,7 +250,7 @@ func newRetainingStore() *retainingStore { return &retainingStore{blobs: map[str
 func (r *retainingStore) Put(key string, data []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.blobs[key] = data // retains the slice, no copy
+	r.blobs[key] = data //moc:allow retainput adversarial fake: retains on purpose so tests prove callers copy
 	return nil
 }
 

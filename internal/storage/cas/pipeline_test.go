@@ -327,7 +327,7 @@ type retainingViewStore struct {
 func (r *retainingViewStore) Put(key string, data []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.blobs[key] = data
+	r.blobs[key] = data //moc:allow retainput adversarial fake: retains on purpose so tests prove callers copy
 	return nil
 }
 

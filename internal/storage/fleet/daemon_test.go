@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"moc/internal/fault"
+	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
 	"moc/internal/storage/replica"
@@ -159,6 +161,7 @@ func TestBackgroundDaemonRepairsWithoutManualSync(t *testing.T) {
 	if _, err := store.WriteRound(0, map[string][]byte{"w": blob(1, 4<<10)}); err != nil {
 		t.Fatal(err)
 	}
+	baseline := runtime.NumGoroutine()
 	if err := svc.StartDaemon(time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -172,36 +175,37 @@ func TestBackgroundDaemonRepairsWithoutManualSync(t *testing.T) {
 	// Let a probe observe the outage before healing — a blink shorter
 	// than the probe interval is repaired too (the owed-sync flag), but
 	// this test asserts the observed down→up transition specifically.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		stats, err := svc.Stats()
-		if err != nil {
-			t.Fatal(err)
+	waitStats := func(what string, pred func(Stats) bool) {
+		t.Helper()
+		var stats Stats
+		ok := simtime.Eventually(10*time.Second, 2*time.Millisecond, func() bool {
+			var err error
+			stats, err = svc.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pred(stats)
+		})
+		if !ok {
+			t.Fatalf("daemon never %s: %+v", what, stats)
 		}
-		if stats.BackendsDown == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("probe never observed the outage: %+v", stats)
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
+	waitStats("observed the outage", func(st Stats) bool { return st.BackendsDown == 1 })
 	flaky.Heal()
 
-	for {
-		stats, err := svc.Stats()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if stats.HealsDetected > 0 && stats.SyncCopies > 0 && stats.BackendsDown == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon did not repair in time: %+v", stats)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitStats("repaired after heal", func(st Stats) bool {
+		return st.HealsDetected > 0 && st.SyncCopies > 0 && st.BackendsDown == 0
+	})
 	svc.StopDaemon()
+	// StopDaemon joins the scrub goroutine, so the goroutine count must
+	// fall back to (at most) the pre-StartDaemon baseline. Runtime
+	// helper goroutines can retire a little late; poll instead of
+	// asserting a single instantaneous reading.
+	if ok := simtime.Eventually(10*time.Second, 2*time.Millisecond, func() bool {
+		return runtime.NumGoroutine() <= baseline
+	}); !ok {
+		t.Fatalf("scrub goroutine leaked: %d goroutines, baseline %d", runtime.NumGoroutine(), baseline)
+	}
 	for i, err := range svc.rep.Health() {
 		if err != nil {
 			t.Fatalf("backend %d unhealthy after daemon repair: %v", i, err)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
 )
@@ -44,12 +45,8 @@ func (s *gateStore) Get(key string) ([]byte, error) {
 // waitFor polls cond until it holds or the test deadline is blown.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition not reached in time")
-		}
-		time.Sleep(time.Millisecond)
+	if !simtime.Eventually(10*time.Second, time.Millisecond, cond) {
+		t.Fatal("condition not reached in time")
 	}
 }
 

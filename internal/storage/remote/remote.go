@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"moc/internal/rng"
+	"moc/internal/simtime"
 	"moc/internal/storage"
 )
 
@@ -245,7 +246,7 @@ func (s *Store) charge(seconds float64) {
 	s.metrics.SimSeconds += seconds
 	s.mu.Unlock()
 	if s.cfg.SleepScale > 0 {
-		time.Sleep(time.Duration(seconds * s.cfg.SleepScale * float64(time.Second)))
+		simtime.SleepWall(time.Duration(seconds * s.cfg.SleepScale * float64(time.Second)))
 	}
 }
 

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -73,7 +74,7 @@ func TestGetViewNotFoundAndFailureSemantics(t *testing.T) {
 		t.Fatalf("down backend reported as absence: %v", err)
 	}
 	// Flaky passes views through when up, fails them when down.
-	if _, err := fl.GetView("x"); err != ErrBackendDown {
+	if _, err := fl.GetView("x"); !errors.Is(err, ErrBackendDown) {
 		t.Fatalf("flaky down getview: %v", err)
 	}
 	fl.Heal()

@@ -266,10 +266,14 @@ func (r *Router) lookup(v routeView, key string, fetch func(storage.PersistStore
 		return data, err
 	}
 	if j := v.locatePrev(key); j != i {
-		data, perr := fetch(v.entries[j].store, key)
+		// No `:=` for the retry below: shadowing data here would make
+		// the close-the-window fetch assign a block-local copy and the
+		// function return the first attempt's nil payload with a nil
+		// error — an empty read surfacing only under concurrency.
+		prevData, perr := fetch(v.entries[j].store, key)
 		r.note(j, perr)
 		if perr == nil || !errors.Is(perr, storage.ErrNotFound) {
-			return data, perr
+			return prevData, perr
 		}
 		data, err = fetch(v.entries[i].store, key)
 		r.note(i, err)

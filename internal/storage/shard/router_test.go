@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/replica"
 )
@@ -334,7 +335,7 @@ func TestRouterRebalanceTakesGuard(t *testing.T) {
 		}
 		done <- st
 	}()
-	time.Sleep(20 * time.Millisecond)
+	simtime.SleepWall(20 * time.Millisecond)
 	select {
 	case <-done:
 		t.Fatal("rebalance ran while the guard was held")

@@ -357,13 +357,14 @@ func TestMemStoreBandwidthDebtChargesOnAverage(t *testing.T) {
 	// total; the old per-put sleep cost ~1 ms x 64 regardless of size.
 	m := NewMemStore()
 	m.BandwidthBps = 100 << 20
+	//moc:allow walltime measures the cost-model sleep; in-package test cannot import simtime (import cycle)
 	start := time.Now()
 	for i := 0; i < 64; i++ {
 		if err := m.Put(fmt.Sprintf("k%d", i), make([]byte, 64<<10)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //moc:allow walltime paired with the start read above
 	if modeled := 40 * time.Millisecond; elapsed < modeled/2 {
 		t.Fatalf("64 x 64KiB at 100MiB/s took %v, modeled %v — bandwidth not charged", elapsed, modeled)
 	}
@@ -386,6 +387,7 @@ func TestSnapshotStoreConcurrency(t *testing.T) {
 	<-done
 }
 
+//moc:allow bufpool this test exercises pool mechanics; dropping buffers is the point, not a leak
 func TestBufPoolRecycles(t *testing.T) {
 	b := GetBuf(1000)
 	if len(b) != 1000 || cap(b) != 1024 {
@@ -500,6 +502,7 @@ func TestPutNoRetain(t *testing.T) {
 
 type sliceRetainer struct{ blobs map[string][]byte }
 
+//moc:allow retainput adversarial fake: retains on purpose so tests prove callers copy
 func (s *sliceRetainer) Put(key string, data []byte) error { s.blobs[key] = data; return nil }
 func (s *sliceRetainer) Get(key string) ([]byte, error)    { return s.blobs[key], nil }
 func (s *sliceRetainer) Delete(key string) error           { delete(s.blobs, key); return nil }

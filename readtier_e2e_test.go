@@ -16,6 +16,7 @@ import (
 	"time"
 
 	moc "moc"
+	"moc/internal/simtime"
 )
 
 // herdBackend is an in-memory PersistStore whose Gets park until
@@ -71,12 +72,8 @@ func (h *herdBackend) Keys(prefix string) ([]string, error) {
 
 func waitForStats(t *testing.T, tier *moc.ReadTier, cond func(moc.ReadTierStats) bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond(tier.Stats()) {
-		if time.Now().After(deadline) {
-			t.Fatalf("tier never reached the expected state: %+v", tier.Stats())
-		}
-		time.Sleep(time.Millisecond)
+	if !simtime.Eventually(10*time.Second, time.Millisecond, func() bool { return cond(tier.Stats()) }) {
+		t.Fatalf("tier never reached the expected state: %+v", tier.Stats())
 	}
 }
 
