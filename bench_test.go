@@ -1137,3 +1137,135 @@ func BenchmarkPlanCheckpoint(b *testing.B) {
 		}
 	}
 }
+
+// chaosGoodputRun drives one fleet writer through a timed fault window
+// — the remote replica straggling (16x latency) while the other backend
+// is down outright — and returns its goodput (training iterations per
+// wall-second, checkpoint and repair cost included) plus how many
+// post-heal scrub passes the anti-entropy repair needed. With adaptive
+// true the fleet's lease-aware cadence is enabled, stretching the
+// checkpoint interval while the fleet is degraded; with false the
+// writer checkpoints at the fixed interval straight into the fault.
+func chaosGoodputRun(b *testing.B, adaptive bool) (goodput float64, rounds int, healPasses int) {
+	const (
+		interval   = 5
+		totalIters = 45
+	)
+	clock := simtime.NewManualClock(time.Unix(1_700_000_000, 0))
+	r0, err := moc.NewRemoteStore(moc.RemoteConfig{LatencySeconds: 0.0005, SleepScale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flaky := moc.NewFlakyStore(moc.NewMemStore())
+	repl, err := moc.NewReplicatedStore(r0, flaky)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := moc.NewFleet(repl, moc.FleetConfig{Now: clock.Now})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if adaptive {
+		f.SetCadence(moc.FleetCadenceConfig{
+			DownStretch: 2, BacklogStretch: 1.5, MaxStretch: 8, Relax: 0.5,
+		})
+	}
+	cfg := moc.Config{
+		Layers: 3, Hidden: 24, Experts: 4, TopK: 2,
+		Vocab: 32, Window: 6, BatchSize: 16,
+		LR: 0.01, Seed: 7, Interval: interval,
+	}
+	sys, err := f.NewSystem(cfg, "job")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	chaos, err := moc.NewChaos(moc.ChaosConfig{
+		Events: []moc.ChaosEvent{
+			moc.StragglerWindowEvent(0, 10, 30),
+			moc.BackendDownWindowEvent(1, 10, 30),
+		},
+		LatencyMult:   16,
+		BandwidthMult: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chaos.BindRemote(0, r0)
+	chaos.BindBackend(1, flaky)
+
+	start := simtime.WallNow()
+	for it := 1; it <= totalIters; it++ {
+		clock.Advance(time.Second)
+		chaos.Advance(it)
+		if _, err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+		// Scrub sparsely — a full pass reads every key, so frequent
+		// scrubbing at degraded latency would swamp the checkpoint cost
+		// the two cadences differ on. One pass inside the window is
+		// enough: degradation is adopted by the controller instantly.
+		if it%10 == 0 {
+			if _, err := f.Scrub(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := sys.FlushCheckpoints(); err != nil {
+		b.Fatal(err)
+	}
+	// Post-heal repair: scrub until no anti-entropy debt remains; the
+	// pass count is the repair backlog the fault window left behind.
+	for healPasses = 0; ; healPasses++ {
+		st, err := f.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.SyncOwed {
+			break
+		}
+		if healPasses >= 10 {
+			b.Fatalf("repair backlog unbounded: still owed after %d post-heal scrubs", healPasses)
+		}
+		if _, err := f.Scrub(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := simtime.WallSince(start).Seconds()
+	st, err := f.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(st.Jobs) != 1 {
+		b.Fatalf("fleet has %d jobs, want 1", len(st.Jobs))
+	}
+	return float64(totalIters) / elapsed, st.Jobs[0].Rounds, healPasses
+}
+
+// BenchmarkChaosGoodput pits the lease-aware adaptive cadence against a
+// fixed checkpoint interval under the same timed fault scenario. The
+// adaptive run must deliver strictly better goodput — it stretches its
+// interval while a backend straggles at 16x latency, paying the degraded
+// store fewer visits — while still leaving only a bounded repair
+// backlog once the fault heals.
+func BenchmarkChaosGoodput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		adaptiveGoodput, adaptiveRounds, healPasses := chaosGoodputRun(b, true)
+		fixedGoodput, fixedRounds, _ := chaosGoodputRun(b, false)
+		if adaptiveRounds >= fixedRounds {
+			b.Fatalf("adaptive cadence committed %d rounds vs fixed %d: interval never stretched",
+				adaptiveRounds, fixedRounds)
+		}
+		if adaptiveGoodput <= fixedGoodput {
+			b.Fatalf("adaptive goodput %.2f it/s not above fixed %.2f it/s",
+				adaptiveGoodput, fixedGoodput)
+		}
+		b.ReportMetric(adaptiveGoodput/fixedGoodput, "goodput_gain")
+		b.ReportMetric(adaptiveGoodput, "adaptive_it/s")
+		b.ReportMetric(fixedGoodput, "fixed_it/s")
+		b.ReportMetric(float64(fixedRounds-adaptiveRounds), "rounds_deferred")
+		b.ReportMetric(float64(healPasses), "heal_passes")
+	}
+}

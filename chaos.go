@@ -1,0 +1,329 @@
+package moc
+
+// Public API for the elastic-fleet chaos layer: timed fault scenarios
+// over the storage stack. A ChaosConfig is a schedule of duration-
+// carrying events — a preemption wave that lasts until replacement
+// capacity arrives, a backend that is slow (not dead) for a window, a
+// partition that heals — and a Chaos instance replays it against live
+// stores: remote backends degrade and recover, flaky backends fail and
+// heal, replicas partition and reconnect, preempted jobs stop renewing
+// their leases and get re-adopted. Everything is keyed to training
+// iterations, so a scenario is exactly reproducible: the same schedule
+// against the same seed replays the same run.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"moc/internal/fault"
+)
+
+// ChaosKind classifies a timed fault event.
+type ChaosKind int
+
+// Chaos event kinds.
+const (
+	// ChaosPreempt is a spot preemption: the target job's writer dies
+	// at Start (its lease stops renewing) and replacement capacity
+	// arrives at End.
+	ChaosPreempt ChaosKind = ChaosKind(fault.Preempt)
+	// ChaosStraggle degrades the target remote backend — slow, not
+	// dead — for the window.
+	ChaosStraggle ChaosKind = ChaosKind(fault.Straggle)
+	// ChaosPartition cuts the target replica off from the writer's
+	// side of the network for the window; it heals holding its state.
+	ChaosPartition ChaosKind = ChaosKind(fault.Partition)
+	// ChaosBackendDown takes the target backend down outright for the
+	// window.
+	ChaosBackendDown ChaosKind = ChaosKind(fault.BackendDown)
+)
+
+// String names the kind.
+func (k ChaosKind) String() string { return fault.Kind(k).String() }
+
+// ChaosEvent is one timed fault: the condition Kind holds for the
+// target over iterations Start <= it < End. Target indexes the victim —
+// a bound job slot for ChaosPreempt, a bound backend/replica index
+// otherwise.
+type ChaosEvent struct {
+	Kind   ChaosKind
+	Start  int
+	End    int
+	Target int
+}
+
+// PreemptionWaveEvents builds a spot preemption wave: every target job
+// is preempted at iteration at, with replacement capacity for all of
+// them duration iterations later — the mass lease expiry + adoption
+// scenario.
+func PreemptionWaveEvents(at, duration int, targets ...int) []ChaosEvent {
+	out := make([]ChaosEvent, 0, len(targets))
+	for _, t := range targets {
+		out = append(out, ChaosEvent{Kind: ChaosPreempt, Start: at, End: at + duration, Target: t})
+	}
+	return out
+}
+
+// StragglerWindowEvent marks one backend slow — not dead — for
+// iterations [start, end).
+func StragglerWindowEvent(target, start, end int) ChaosEvent {
+	return ChaosEvent{Kind: ChaosStraggle, Start: start, End: end, Target: target}
+}
+
+// PartitionWindowEvent cuts replica target off for iterations
+// [start, end); it heals at end holding its state.
+func PartitionWindowEvent(target, start, end int) ChaosEvent {
+	return ChaosEvent{Kind: ChaosPartition, Start: start, End: end, Target: target}
+}
+
+// BackendDownWindowEvent takes one backend down outright for
+// iterations [start, end).
+func BackendDownWindowEvent(target, start, end int) ChaosEvent {
+	return ChaosEvent{Kind: ChaosBackendDown, Start: start, End: end, Target: target}
+}
+
+// ChaosConfig is a timed fault scenario.
+type ChaosConfig struct {
+	// Events is the schedule. Windows may overlap freely; duplicate
+	// events collapse to one.
+	Events []ChaosEvent
+	// LatencyMult and BandwidthMult are the degradation a ChaosStraggle
+	// window applies to its bound remote store: latency × LatencyMult,
+	// bandwidth ÷ BandwidthMult (defaults 8 and 8; must be >= 1).
+	LatencyMult   float64
+	BandwidthMult float64
+}
+
+// Chaos replays a timed fault schedule against live stores. Bind the
+// targets (BindRemote, BindBackend, BindReplica, OnPreempt/OnRestore),
+// then call Advance(it) once per training iteration: transitions due in
+// the covered window fire in iteration order. Advance is idempotent per
+// iteration and never re-fires a transition.
+type Chaos struct {
+	sched  fault.Schedule
+	latMul float64
+	bwMul  float64
+
+	mu       sync.Mutex
+	cursor   int // last iteration whose transitions have been applied
+	remotes  map[int]RemoteStore
+	backends map[int]FlakyStore
+	replica  ReplicatedStore
+	preempt  func(target int)
+	restore  func(target int)
+}
+
+// NewChaos validates the scenario and builds its replayer.
+func NewChaos(cfg ChaosConfig) (*Chaos, error) {
+	events := make([]fault.Event, len(cfg.Events))
+	for i, e := range cfg.Events {
+		events[i] = fault.Event{Kind: fault.Kind(e.Kind), Start: e.Start, End: e.End, Target: e.Target}
+	}
+	sched, err := fault.NewSchedule(events...)
+	if err != nil {
+		return nil, err
+	}
+	lat, bw := cfg.LatencyMult, cfg.BandwidthMult
+	if lat == 0 {
+		lat = 8
+	}
+	if bw == 0 {
+		bw = 8
+	}
+	if lat < 1 || bw < 1 {
+		return nil, fmt.Errorf("moc: chaos degrade multipliers %v/%v must be >= 1", lat, bw)
+	}
+	return &Chaos{
+		sched:    sched,
+		latMul:   lat,
+		bwMul:    bw,
+		cursor:   -1,
+		remotes:  make(map[int]RemoteStore),
+		backends: make(map[int]FlakyStore),
+	}, nil
+}
+
+// BindRemote binds ChaosStraggle events with the given target index to
+// a remote store: the window opens with Degrade and closes with
+// ClearDegrade.
+func (c *Chaos) BindRemote(target int, rs RemoteStore) {
+	c.mu.Lock()
+	c.remotes[target] = rs
+	c.mu.Unlock()
+}
+
+// BindBackend binds ChaosBackendDown events with the given target index
+// to a flaky store: the window opens with Fail and closes with Heal.
+func (c *Chaos) BindBackend(target int, fs FlakyStore) {
+	c.mu.Lock()
+	c.backends[target] = fs
+	c.mu.Unlock()
+}
+
+// BindReplica binds ChaosPartition events to a replicated store: a
+// window opening cuts off the replica indexed by the event's Target,
+// and its close reconnects it.
+func (c *Chaos) BindReplica(rs ReplicatedStore) {
+	c.mu.Lock()
+	c.replica = rs
+	c.mu.Unlock()
+}
+
+// OnPreempt registers the callback fired when a ChaosPreempt window
+// opens — the harness kills/abandons the target job's writer there
+// (stop stepping it; its lease stops renewing).
+func (c *Chaos) OnPreempt(fn func(target int)) {
+	c.mu.Lock()
+	c.preempt = fn
+	c.mu.Unlock()
+}
+
+// OnRestore registers the callback fired when a ChaosPreempt window
+// closes — replacement capacity arrived; the harness re-adopts the
+// target job there.
+func (c *Chaos) OnRestore(fn func(target int)) {
+	c.mu.Lock()
+	c.restore = fn
+	c.mu.Unlock()
+}
+
+// Advance applies every transition scheduled in (lastAdvance, it]:
+// windows starting in the range open (degrade, fail, cut off, preempt)
+// and windows ending in it close (heal, reconnect, restore), in
+// iteration order with ends before starts at the same iteration.
+// Callbacks and store transitions run outside the Chaos lock. Calling
+// Advance with a non-increasing iteration is a no-op.
+func (c *Chaos) Advance(it int) {
+	c.mu.Lock()
+	from := c.cursor
+	if it <= from {
+		c.mu.Unlock()
+		return
+	}
+	c.cursor = it
+	type action struct {
+		ev    fault.Event
+		start bool
+	}
+	var acts []action
+	for i := from + 1; i <= it; i++ {
+		for _, e := range c.sched.Ending(i) {
+			acts = append(acts, action{e, false})
+		}
+		for _, e := range c.sched.Starting(i) {
+			acts = append(acts, action{e, true})
+		}
+	}
+	remotes := c.remotes
+	backends := c.backends
+	rep := c.replica
+	preempt, restore := c.preempt, c.restore
+	c.mu.Unlock()
+
+	for _, a := range acts {
+		switch a.ev.Kind {
+		case fault.Straggle:
+			rs := remotes[a.ev.Target]
+			if rs == nil {
+				continue
+			}
+			if a.start {
+				// Multipliers were validated >= 1 in NewChaos.
+				_ = rs.Degrade(c.latMul, c.bwMul)
+			} else {
+				rs.ClearDegrade()
+			}
+		case fault.BackendDown:
+			fs := backends[a.ev.Target]
+			if fs == nil {
+				continue
+			}
+			if a.start {
+				fs.Fail()
+			} else {
+				fs.Heal()
+			}
+		case fault.Partition:
+			if rep == nil {
+				continue
+			}
+			// Out-of-range targets were caught at bind-less replay time
+			// by the store itself; ignore the error — an unbound or
+			// mis-sized scenario must not abort the run it rides on.
+			if a.start {
+				_ = rep.CutOff(a.ev.Target)
+			} else {
+				_ = rep.Reconnect(a.ev.Target)
+			}
+		case fault.Preempt:
+			if a.start {
+				if preempt != nil {
+					preempt(a.ev.Target)
+				}
+			} else if restore != nil {
+				restore(a.ev.Target)
+			}
+		}
+	}
+}
+
+// ActiveAt returns the events whose window covers the iteration, in
+// schedule order — harnesses use it to decide, e.g., which jobs to skip
+// stepping while preempted.
+func (c *Chaos) ActiveAt(it int) []ChaosEvent {
+	active := c.sched.ActiveAt(it)
+	out := make([]ChaosEvent, len(active))
+	for i, e := range active {
+		out[i] = ChaosEvent{Kind: ChaosKind(e.Kind), Start: e.Start, End: e.End, Target: e.Target}
+	}
+	return out
+}
+
+// Horizon returns the first iteration at which no event is or will be
+// active (0 for an empty schedule) — run at least this far to see every
+// fault open and heal.
+func (c *Chaos) Horizon() int { return c.sched.Horizon() }
+
+// Events returns the validated schedule, ordered by (Start, End, Kind,
+// Target) with duplicates collapsed.
+func (c *Chaos) Events() []ChaosEvent {
+	events := c.sched.Events()
+	out := make([]ChaosEvent, len(events))
+	for i, e := range events {
+		out[i] = ChaosEvent{Kind: ChaosKind(e.Kind), Start: e.Start, End: e.End, Target: e.Target}
+	}
+	return out
+}
+
+// ChaosTimeline renders the schedule as human-readable lines, one
+// transition per line in iteration order — what the mocckpt chaos
+// subcommand prints to review a scenario before running it.
+func ChaosTimeline(events []ChaosEvent) []string {
+	type mark struct {
+		it    int
+		start bool
+		e     ChaosEvent
+	}
+	var marks []mark
+	for _, e := range events {
+		marks = append(marks, mark{e.Start, true, e}, mark{e.End, false, e})
+	}
+	sort.SliceStable(marks, func(i, j int) bool {
+		if marks[i].it != marks[j].it {
+			return marks[i].it < marks[j].it
+		}
+		// Ends before starts at the same iteration, mirroring Advance.
+		return !marks[i].start && marks[j].start
+	})
+	var out []string
+	for _, m := range marks {
+		verb := "heals"
+		if m.start {
+			verb = "strikes"
+		}
+		out = append(out, fmt.Sprintf("it %6d  %-12s target %d %s [%d,%d)",
+			m.it, m.e.Kind, m.e.Target, verb, m.e.Start, m.e.End))
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package main
+
+// The chaos subcommand validates a timed fault scenario and prints its
+// replay timeline — the dry run an operator reviews before pointing the
+// same schedule at a live harness (examples/elastic_fleet, or a test's
+// moc.NewChaos). It needs no checkpoint directory: the scenario is the
+// input.
+//
+//	mocckpt chaos -preempt 100:30:3 -straggle 1:40:80 -partition 2:50:70
+//
+// Windows are half-open [start,end) in training iterations. The same
+// window flags accept comma-separated lists; duplicate events collapse,
+// exactly as moc.NewChaos replays them.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"moc"
+)
+
+// parseWindows parses "target:start:end[,target:start:end...]" into
+// events of the given kind.
+func parseWindows(kind moc.ChaosKind, spec string) ([]moc.ChaosEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []moc.ChaosEvent
+	for _, w := range strings.Split(spec, ",") {
+		parts := strings.Split(w, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("window %q: want target:start:end", w)
+		}
+		nums := make([]int, 3)
+		for i, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("window %q: %v", w, err)
+			}
+			nums[i] = n
+		}
+		out = append(out, moc.ChaosEvent{Kind: kind, Target: nums[0], Start: nums[1], End: nums[2]})
+	}
+	return out, nil
+}
+
+func runChaos(args []string) int {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	preempt := fs.String("preempt", "", "preemption wave as at:dur:n — jobs 0..n-1 preempted at iteration `at`, capacity back after dur")
+	straggle := fs.String("straggle", "", "straggler windows target:start:end[,...] — backend slow, not dead")
+	partition := fs.String("partition", "", "partition windows target:start:end[,...] — replica cut off, heals with state")
+	down := fs.String("down", "", "outage windows target:start:end[,...] — backend down outright")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mocckpt chaos: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	var events []moc.ChaosEvent
+	if *preempt != "" {
+		parts := strings.Split(*preempt, ":")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "mocckpt chaos: -preempt %q: want at:dur:n\n", *preempt)
+			return 2
+		}
+		at, err1 := strconv.Atoi(parts[0])
+		dur, err2 := strconv.Atoi(parts[1])
+		n, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "mocckpt chaos: -preempt %q: want at:dur:n with n >= 1\n", *preempt)
+			return 2
+		}
+		targets := make([]int, n)
+		for i := range targets {
+			targets[i] = i
+		}
+		events = append(events, moc.PreemptionWaveEvents(at, dur, targets...)...)
+	}
+	for _, spec := range []struct {
+		kind moc.ChaosKind
+		arg  string
+	}{
+		{moc.ChaosStraggle, *straggle},
+		{moc.ChaosPartition, *partition},
+		{moc.ChaosBackendDown, *down},
+	} {
+		evs, err := parseWindows(spec.kind, spec.arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mocckpt chaos: %v\n", err)
+			return 2
+		}
+		events = append(events, evs...)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "mocckpt chaos: empty scenario (give -preempt, -straggle, -partition, or -down)")
+		return 2
+	}
+
+	chaos, err := moc.NewChaos(moc.ChaosConfig{Events: events})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mocckpt chaos: %v\n", err)
+		return 2
+	}
+	ordered := chaos.Events()
+	fmt.Printf("scenario: %d events, horizon %d iterations\n\n", len(ordered), chaos.Horizon())
+	for _, line := range moc.ChaosTimeline(ordered) {
+		fmt.Println(line)
+	}
+	// Peak concurrency tells the operator how degraded the worst
+	// iteration is — every window active at once is a very different
+	// run from the same windows in sequence.
+	peakIt, peak := 0, 0
+	for it := 0; it < chaos.Horizon(); it++ {
+		if n := len(chaos.ActiveAt(it)); n > peak {
+			peakIt, peak = it, n
+		}
+	}
+	fmt.Printf("\npeak: %d concurrent faults at iteration %d\n", peak, peakIt)
+	return 0
+}

@@ -18,6 +18,9 @@
 //	                                     # analysis (the mocvet registry
 //	                                     # run in-process; see
 //	                                     # internal/analysis)
+//	mocckpt chaos -preempt 100:30:3 ...  # validate a timed fault scenario
+//	                                     # and print its replay timeline
+//	                                     # (see chaos.go)
 //	mocckpt -dir /path/to/ckpts -shards 4 shards
 //	                                     # per-shard distribution, balance
 //	                                     # factor, misplaced keys
@@ -99,13 +102,17 @@ func main() {
 	l1MB := flag.Int("l1-mb", 16, "restore: per-reader L1 cache capacity in MiB")
 	flag.Parse()
 	cmd := flag.Arg(0)
-	// vet works on a source tree, not a checkpoint directory: dispatch
-	// before the -dir requirement, with its own flag set.
+	// vet works on a source tree and chaos on a scenario spec, not a
+	// checkpoint directory: dispatch before the -dir requirement, each
+	// with its own flag set.
 	if cmd == "vet" {
 		os.Exit(runVet(flag.Args()[1:]))
 	}
+	if cmd == "chaos" {
+		os.Exit(runChaos(flag.Args()[1:]))
+	}
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|jobs|shards} | mocckpt vet [packages]")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|jobs|shards} | mocckpt vet [packages] | mocckpt chaos [flags]")
 		os.Exit(2)
 	}
 	// Go's flag parsing stops at the first positional argument, so flags
@@ -360,20 +367,30 @@ func jobs(store storage.PersistStore) error {
 	if len(svc.Jobs()) == 0 {
 		fmt.Println("no fleet registry; showing per-writer footprints")
 	}
-	fmt.Printf("%-16s %-16s %-6s %-6s %-8s %-14s %-14s %s\n",
+	now := simtime.WallNow()
+	fmt.Printf("%-16s %-16s %-6s %-14s %-8s %-14s %-14s %s\n",
 		"job", "parent", "epoch", "lease", "rounds", "logical", "chunk-bytes", "exclusive")
 	for _, j := range st.Jobs {
-		id, parent, lease := j.ID, j.Parent, "-"
+		id, parent := j.ID, j.Parent
 		if !j.Registered {
 			id = j.ID + "*" // unregistered writer sharing the store
 		}
 		if parent == "" {
 			parent = "-"
 		}
-		if j.LeaseHeld {
-			lease = "held"
+		// The lease column distinguishes a live lease (time remaining
+		// before liveness runs out) from the orphan state a crash or
+		// preemption leaves: EXPIRED means the job was attached at least
+		// once, its lease ran out, and nobody has adopted it.
+		lease := "-"
+		switch {
+		case j.LeaseHeld:
+			left := time.Unix(0, j.LeaseExpiresUnixNano).Sub(now).Truncate(time.Second)
+			lease = fmt.Sprintf("held %s", left)
+		case j.Registered && j.Epoch > 0:
+			lease = "EXPIRED"
 		}
-		fmt.Printf("%-16s %-16s %-6d %-6s %-8d %-14d %-14d %d\n",
+		fmt.Printf("%-16s %-16s %-6d %-14s %-8d %-14d %-14d %d\n",
 			id, parent, j.Epoch, lease, j.Rounds, j.LogicalBytes, j.ChunkBytes, j.ExclusiveChunkBytes)
 	}
 	fmt.Printf("\nshared store: %d chunk bytes; independent per-job stores would hold %d",

@@ -27,6 +27,10 @@ type FleetConfig struct {
 	// ScrubChunksPerPass bounds the chunk content verification of one
 	// scrub pass (default 128; negative disables the sweep).
 	ScrubChunksPerPass int
+	// Now supplies the clock for lease bookkeeping (default the wall
+	// clock). Chaos harnesses inject a manual clock so a preemption
+	// wave's mass lease expiry is driven deterministically.
+	Now func() time.Time
 	// ReadTier, when non-nil, fronts the shared store with the
 	// read-serving cache hierarchy: each job gets a private L1 over one
 	// fleet-shared warm L2, and every chunk read is coalesced, so forks
@@ -46,6 +50,32 @@ type FleetJob struct {
 	// LeaseHeld reports an unexpired lease (an attached System, or a
 	// recently crashed one whose lease has not run out yet).
 	LeaseHeld bool
+	// LeaseExpires is the lease's absolute expiry (zero until the job is
+	// first attached). With LeaseHeld it distinguishes a live lease
+	// (time remaining) from an expired-but-unadopted job — the orphan
+	// state a preemption wave leaves behind.
+	LeaseExpires time.Time
+}
+
+// FleetCadenceConfig tunes the lease-aware adaptive checkpoint cadence
+// (Fleet.SetCadence). Zero values take defaults: ×2 per down backend,
+// ×1.5 while anti-entropy repair is owed, ×1.5 while the shard balance
+// exceeds 1.5, capped at ×8, relaxing half the gap per healthy scrub.
+type FleetCadenceConfig struct {
+	// DownStretch multiplies the checkpoint interval once per backend
+	// probing unhealthy (two down → DownStretch²).
+	DownStretch float64
+	// BacklogStretch multiplies the interval while a reconciling
+	// anti-entropy Sync is owed.
+	BacklogStretch float64
+	// ImbalanceStretch multiplies the interval while the shard chunk
+	// balance (max/mean) exceeds ImbalanceOver.
+	ImbalanceStretch float64
+	ImbalanceOver    float64
+	// MaxStretch caps the combined stretch; Relax is the fraction of
+	// the gap closed per healthy scrub pass while recovering.
+	MaxStretch float64
+	Relax      float64
 }
 
 // FleetJobStats is one job's storage footprint on the shared store.
@@ -87,6 +117,13 @@ type FleetStats struct {
 	SyncCopies    int64
 	HealsDetected int64
 	ScrubFindings int64
+	// SyncOwed reports outstanding anti-entropy repair debt — a backend
+	// saw downtime and its reconciling Sync has not completed yet.
+	SyncOwed bool
+	// CadenceStretch is the adaptive checkpoint cadence's current
+	// interval stretch (1 unless SetCadence enabled adaptation and the
+	// fleet is degraded).
+	CadenceStretch float64
 	// Shards breaks the storage distribution down per shard when the
 	// shared store is sharded (NewShardedStore; nil otherwise), in ring
 	// order. ShardBalance is then max/mean chunk bytes across shards
@@ -134,6 +171,7 @@ type FleetShardScrub struct {
 // Fleet is the multi-job checkpoint service over one shared store.
 type Fleet struct {
 	svc *fleet.Service
+	now func() time.Time
 }
 
 // NewFleet opens the fleet service over a shared persistent store. A
@@ -150,6 +188,7 @@ func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
 	fc := fleet.Config{
 		LeaseTTL:           cfg.LeaseTTL,
 		ScrubChunksPerPass: cfg.ScrubChunksPerPass,
+		Now:                cfg.Now,
 	}
 	if cfg.ReadTier != nil {
 		rc := cfg.ReadTier.toInternal()
@@ -159,7 +198,11 @@ func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fleet{svc: svc}, nil
+	now := cfg.Now
+	if now == nil {
+		now = simtime.WallNow
+	}
+	return &Fleet{svc: svc, now: now}, nil
 }
 
 // Register adds a job to the registry without attaching a System (the
@@ -174,17 +217,66 @@ func (f *Fleet) Register(id, parent string) error {
 func (f *Fleet) Jobs() []FleetJob {
 	jobs := f.svc.Jobs()
 	out := make([]FleetJob, len(jobs))
-	now := simtime.WallNow()
+	now := f.now()
 	for i, j := range jobs {
 		out[i] = FleetJob{
-			ID:        j.ID,
-			Parent:    j.Parent,
-			Epoch:     j.Epoch,
-			LeaseHeld: j.LeaseExpires().After(now),
+			ID:           j.ID,
+			Parent:       j.Parent,
+			Epoch:        j.Epoch,
+			LeaseHeld:    j.LeaseExpires().After(now),
+			LeaseExpires: j.LeaseExpires(),
 		}
 	}
 	return out
 }
+
+// ExpiredJobs lists the jobs whose lease ran out without a new holder —
+// after a preemption wave, the orphan set replacement capacity should
+// re-attach (Fleet.NewSystem resumes each from its last committed
+// round). A deliberately closed job also appears here: lease-based
+// liveness cannot tell a crash from a clean exit, only that nobody is
+// writing. Sorted by id.
+func (f *Fleet) ExpiredJobs() []FleetJob {
+	expired := f.svc.ExpiredJobs()
+	out := make([]FleetJob, len(expired))
+	for i, j := range expired {
+		out[i] = FleetJob{
+			ID: j.ID, Parent: j.Parent, Epoch: j.Epoch,
+			LeaseExpires: j.LeaseExpires(),
+		}
+	}
+	return out
+}
+
+// SetCadence enables the lease-aware adaptive checkpoint cadence: every
+// scrub pass feeds the fleet health it observed (backends down, repair
+// debt, shard imbalance) to a controller, and every fleet-attached
+// System consults it each iteration, stretching its checkpoint interval
+// while the fleet is degraded and relaxing back to the configured
+// cadence once it heals. Degradation is adopted instantly; recovery is
+// geometric (Relax of the remaining gap per healthy pass), so a
+// flapping backend does not make the cadence flap. Enable it before
+// starting the scrub daemon.
+func (f *Fleet) SetCadence(cfg FleetCadenceConfig) {
+	f.svc.SetCadence(fleet.CadenceConfig{
+		DownStretch:      cfg.DownStretch,
+		BacklogStretch:   cfg.BacklogStretch,
+		ImbalanceStretch: cfg.ImbalanceStretch,
+		ImbalanceOver:    cfg.ImbalanceOver,
+		MaxStretch:       cfg.MaxStretch,
+		Relax:            cfg.Relax,
+	})
+}
+
+// Cadence maps a base checkpoint interval through the current adaptive
+// stretch — what a training loop outside System.Step asks each round to
+// decide whether this iteration checkpoints. Identity when SetCadence
+// was never called (or the fleet is healthy).
+func (f *Fleet) Cadence(base int) int { return f.svc.CadenceInterval(base) }
+
+// CadenceStretch reports the current interval stretch factor (1 when
+// adaptive cadence is disabled or the fleet is healthy).
+func (f *Fleet) CadenceStretch() float64 { return f.svc.CadenceStretch() }
 
 // NewSystem builds a System whose checkpoints persist into the fleet's
 // shared store under the given job id (registered on first use). The
@@ -199,6 +291,23 @@ func (f *Fleet) NewSystem(cfg Config, jobID string) (*System, error) {
 		return nil, err
 	}
 	sys, err := newSystemOn(cfg, nil, nil, sess)
+	if err != nil {
+		sess.Release()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// NewSystemWith is NewSystem training on the provided corpus (nil = the
+// default pre-training corpus) — what re-adopting a fine-tune fork
+// after a preemption needs: the resumed System must train on the fork's
+// domain corpus, not the default, to continue the run it inherits.
+func (f *Fleet) NewSystemWith(cfg Config, jobID string, corpus *Corpus) (*System, error) {
+	sess, err := f.svc.AcquireOrRegister(jobID, "")
+	if err != nil {
+		return nil, err
+	}
+	sys, err := newSystemOn(cfg, nil, corpus, sess)
 	if err != nil {
 		sess.Release()
 		return nil, err
@@ -262,6 +371,8 @@ func (f *Fleet) Stats() (FleetStats, error) {
 		SyncCopies:            st.SyncCopies,
 		HealsDetected:         st.HealsDetected,
 		ScrubFindings:         st.ScrubFindings,
+		SyncOwed:              st.SyncOwed,
+		CadenceStretch:        st.CadenceStretch,
 		ShardBalance:          st.ShardBalance,
 	}
 	if st.ReadTier != nil {

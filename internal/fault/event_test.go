@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventValidation(t *testing.T) {
+	cases := []Event{
+		{Kind: Straggle, Start: -1, End: 5, Target: 0},
+		{Kind: Straggle, Start: 5, End: 5, Target: 0},
+		{Kind: Straggle, Start: 5, End: 3, Target: 0},
+		{Kind: Straggle, Start: 1, End: 5, Target: -1},
+		{Kind: Kind(99), Start: 1, End: 5, Target: 0},
+	}
+	for _, e := range cases {
+		if _, err := NewSchedule(e); err == nil {
+			t.Errorf("NewSchedule(%v) accepted a malformed event", e)
+		}
+	}
+	if _, err := NewSchedule(Event{Kind: BackendDown, Start: 0, End: 1, Target: 0}); err != nil {
+		t.Fatalf("minimal valid event rejected: %v", err)
+	}
+}
+
+func TestScheduleOrderingAndDedup(t *testing.T) {
+	e1 := Event{Kind: Straggle, Start: 10, End: 20, Target: 1}
+	e2 := Event{Kind: Partition, Start: 5, End: 8, Target: 0}
+	s, err := NewSchedule(e1, e2, e1) // duplicate e1 collapses
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Events()
+	if len(got) != 2 || got[0] != e2 || got[1] != e1 {
+		t.Fatalf("events %v, want [%v %v]", got, e2, e1)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len %d", s.Len())
+	}
+}
+
+func TestScheduleWindows(t *testing.T) {
+	s := StragglerWindow(2, 10, 20)
+	if n := len(s.ActiveAt(9)); n != 0 {
+		t.Fatalf("active before start: %d", n)
+	}
+	if n := len(s.ActiveAt(10)); n != 1 {
+		t.Fatalf("not active at start: %d", n)
+	}
+	if n := len(s.ActiveAt(19)); n != 1 {
+		t.Fatalf("not active at End-1: %d", n)
+	}
+	if n := len(s.ActiveAt(20)); n != 0 {
+		t.Fatalf("still active at End: %d", n)
+	}
+	if ev := s.Starting(10); len(ev) != 1 || ev[0].Target != 2 {
+		t.Fatalf("Starting(10) = %v", ev)
+	}
+	if ev := s.Ending(20); len(ev) != 1 {
+		t.Fatalf("Ending(20) = %v", ev)
+	}
+	if h := s.Horizon(); h != 20 {
+		t.Fatalf("Horizon %d", h)
+	}
+	if h := (Schedule{}).Horizon(); h != 0 {
+		t.Fatalf("empty Horizon %d", h)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	wave := PreemptionWave(100, 30, 0, 1, 2)
+	if wave.Len() != 3 {
+		t.Fatalf("wave events %d", wave.Len())
+	}
+	for _, e := range wave.Events() {
+		if e.Kind != Preempt || e.Start != 100 || e.End != 130 {
+			t.Fatalf("wave event %v", e)
+		}
+	}
+	part := PartitionBetween(0, 1, 40, 60)
+	pe := part.Events()
+	if len(pe) != 1 || pe[0].Kind != Partition || pe[0].Target != 1 {
+		t.Fatalf("partition events %v", pe)
+	}
+	down := BackendDownWindow(1, 5, 9)
+	de := down.Events()
+	if len(de) != 1 || de[0].Kind != BackendDown {
+		t.Fatalf("down events %v", de)
+	}
+}
+
+func TestScheduleMerge(t *testing.T) {
+	merged := PreemptionWave(50, 10, 0).Merge(
+		StragglerWindow(1, 20, 40),
+		PartitionBetween(0, 1, 30, 45),
+	)
+	if merged.Len() != 3 {
+		t.Fatalf("merged events %d: %v", merged.Len(), merged.Events())
+	}
+	// 30..39 has both the straggler and the partition active.
+	if n := len(merged.ActiveAt(35)); n != 2 {
+		t.Fatalf("ActiveAt(35) = %d events", n)
+	}
+	// Merging a schedule with itself changes nothing.
+	if again := merged.Merge(merged); again.Len() != merged.Len() {
+		t.Fatalf("self-merge grew the schedule: %d", again.Len())
+	}
+}
+
+func TestSchedulePlanComposesWithUnion(t *testing.T) {
+	sched := StragglerWindow(0, 10, 20).Merge(PreemptionWave(30, 5, 0, 1))
+	p := Union(sched.Plan(), At(7))
+	if !reflect.DeepEqual(p.Iterations(), []int{7, 10, 30}) {
+		t.Fatalf("union iterations %v", p.Iterations())
+	}
+}
+
+func TestFromPlanLiftsArrivals(t *testing.T) {
+	s := FromPlan(BackendDown, At(10, 25), 5, 1)
+	events := s.Events()
+	if len(events) != 2 {
+		t.Fatalf("events %v", events)
+	}
+	want0 := Event{Kind: BackendDown, Start: 10, End: 15, Target: 1}
+	want1 := Event{Kind: BackendDown, Start: 25, End: 30, Target: 1}
+	if events[0] != want0 || events[1] != want1 {
+		t.Fatalf("events %v, want [%v %v]", events, want0, want1)
+	}
+	if FromPlan(BackendDown, nil, 5, 0).Len() != 0 {
+		t.Fatal("nil plan should lift to empty schedule")
+	}
+	if FromPlan(BackendDown, At(10), 0, 0).Len() != 0 {
+		t.Fatal("zero duration should lift to empty schedule")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Preempt: "preempt", Straggle: "straggle",
+		Partition: "partition", BackendDown: "backend-down",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

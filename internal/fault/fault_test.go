@@ -97,3 +97,74 @@ func TestNone(t *testing.T) {
 		t.Fatal("None plan not empty")
 	}
 }
+
+// TestPoissonDeterministicAcrossRuns pins the exact arrival sequence of
+// one (rate, total, seed) triple. TestPoissonDeterministicAndPlausible
+// only proves two in-process draws agree; this golden sequence fails if
+// the underlying RNG or the exponential sampler ever changes, which
+// would silently re-shuffle every replayed fault scenario between
+// binary versions.
+func TestPoissonDeterministicAcrossRuns(t *testing.T) {
+	got := Poisson(0.02, 500, 7).Iterations()
+	want := []int{18, 82, 91, 92, 99, 239, 352, 397, 492}
+	if len(got) != len(want) {
+		t.Fatalf("iterations %v, want pinned %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterations %v, want pinned %v", got, want)
+		}
+	}
+	// Different seeds must draw different processes.
+	other := Poisson(0.02, 500, 8).Iterations()
+	same := len(other) == len(want)
+	if same {
+		for i := range want {
+			if other[i] != want[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 8 drew seed 7's arrival sequence")
+	}
+}
+
+// TestUnionOverlapDedup pins Union's overlapping-iteration semantics: an
+// iteration scheduled by several plans (or several times by one plan)
+// strikes once, Count reflects the deduplicated set, and a plan unioned
+// with itself is unchanged.
+func TestUnionOverlapDedup(t *testing.T) {
+	a := At(10, 20, 30)
+	b := At(20, 30, 40)
+	u := Union(a, b)
+	want := []int{10, 20, 30, 40}
+	got := u.Iterations()
+	if len(got) != len(want) {
+		t.Fatalf("iterations %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterations %v, want %v", got, want)
+		}
+	}
+	if u.Count() != 4 {
+		t.Fatalf("count %d after dedup, want 4", u.Count())
+	}
+	self := Union(a, a, a)
+	if self.Count() != a.Count() {
+		t.Fatalf("self-union count %d, want %d", self.Count(), a.Count())
+	}
+	for _, it := range a.Iterations() {
+		if !self.IsFault(it) {
+			t.Fatalf("self-union lost iteration %d", it)
+		}
+	}
+	// Union must not alias its inputs: mutating the union's returned
+	// slice leaves the originals intact.
+	got[0] = 9999
+	if a.Iterations()[0] != 10 {
+		t.Fatal("Union aliased an input plan's iterations")
+	}
+}

@@ -1,0 +1,42 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// ManualClock is a hand-advanced clock: Now returns the same instant
+// until Advance (or Set) moves it. Lease-expiry and TTL tests inject it
+// (fleet.Config.Now = clock.Now) so expiry is driven deterministically
+// instead of by sleeping — the difference between a lease test that is
+// exact under -race and one that flakes when the runner stalls.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a clock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (backward for negative d).
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}

@@ -1,0 +1,47 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceAndSet(t *testing.T) {
+	start := time.Unix(500, 0)
+	c := NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	if again := c.Now(); !again.Equal(start) {
+		t.Fatal("clock moved without Advance")
+	}
+	c.Advance(90 * time.Second)
+	if want := start.Add(90 * time.Second); !c.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", c.Now(), want)
+	}
+	c.Advance(-30 * time.Second)
+	if want := start.Add(60 * time.Second); !c.Now().Equal(want) {
+		t.Fatalf("Now after negative advance = %v, want %v", c.Now(), want)
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now after Set = %v, want %v", c.Now(), start)
+	}
+}
+
+func TestManualClockConcurrentReads(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = c.Now()
+	}
+	<-done
+	if got := c.Now(); !got.Equal(time.Unix(1, 0)) {
+		t.Fatalf("Now = %v after 1000ms of advances", got)
+	}
+}

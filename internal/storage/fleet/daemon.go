@@ -154,7 +154,26 @@ func (s *Service) Scrub() (ScrubReport, error) {
 	s.scrubs++
 	s.findings += int64(rep.Findings())
 	s.orphans = int64(rep.Orphans)
+	owed := s.needSync
+	if s.sh != nil {
+		for _, st := range s.shardState {
+			if st.needSync {
+				owed = true
+			}
+		}
+	}
+	sig := HealthSignal{
+		BackendsDown:   rep.Down,
+		SyncOwed:       owed,
+		ShardImbalance: s.lastShardBalance,
+	}
+	ctl := s.cadence
 	s.mu.Unlock()
+	// Feed the pass's health observation to the adaptive checkpoint
+	// cadence (outside s.mu — the controller has its own lock).
+	if ctl != nil {
+		ctl.Observe(sig)
+	}
 	return rep, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
 	"moc/internal/storage/readserve"
@@ -75,8 +76,9 @@ type Config struct {
 	// scrub pass (default DefaultScrubChunksPerPass; negative disables
 	// the sweep).
 	ScrubChunksPerPass int
-	// Now supplies the clock (default time.Now) — tests drive lease
-	// expiry deterministically through it.
+	// Now supplies the clock (default simtime.WallNow) — tests drive
+	// lease expiry deterministically by injecting a simtime.ManualClock's
+	// Now.
 	Now func() time.Time
 	// ReadTier, when non-nil, puts a read-serving cache hierarchy in
 	// front of the shared backend: every session's chunk reads route
@@ -97,7 +99,7 @@ func (c *Config) fillDefaults() {
 		c.ScrubChunksPerPass = DefaultScrubChunksPerPass
 	}
 	if c.Now == nil {
-		c.Now = time.Now
+		c.Now = simtime.WallNow
 	}
 }
 
@@ -214,6 +216,12 @@ type Service struct {
 	orphans    int64 // orphan chunks seen by the latest audit
 	scrubErrs  int64
 	scrubPos   int // rotating cursor of the verification sweep
+	// cadence is the adaptive checkpoint cadence controller (nil unless
+	// SetCadence enabled it); lastShardBalance caches the most recent
+	// Stats() shard balance so scrub passes can feed it to the
+	// controller without re-scanning manifests.
+	cadence          *CadenceController
+	lastShardBalance float64
 	// Per-shard scrub state (sharded backends only), keyed by shard
 	// name so state survives membership changes reindexing the router:
 	// each shard's repairable handle (nil when the shard is a single
@@ -443,6 +451,53 @@ func (s *Service) Jobs() []Job {
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
+}
+
+// ExpiredJobs returns the jobs whose lease has run out without a new
+// holder: acquired at least once (Epoch > 0) and expiry in the past.
+// After a preemption wave this is exactly the orphan set — every
+// preempted writer's lease ran out and nobody adopted it — and it is
+// what operator tooling flags as expired-but-unadopted. A deliberately
+// Released job also appears here (its lease is cut to "now"); the
+// record alone cannot distinguish a crash from a clean exit, which is
+// the point of lease-based liveness. Sorted by id.
+func (s *Service) ExpiredJobs() []Job {
+	now := s.cfg.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Job
+	for _, j := range s.jobs {
+		if j.Epoch > 0 && j.LeaseExpiresUnixNano <= now {
+			out = append(out, *j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// AdoptExpired re-acquires every expired job (see ExpiredJobs) — the
+// recovery step replacement capacity runs after a preemption wave, so
+// orphaned jobs resume from their last committed round under fresh
+// epochs. A job raced away by another adopter is skipped, not an
+// error. Returns the new sessions sorted by job id, plus the first
+// hard failure (partial results are still returned).
+func (s *Service) AdoptExpired() ([]*Session, error) {
+	var sessions []*Session
+	var firstErr error
+	for _, j := range s.ExpiredJobs() {
+		sess, err := s.Acquire(j.ID)
+		if errors.Is(err, ErrLeaseHeld) {
+			continue // another adopter got there first
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fleet: adopt expired %q: %w", j.ID, err)
+			}
+			continue
+		}
+		sessions = append(sessions, sess)
+	}
+	return sessions, firstErr
 }
 
 // Acquire takes the job's lease and returns a write session fenced on

@@ -4,35 +4,20 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sync"
 	"testing"
 	"time"
 
 	"moc/internal/rng"
+	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
 )
 
-// testClock is a manual clock for lease-expiry tests.
-type testClock struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-func newTestClock() *testClock {
-	return &testClock{now: time.Unix(1_000_000, 0)}
-}
-
-func (c *testClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
-
-func (c *testClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	c.now = c.now.Add(d)
-	c.mu.Unlock()
+// newTestClock returns a manual clock for lease-expiry tests, frozen at
+// an arbitrary epoch. simtime.ManualClock is safe to advance from the
+// test while daemons read it, so expiry tests stay exact under -race.
+func newTestClock() *simtime.ManualClock {
+	return simtime.NewManualClock(time.Unix(1_000_000, 0))
 }
 
 func blob(seed uint64, n int) []byte {

@@ -17,6 +17,11 @@ type JobStats struct {
 	Registered bool
 	Epoch      int64
 	LeaseHeld  bool
+	// LeaseExpiresUnixNano is the lease's absolute expiry (0 until the
+	// job is first acquired). Together with LeaseHeld it lets operator
+	// tooling show time remaining on live leases and flag jobs whose
+	// lease ran out without anyone adopting them.
+	LeaseExpiresUnixNano int64
 	// Rounds/Manifests/Modules count the job's committed state.
 	Rounds    int
 	Manifests int
@@ -65,6 +70,14 @@ type Stats struct {
 	ScrubFindings int64
 	OrphansSeen   int64
 	ScrubErrors   int64
+	// SyncOwed reports outstanding anti-entropy repair debt: some
+	// backend (or shard replica) saw downtime and its reconciling Sync
+	// has not completed yet.
+	SyncOwed bool
+	// CadenceStretch is the adaptive checkpoint cadence's current
+	// interval stretch factor (1 when adaptive cadence is not enabled
+	// or the fleet is healthy).
+	CadenceStretch float64
 	// Shards lists per-shard chunk distribution and health when the
 	// shared backend is hash-partitioned (nil otherwise), in router
 	// order; ShardBalance is then max/mean chunk bytes across shards
@@ -147,6 +160,7 @@ func (s *Service) Stats() (Stats, error) {
 	}
 	st.ScrubPasses = s.scrubs
 	st.SyncCopies = s.syncCopies
+	st.SyncOwed = s.needSync
 	st.HealsDetected = s.heals
 	st.ScrubFindings = s.findings
 	st.OrphansSeen = s.orphans
@@ -160,6 +174,9 @@ func (s *Service) Stats() (Stats, error) {
 		names, states := s.syncShardState()
 		for i, name := range names {
 			ss := ShardStats{Name: name, Findings: states[i].findings}
+			if states[i].needSync {
+				st.SyncOwed = true
+			}
 			for _, down := range states[i].prevDown {
 				if down {
 					ss.BackendsDown++
@@ -194,7 +211,13 @@ func (s *Service) Stats() (Stats, error) {
 			mean := float64(total) / float64(len(st.Shards))
 			st.ShardBalance = float64(maxBytes) / mean
 		}
+		// Cache the balance for the scrub pass's cadence observation —
+		// recomputing it there would mean a manifest re-scan per pass.
+		s.mu.Lock()
+		s.lastShardBalance = st.ShardBalance
+		s.mu.Unlock()
 	}
+	st.CadenceStretch = s.CadenceStretch()
 
 	names := make(map[string]bool)
 	for w := range byWriter {
@@ -211,6 +234,7 @@ func (s *Service) Stats() (Stats, error) {
 			js.Registered = true
 			js.Epoch = j.Epoch
 			js.LeaseHeld = j.LeaseExpiresUnixNano > now.UnixNano()
+			js.LeaseExpiresUnixNano = j.LeaseExpiresUnixNano
 		}
 		if a := byWriter[w]; a != nil {
 			js.Rounds = len(a.rounds)

@@ -167,6 +167,9 @@ type Metrics struct {
 	// Retries counts retried requests; InjectedFailures every transient
 	// fault the injector fired (retried or not).
 	Retries, InjectedFailures int64
+	// DegradedOps counts requests charged while the store was degraded
+	// (see Degrade) — the traffic that paid the multiplied cost.
+	DegradedOps int64
 	// SimSeconds is the accumulated simulated busy time across requests,
 	// including backoff waits. Concurrent part uploads each contribute
 	// their own stream time, so this is op-seconds, not wall-clock; see
@@ -194,6 +197,10 @@ type Store struct {
 	// the store's lifetime, not of a measurement window.
 	served  map[string]bool
 	metrics Metrics
+	// latMult/bwMult are the degraded-mode cost multipliers (see
+	// Degrade); 0 means healthy (factor 1). Runtime state, not config:
+	// chaos scenarios flip them mid-run.
+	latMult, bwMult float64
 }
 
 // New builds a simulated object store from the cost model.
@@ -240,6 +247,42 @@ func (s *Store) faultRNG(identity string) *rng.RNG {
 	return rng.New(s.cfg.Seed ^ h.Sum64() ^ n*0x9e3779b97f4a7c15)
 }
 
+// Degrade switches the store into degraded mode — a straggling
+// endpoint, slow but alive: every request's round-trip latency is
+// multiplied by latencyMult and its stream bandwidth divided by
+// bandwidthMult until ClearDegrade. Both multipliers must be >= 1 (use
+// ClearDegrade to heal, not sub-unity factors). Switchable mid-run and
+// safe for concurrent use; in-flight requests that already computed
+// their cost finish at the old rate, exactly like a real brownout
+// catching a request mid-transfer.
+func (s *Store) Degrade(latencyMult, bandwidthMult float64) error {
+	if latencyMult < 1 || bandwidthMult < 1 {
+		return fmt.Errorf("remote: degrade multipliers %v/%v below 1", latencyMult, bandwidthMult)
+	}
+	s.mu.Lock()
+	s.latMult, s.bwMult = latencyMult, bandwidthMult
+	s.mu.Unlock()
+	return nil
+}
+
+// ClearDegrade restores the configured (healthy) cost model.
+func (s *Store) ClearDegrade() {
+	s.mu.Lock()
+	s.latMult, s.bwMult = 0, 0
+	s.mu.Unlock()
+}
+
+// DegradeFactors reports the active multipliers (1, 1 when healthy) and
+// whether the store is degraded.
+func (s *Store) DegradeFactors() (latencyMult, bandwidthMult float64, degraded bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latMult == 0 && s.bwMult == 0 {
+		return 1, 1, false
+	}
+	return s.latMult, s.bwMult, true
+}
+
 // charge accumulates simulated seconds and applies the scaled real sleep.
 func (s *Store) charge(seconds float64) {
 	s.mu.Lock()
@@ -251,9 +294,11 @@ func (s *Store) charge(seconds float64) {
 }
 
 // requestCost is one request's simulated duration: round-trip latency
-// plus transfer time for the payload and framing overhead.
+// plus transfer time for the payload and framing overhead, at the
+// effective (possibly degraded) rates.
 func (s *Store) requestCost(payloadBytes int64, bps float64) float64 {
-	return s.cfg.LatencySeconds + float64(payloadBytes+s.cfg.RequestOverheadBytes)/bps
+	lat, bw, _ := s.DegradeFactors()
+	return s.cfg.LatencySeconds*lat + float64(payloadBytes+s.cfg.RequestOverheadBytes)/(bps/bw)
 }
 
 // attempt runs one request with retry/backoff/cost accounting. identity
@@ -302,6 +347,9 @@ func (s *Store) attempt(identity string, transfer int64, bps float64, counter *i
 		s.mu.Lock()
 		if counter != nil {
 			*counter += transfer + s.cfg.RequestOverheadBytes
+		}
+		if s.latMult != 0 || s.bwMult != 0 {
+			s.metrics.DegradedOps++
 		}
 		s.mu.Unlock()
 		return spent, nil
@@ -445,9 +493,10 @@ func (s *Store) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("remote: get %s: %w", key, err)
 	}
 	// The download volume is known only after the inner read; charge the
-	// transfer now (attempt charged latency + overhead for a 0-byte
-	// payload).
-	s.charge(float64(len(blob)) / s.cfg.DownloadBps)
+	// transfer now at the effective rate (attempt charged latency +
+	// overhead for a 0-byte payload).
+	_, bw, _ := s.DegradeFactors()
+	s.charge(float64(len(blob)) / (s.cfg.DownloadBps / bw))
 	vol := int64(len(blob)) + s.cfg.RequestOverheadBytes
 	s.mu.Lock()
 	s.metrics.GetOps++

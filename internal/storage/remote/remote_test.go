@@ -319,3 +319,72 @@ func TestColdRepeatGetSplit(t *testing.T) {
 		t.Fatalf("fresh key not counted cold: %+v", m)
 	}
 }
+
+func TestDegradedModeMultipliesCostMidRun(t *testing.T) {
+	s := mustNew(t, Config{
+		LatencySeconds: 0.01, UploadBps: 1 << 20, DownloadBps: 2 << 20,
+		RequestOverheadBytes: 100,
+	})
+	payload := bytes.Repeat([]byte{3}, 1<<16)
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	healthy := s.Metrics().SimSeconds
+
+	if err := s.Degrade(0.5, 1); err == nil {
+		t.Fatal("sub-unity latency multiplier accepted")
+	}
+	if err := s.Degrade(1, 0.9); err == nil {
+		t.Fatal("sub-unity bandwidth multiplier accepted")
+	}
+	if err := s.Degrade(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if lat, bw, deg := s.DegradeFactors(); !deg || lat != 4 || bw != 8 {
+		t.Fatalf("factors %v/%v degraded=%v", lat, bw, deg)
+	}
+	if err := s.Put("k2", payload); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	degraded := m.SimSeconds - healthy
+	// Degraded put: 4x latency + bytes at 1/8 bandwidth.
+	want := 4*0.01 + float64(len(payload)+100)/float64((1<<20)/8)
+	if diff := degraded - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("degraded put cost %v, want %v", degraded, want)
+	}
+	if m.DegradedOps != 1 {
+		t.Fatalf("DegradedOps %d, want 1", m.DegradedOps)
+	}
+
+	// Degraded gets charge the transfer at the throttled rate too.
+	before := m.SimSeconds
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	gotCost := m.SimSeconds - before
+	wantGet := 4*0.01 + float64(100)/float64((2<<20)/8) + float64(len(payload))/float64((2<<20)/8)
+	if diff := gotCost - wantGet; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("degraded get cost %v, want %v", gotCost, wantGet)
+	}
+
+	// Healing mid-run restores the configured cost model exactly.
+	s.ClearDegrade()
+	if _, _, deg := s.DegradeFactors(); deg {
+		t.Fatal("still degraded after ClearDegrade")
+	}
+	before = m.SimSeconds
+	if err := s.Put("k3", payload); err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	healedCost := m.SimSeconds - before
+	wantHealed := 0.01 + float64(len(payload)+100)/float64(1<<20)
+	if diff := healedCost - wantHealed; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("healed put cost %v, want %v", healedCost, wantHealed)
+	}
+	if m.DegradedOps != 2 {
+		t.Fatalf("DegradedOps %d, want 2 (put + get during the window)", m.DegradedOps)
+	}
+}

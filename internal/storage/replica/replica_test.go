@@ -3,8 +3,11 @@ package replica
 import (
 	"bytes"
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"moc/internal/simtime"
 	"moc/internal/storage"
 )
 
@@ -367,5 +370,180 @@ func TestProbeObservesFailAndHealWithoutTraffic(t *testing.T) {
 		if e != nil {
 			t.Fatalf("backend %d still unhealthy after heal: %v", i, e)
 		}
+	}
+}
+
+// slowStore delays every operation by a fixed wall duration, simulating
+// a straggling (slow, not dead) replica, and counts the Gets it serves.
+type slowStore struct {
+	inner storage.PersistStore
+	delay time.Duration
+	gets  atomic.Int64
+}
+
+func (s *slowStore) Put(key string, data []byte) error {
+	simtime.SleepWall(s.delay)
+	return s.inner.Put(key, data)
+}
+
+func (s *slowStore) Get(key string) ([]byte, error) {
+	simtime.SleepWall(s.delay)
+	s.gets.Add(1)
+	return s.inner.Get(key)
+}
+
+func (s *slowStore) Delete(key string) error {
+	simtime.SleepWall(s.delay)
+	return s.inner.Delete(key)
+}
+
+func (s *slowStore) Keys(prefix string) ([]string, error) {
+	simtime.SleepWall(s.delay)
+	return s.inner.Keys(prefix)
+}
+
+func TestCutOffPartitionsBackendAndSyncHeals(t *testing.T) {
+	r, a, b := newPair(t)
+	if err := r.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CutOff(1); err != nil {
+		t.Fatal(err)
+	}
+	// Writes during the partition land on backend 0 only.
+	if err := r.Put("k2", []byte("v2")); err != nil {
+		t.Fatalf("put during partition: %v", err)
+	}
+	if _, err := b.Get("k2"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("partitioned backend received the write")
+	}
+	if got, err := a.Get("k2"); err != nil || string(got) != "v2" {
+		t.Fatalf("healthy backend: %q %v", got, err)
+	}
+	h := r.Health()
+	if !errors.Is(h[1], ErrPartitioned) {
+		t.Fatalf("health[1] = %v, want ErrPartitioned", h[1])
+	}
+	if p := r.Partitioned(); !p[1] || p[0] {
+		t.Fatalf("Partitioned() = %v", p)
+	}
+	// Reads still work, served from the reachable side; the partitioned
+	// replica's failure is never mistaken for absence.
+	if got, err := r.Get("k1"); err != nil || string(got) != "v1" {
+		t.Fatalf("get during partition: %q %v", got, err)
+	}
+	if _, err := r.Get("absent"); errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("miss with a partitioned replica reported as not-found")
+	}
+	// Heal, then anti-entropy converges the diverged replica.
+	if err := r.Reconnect(1); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := r.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 1 {
+		t.Fatalf("sync copied %d keys, want 1", copied)
+	}
+	if got, err := b.Get("k2"); err != nil || string(got) != "v2" {
+		t.Fatalf("healed backend after sync: %q %v", got, err)
+	}
+	if err := r.CutOff(7); err == nil {
+		t.Fatal("out-of-range CutOff accepted")
+	}
+	if err := r.Reconnect(-1); err == nil {
+		t.Fatal("out-of-range Reconnect accepted")
+	}
+}
+
+func TestSlowRoutingDemotesStraggler(t *testing.T) {
+	slow := &slowStore{inner: storage.NewMemStore(), delay: 2 * time.Millisecond}
+	fast := storage.NewMemStore()
+	r, err := NewWithOptions(Options{SlowFactor: 4}, slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the latency EWMAs past the sample floor.
+	for i := 0; i < minLatencySamples; i++ {
+		r.Probe()
+	}
+	lat := r.BackendLatencies()
+	if lat[0] <= lat[1] || lat[0] < time.Millisecond.Seconds() {
+		t.Fatalf("latencies %v: straggler not measured slower", lat)
+	}
+	base := slow.gets.Load()
+	for i := 0; i < 5; i++ {
+		if got, err := r.Get("k"); err != nil || string(got) != "v" {
+			t.Fatalf("routed get: %q %v", got, err)
+		}
+	}
+	if n := slow.gets.Load() - base; n != 0 {
+		t.Fatalf("straggler served %d reads despite demotion", n)
+	}
+	if r.SlowSkips() < 5 {
+		t.Fatalf("SlowSkips = %d, want >= 5", r.SlowSkips())
+	}
+}
+
+func TestSlowRoutingStillFallsBackToStraggler(t *testing.T) {
+	slow := &slowStore{inner: storage.NewMemStore(), delay: 2 * time.Millisecond}
+	fast := storage.NewMemStore()
+	r, err := NewWithOptions(Options{SlowFactor: 4}, slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the straggler holds the key (it was written before the fast
+	// replica joined, say); demotion must not make it unreadable.
+	if err := slow.inner.Put("only", []byte("here")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < minLatencySamples; i++ {
+		r.Probe()
+	}
+	got, err := r.Get("only")
+	if err != nil || string(got) != "here" {
+		t.Fatalf("fallback get: %q %v", got, err)
+	}
+	// The fall-through read-repaired the fast replica.
+	if v, err := fast.Get("only"); err != nil || string(v) != "here" {
+		t.Fatalf("read repair after fallback: %q %v", v, err)
+	}
+}
+
+func TestRoutingDisabledKeepsDeclarationOrder(t *testing.T) {
+	slow := &slowStore{inner: storage.NewMemStore(), delay: 2 * time.Millisecond}
+	fast := storage.NewMemStore()
+	r, err := New(slow, fast) // default options: routing off
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < minLatencySamples; i++ {
+		r.Probe()
+	}
+	base := slow.gets.Load()
+	if _, err := r.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if slow.gets.Load() != base+1 {
+		t.Fatal("declaration-order read skipped backend 0 with routing disabled")
+	}
+	if r.SlowSkips() != 0 {
+		t.Fatalf("SlowSkips = %d with routing disabled", r.SlowSkips())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewWithOptions(Options{EWMAAlpha: 1.5}, storage.NewMemStore()); err == nil {
+		t.Fatal("EWMAAlpha > 1 accepted")
+	}
+	if _, err := NewWithOptions(Options{SlowFactor: -1}, storage.NewMemStore()); err == nil {
+		t.Fatal("negative SlowFactor accepted")
 	}
 }

@@ -81,7 +81,11 @@ type RemoteMetrics struct {
 	ColdGets, RepeatGets         int64
 	ColdGetBytes, RepeatGetBytes int64
 	Retries, InjectedFailures    int64
-	SimSeconds                   float64
+	// DegradedOps counts operations served while the store was in
+	// degraded mode (see RemoteStore.Degrade) and so paid multiplied
+	// latency or throttled bandwidth.
+	DegradedOps int64
+	SimSeconds  float64
 }
 
 // RemoteStore is a PersistStore with object-store cost/fault semantics
@@ -91,6 +95,16 @@ type RemoteStore interface {
 	// Metrics returns the per-op counters; ResetMetrics zeroes them.
 	Metrics() RemoteMetrics
 	ResetMetrics()
+	// Degrade switches the store into degraded mode mid-run: every
+	// request pays latencyMult × the configured latency and transfers
+	// at 1/bandwidthMult the configured bandwidth (both must be >= 1) —
+	// a backend that is slow, not dead. ClearDegrade restores the
+	// configured cost model.
+	Degrade(latencyMult, bandwidthMult float64) error
+	ClearDegrade()
+	// DegradeFactors reports the active multipliers (1, 1, false when
+	// healthy).
+	DegradeFactors() (latencyMult, bandwidthMult float64, degraded bool)
 }
 
 type remoteAdapter struct{ *remote.Store }
@@ -105,7 +119,8 @@ func (r remoteAdapter) Metrics() RemoteMetrics {
 		ColdGets: m.ColdGets, RepeatGets: m.RepeatGets,
 		ColdGetBytes: m.ColdGetBytes, RepeatGetBytes: m.RepeatGetBytes,
 		Retries: m.Retries, InjectedFailures: m.InjectedFailures,
-		SimSeconds: m.SimSeconds,
+		DegradedOps: m.DegradedOps,
+		SimSeconds:  m.SimSeconds,
 	}
 }
 

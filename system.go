@@ -40,11 +40,36 @@ func NewFSStore(dir string) (PersistStore, error) { return storage.NewFSStore(di
 // (nil = healthy), and Repairs counts the read-repair write-backs
 // performed when a Get fell through a stale replica — the observability
 // the fleet scrub daemon drives its repair scheduling from.
+//
+// BackendLatencies reports each backend's latency EWMA in seconds over
+// its successful operations, and SlowSkips how many reads were routed
+// around a replica that was slow — not dead (routing requires
+// ReplicaOptions.SlowFactor). CutOff/Reconnect inject a network
+// partition against one backend: cut off, its operations fail fast
+// while it keeps its state, so a healed partition leaves exactly the
+// divergence an anti-entropy Sync repairs.
 type ReplicatedStore interface {
 	PersistStore
 	Sync() (copied int, err error)
 	Health() []error
 	Repairs() int64
+	BackendLatencies() []float64
+	SlowSkips() int64
+	CutOff(i int) error
+	Reconnect(i int) error
+}
+
+// ReplicaOptions tunes a replicated store's read routing.
+type ReplicaOptions struct {
+	// SlowFactor enables slow-backend read routing when > 1: a backend
+	// whose latency EWMA exceeds SlowFactor × the fastest replica's is
+	// demoted to the end of the read order (still tried last — a
+	// straggler holding the only copy must still serve it). 0 disables
+	// routing, keeping declaration-order reads.
+	SlowFactor float64
+	// EWMAAlpha weights the newest latency sample in the per-backend
+	// EWMA (default 0.3; must be in (0, 1]).
+	EWMAAlpha float64
 }
 
 // NewReplicatedStore builds a replicating persistent store over the given
@@ -52,11 +77,20 @@ type ReplicatedStore interface {
 // replica; recovery reads fall through to the first backend holding each
 // key.
 func NewReplicatedStore(backends ...PersistStore) (ReplicatedStore, error) {
+	return NewReplicatedStoreWithOptions(ReplicaOptions{}, backends...)
+}
+
+// NewReplicatedStoreWithOptions is NewReplicatedStore with explicit
+// read-routing options (straggler demotion).
+func NewReplicatedStoreWithOptions(opts ReplicaOptions, backends ...PersistStore) (ReplicatedStore, error) {
 	inner := make([]storage.PersistStore, len(backends))
 	for i, b := range backends {
 		inner[i] = b
 	}
-	return replica.New(inner...)
+	return replica.NewWithOptions(replica.Options{
+		SlowFactor: opts.SlowFactor,
+		EWMAAlpha:  opts.EWMAAlpha,
+	}, inner...)
 }
 
 // FlakyStore wraps a PersistStore with a kill switch for fault-injection
@@ -476,12 +510,28 @@ func (s *System) Step() (float64, error) {
 		s.aware.Observe(l, r.PerExpertFloat())
 	}
 	done := s.model.Iteration()
-	if s.cfg.Interval > 0 && done%s.cfg.Interval == 0 {
+	if iv := s.checkpointInterval(); iv > 0 && done%iv == 0 {
 		if err := s.checkpoint(); err != nil {
 			return st.Loss, err
 		}
 	}
 	return st.Loss, nil
+}
+
+// checkpointInterval is the effective checkpoint interval this
+// iteration: the configured base, stretched by the fleet's adaptive
+// cadence controller when the system is fleet-attached and adaptive
+// cadence is enabled (identical to the base otherwise). The modulo
+// trigger in Step means a stretch takes effect by making fewer
+// iteration counts divide the interval — the cadence controller only
+// ever stretches (never below base), so checkpoints get rarer while
+// the fleet is degraded and return to the configured cadence as the
+// stretch relaxes.
+func (s *System) checkpointInterval() int {
+	if s.sess != nil {
+		return s.sess.CadenceInterval(s.cfg.Interval)
+	}
+	return s.cfg.Interval
 }
 
 // selector returns the configured expert selector.
