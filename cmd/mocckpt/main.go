@@ -21,6 +21,12 @@
 //	mocckpt chaos -preempt 100:30:3 ...  # validate a timed fault scenario
 //	                                     # and print its replay timeline
 //	                                     # (see chaos.go)
+//	mocckpt -dir /path/to/ckpts top      # metrics-registry snapshot after
+//	                                     # a read replay; -watch samples
+//	                                     # per-tier counter rates live
+//	mocckpt trace -o trace.json          # persist/restore probe under the
+//	                                     # span tracer; exports a Chrome
+//	                                     # trace-event timeline (see top.go)
 //	mocckpt -dir /path/to/ckpts -shards 4 shards
 //	                                     # per-shard distribution, balance
 //	                                     # factor, misplaced keys
@@ -86,6 +92,7 @@ import (
 	"moc/internal/storage/fleet"
 	"moc/internal/storage/readserve"
 	"moc/internal/storage/remote"
+	"moc/internal/storage/replica"
 	"moc/internal/storage/shard"
 )
 
@@ -100,6 +107,9 @@ func main() {
 	readers := flag.Int("readers", 8, "restore: concurrent reader nodes")
 	restores := flag.Int("restores", 3, "restore: sequential restores per reader")
 	l1MB := flag.Int("l1-mb", 16, "restore: per-reader L1 cache capacity in MiB")
+	watch := flag.Bool("watch", false, "top: sample the registry repeatedly while a replay loop drives load (default one-shot)")
+	intervalS := flag.Float64("interval", 1.0, "top: -watch sampling interval in seconds")
+	ticks := flag.Int("ticks", 5, "top: -watch samples before exiting")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	// vet works on a source tree and chaos on a scenario spec, not a
@@ -111,8 +121,11 @@ func main() {
 	if cmd == "chaos" {
 		os.Exit(runChaos(flag.Args()[1:]))
 	}
+	if cmd == "trace" {
+		os.Exit(runTrace(flag.Args()[1:]))
+	}
 	if *dir == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|jobs|shards} | mocckpt vet [packages] | mocckpt chaos [flags]")
+		fmt.Fprintln(os.Stderr, "usage: mocckpt [flags] -dir <path> {list|inspect|verify|gc|stats|restore|top|jobs|shards} | mocckpt vet [packages] | mocckpt chaos [flags] | mocckpt trace [flags]")
 		os.Exit(2)
 	}
 	// Go's flag parsing stops at the first positional argument, so flags
@@ -174,7 +187,7 @@ func main() {
 		if *cacheMB <= 0 || *latencyMS <= 0 || *uploadMBps <= 0 || *downloadMBps <= 0 {
 			fatal(fmt.Errorf("stats: -cache-mb, -latency-ms, -upload-mbps and -download-mbps must be positive (use a small value like 0.001 to model a near-free remote)"))
 		}
-		if err := stats(store, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps, *writer); err != nil {
+		if err := stats(store, router, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps, *writer); err != nil {
 			fatal(err)
 		}
 	case "restore":
@@ -185,6 +198,17 @@ func main() {
 			fatal(fmt.Errorf("restore: -readers and -restores must be positive"))
 		}
 		if err := restoreProbe(store, *readers, *restores, *l1MB, *cacheMB, *latencyMS, *uploadMBps, *downloadMBps); err != nil {
+			fatal(err)
+		}
+	case "top":
+		if *cacheMB <= 0 || *latencyMS <= 0 || *uploadMBps <= 0 || *downloadMBps <= 0 {
+			fatal(fmt.Errorf("top: -cache-mb, -latency-ms, -upload-mbps and -download-mbps must be positive"))
+		}
+		if *intervalS <= 0 || *ticks <= 0 {
+			fatal(fmt.Errorf("top: -interval and -ticks must be positive"))
+		}
+		if err := runTop(store, *watch, time.Duration(*intervalS*float64(time.Second)), *ticks,
+			*cacheMB, *latencyMS, *uploadMBps, *downloadMBps); err != nil {
 			fatal(err)
 		}
 	case "gc", "compact":
@@ -630,7 +654,7 @@ func printDedupLine(logical, physical int64) {
 // The first pass is the cold-cache recovery; the second replays it warm.
 // A non-empty writerFilter restricts the accounting and the replay to
 // one writer's manifests.
-func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, downloadMBps float64, writerFilter string) error {
+func stats(fsStore storage.PersistStore, router *shard.Router, cacheMB int, latencyMS, uploadMBps, downloadMBps float64, writerFilter string) error {
 	rs, err := remote.New(remote.Config{
 		Inner:          fsStore,
 		LatencySeconds: latencyMS / 1000,
@@ -640,7 +664,14 @@ func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, dow
 	if err != nil {
 		return err
 	}
-	cs, err := cache.New(rs, int64(cacheMB)<<20)
+	// A single-backend replica layer rides along purely for its health
+	// accounting: per-backend latency EWMAs and slow-skip routing
+	// counters feed the health block below.
+	rep, err := replica.New(rs)
+	if err != nil {
+		return err
+	}
+	cs, err := cache.New(rep, int64(cacheMB)<<20)
 	if err != nil {
 		return err
 	}
@@ -718,7 +749,55 @@ func stats(fsStore storage.PersistStore, cacheMB int, latencyMS, uploadMBps, dow
 		warmC.Entries, warmC.Bytes, warmC.Capacity, warmC.Insertions, warmC.Evictions)
 	fmt.Printf("remote totals: %d gets, %d lists, %d retries, %d injected failures, %.3f sim s\n",
 		warmM.GetOps, warmM.ListOps, warmM.Retries, warmM.InjectedFailures, warmM.SimSeconds)
+	printHealth(warmM, rep, router)
 	return persistProbe(store, manifests)
+}
+
+// printHealth is the stats health block: the degradation counters of
+// the remote cost model, the replica layer's slow-path accounting, and
+// — against a sharded store — the chunk balance factor.
+func printHealth(m remote.Metrics, rep *replica.Store, router *shard.Router) {
+	fmt.Println("health:")
+	fmt.Printf("  remote:  %d degraded ops, %d retries, %d injected failures\n",
+		m.DegradedOps, m.Retries, m.InjectedFailures)
+	lats := rep.BackendLatencies()
+	parts := make([]string, len(lats))
+	for i, l := range lats {
+		parts[i] = fmt.Sprintf("%.2fms", l*1000)
+	}
+	fmt.Printf("  replica: %d backend(s), %d slow skips, latency EWMA [%s]\n",
+		len(lats), rep.SlowSkips(), strings.Join(parts, " "))
+	if router == nil {
+		return
+	}
+	balance, shards, err := shardChunkBalance(router)
+	if err != nil {
+		fmt.Printf("  shards:  balance unavailable: %v\n", err)
+		return
+	}
+	fmt.Printf("  shards:  balance factor %.2f over %d shards (max/mean chunks; 1.00 = even)\n",
+		balance, shards)
+}
+
+// shardChunkBalance lists each shard's chunk keys and reports the
+// max/mean chunk-count ratio (1.0 = perfectly even).
+func shardChunkBalance(r *shard.Router) (float64, int, error) {
+	n := r.ShardCount()
+	var total, max int
+	for i := 0; i < n; i++ {
+		keys, err := r.Shard(i).Keys(cas.ChunkPrefix)
+		if err != nil {
+			return 0, n, fmt.Errorf("shard %s: %w", r.ShardName(i), err)
+		}
+		total += len(keys)
+		if len(keys) > max {
+			max = len(keys)
+		}
+	}
+	if total == 0 {
+		return 1, n, nil
+	}
+	return float64(max) / (float64(total) / float64(n)), n, nil
 }
 
 // persistProbe measures the persist pipeline on this store's own data:

@@ -40,6 +40,10 @@ type FleetConfig struct {
 	// directly — and the fleet GC drops both cache levels after every
 	// sweep.
 	ReadTier *ReadTierConfig
+	// Obs enables the unified tracing/metrics layer for the fleet's
+	// storage stack (see EnableObs). When Obs.ExportPath is set, Close
+	// writes a Chrome trace-event timeline there.
+	Obs ObsConfig
 }
 
 // FleetJob is one registered job's identity and lease state.
@@ -170,8 +174,9 @@ type FleetShardScrub struct {
 
 // Fleet is the multi-job checkpoint service over one shared store.
 type Fleet struct {
-	svc *fleet.Service
-	now func() time.Time
+	svc       *fleet.Service
+	now       func() time.Time
+	obsExport string
 }
 
 // NewFleet opens the fleet service over a shared persistent store. A
@@ -185,6 +190,7 @@ type Fleet struct {
 // persisted in the store itself — survives restarts, so reopening a
 // fleet over an existing store resumes its jobs.
 func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
+	cfg.Obs.apply()
 	fc := fleet.Config{
 		LeaseTTL:           cfg.LeaseTTL,
 		ScrubChunksPerPass: cfg.ScrubChunksPerPass,
@@ -202,7 +208,7 @@ func NewFleet(store PersistStore, cfg FleetConfig) (*Fleet, error) {
 	if now == nil {
 		now = simtime.WallNow
 	}
-	return &Fleet{svc: svc, now: now}, nil
+	return &Fleet{svc: svc, now: now, obsExport: cfg.Obs.ExportPath}, nil
 }
 
 // Register adds a job to the registry without attaching a System (the
@@ -429,8 +435,17 @@ func (f *Fleet) StartScrubDaemon(interval time.Duration) error {
 func (f *Fleet) StopScrubDaemon() { f.svc.StopDaemon() }
 
 // Close stops the scrub daemon. Attached Systems keep working and
-// release their leases through their own Close.
-func (f *Fleet) Close() error { return f.svc.Close() }
+// release their leases through their own Close. When the fleet was
+// opened with Obs.ExportPath, the span ring is exported there first.
+func (f *Fleet) Close() error {
+	err := f.svc.Close()
+	if f.obsExport != "" {
+		if werr := WriteTraceFile(f.obsExport); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
 
 // ErrFleetFenced reports a checkpoint commit refused because the job's
 // lease was adopted by a newer session (see Fleet.NewSystem).

@@ -125,6 +125,7 @@ func Registry() []*Analyzer {
 		BufPoolAnalyzer,
 		RetainPutAnalyzer,
 		ErrCmpAnalyzer,
+		SpanEndAnalyzer,
 	}
 }
 

@@ -61,7 +61,7 @@ func wantMarkers(t *testing.T, dir string) map[string]bool {
 // markers exactly: each bad.go site fires, each good.go shape stays
 // silent, and each allow.go directive suppresses its finding.
 func TestGoldenFixtures(t *testing.T) {
-	fixtures := []string{"walltime", "lockdiscipline", "bufpool", "retainput", "errcmp"}
+	fixtures := []string{"walltime", "lockdiscipline", "bufpool", "retainput", "errcmp", "spanend"}
 	want := make(map[string]bool)
 	var patterns []string
 	for _, name := range fixtures {
@@ -230,7 +230,7 @@ func TestRegistryStable(t *testing.T) {
 			t.Errorf("Lookup(%q) does not round-trip", a.Name)
 		}
 	}
-	want := []string{"walltime", "lockdiscipline", "bufpool", "retainput", "errcmp"}
+	want := []string{"walltime", "lockdiscipline", "bufpool", "retainput", "errcmp", "spanend"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("registry = %v, want %v", names, want)
 	}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEndAnalyzer enforces the tracing layer's span lifecycle: every
+// span bound from obs.Start(...) or (*Span).Child(...) must reach its
+// End() in the binding function — either by a deferred End (directly
+// or inside a deferred closure) or by an End call lexically before
+// every subsequent return and before the function end. A span whose
+// End never runs silently drops its record from the trace ring, so a
+// timeline viewed in Perfetto under-reports exactly the code path that
+// leaked it.
+//
+// Like lockdiscipline, the path analysis is lexical. Spans that
+// genuinely hand responsibility elsewhere are blessed rather than
+// chased: a span returned, passed as a call argument, stored into a
+// structure, aliased, or captured by a non-deferred closure is the
+// recipient's to End. Discarding a freshly started span outright
+// (obs.Start(...) as a statement, or assigning it to _) is always a
+// finding — that span can never End. Intentional exceptions carry
+// //moc:allow spanend <reason>.
+var SpanEndAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc: "flags obs.Start/Child spans with a return path (or function end) that skips " +
+		"End(), and started spans whose handle is discarded",
+	Run: runSpanEnd,
+}
+
+// spanEvent is one span operation or return inside a function body.
+type spanEvent struct {
+	kind string // "bind", "end", "defer-end", "return", "escape"
+	key  types.Object
+	pos  token.Pos
+}
+
+func runSpanEnd(pass *Pass) {
+	obsPath := pass.ModulePath + "/internal/obs"
+	if pass.Pkg.Path() == obsPath {
+		return // the span implementation manages its own lifecycle
+	}
+	for _, fb := range functionBodies(pass.Files) {
+		events := collectSpanEvents(pass, obsPath, fb.body)
+		checkSpanPairing(pass, fb, events)
+	}
+}
+
+// spanMaker classifies a call as a span constructor — obs.Start or the
+// Child method — from the obs package.
+func spanMaker(info *types.Info, obsPath string, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return false
+	}
+	return obj.Name() == "Start" || obj.Name() == "Child"
+}
+
+// spanMethod resolves sel as a method selection from the obs package
+// on receiver ident X, returning the method name ("" otherwise).
+func spanMethod(info *types.Info, obsPath string, sel *ast.SelectorExpr) string {
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return ""
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return ""
+	}
+	return obj.Name()
+}
+
+// containsSpanMaker reports whether the expression tree contains a
+// Start/Child call (chained attribute setters included).
+func containsSpanMaker(info *types.Info, obsPath string, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && spanMaker(info, obsPath, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsEnd reports whether the node contains an End() call from the
+// obs package (receiver irrelevant).
+func containsEnd(info *types.Info, obsPath string, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				spanMethod(info, obsPath, sel) == "End" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectSpanEvents walks one body (not nested literals, except defer
+// payloads and a capture scan) recording span binds, End calls,
+// returns, and blessing escapes in source order. It also reports
+// discarded span constructors directly.
+func collectSpanEvents(pass *Pass, obsPath string, body *ast.BlockStmt) []spanEvent {
+	info := pass.Info
+	var events []spanEvent
+
+	// addEnds scans a defer payload — the call or the whole deferred
+	// closure — for End calls on identifier receivers.
+	addEnds := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || spanMethod(info, obsPath, sel) != "End" {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					events = append(events, spanEvent{kind: "defer-end", key: obj, pos: call.Pos()})
+				}
+			}
+			return true
+		})
+	}
+
+	walkBody(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			addEnds(stmt.Call)
+			return false
+		case *ast.ReturnStmt:
+			events = append(events, spanEvent{kind: "return", pos: stmt.Pos()})
+		case *ast.ExprStmt:
+			// A span constructed and dropped on the floor can never
+			// End — unless the same statement chains the End itself.
+			if containsSpanMaker(info, obsPath, stmt.X) && !containsEnd(info, obsPath, stmt.X) {
+				pass.Reportf(stmt.Pos(),
+					"span from obs.Start/Child is discarded and can never End(): bind it and End it, or remove the span")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				if !containsSpanMaker(info, obsPath, rhs) {
+					continue
+				}
+				if len(stmt.Lhs) != len(stmt.Rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue // stored into a field/index — blessed escape
+				}
+				if id.Name == "_" {
+					pass.Reportf(rhs.Pos(),
+						"span from obs.Start/Child is assigned to _ and can never End(): bind it and End it, or remove the span")
+					continue
+				}
+				if obj := info.ObjectOf(id); obj != nil {
+					events = append(events, spanEvent{kind: "bind", key: obj, pos: id.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(stmt.Fun).(*ast.SelectorExpr); ok &&
+				spanMethod(info, obsPath, sel) == "End" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						events = append(events, spanEvent{kind: "end", key: obj, pos: stmt.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	addEscapes(info, obsPath, body, &events)
+	return events
+}
+
+// addEscapes records blessing escapes: a bound span identifier used as
+// anything other than the receiver of an obs method or a nil
+// comparison — returned, passed as an argument, stored, aliased, or
+// captured by a non-deferred function literal — transfers the End
+// obligation elsewhere, so the binding function is off the hook.
+func addEscapes(info *types.Info, obsPath string, body *ast.BlockStmt, events *[]spanEvent) {
+	bound := make(map[types.Object]bool)
+	for _, e := range *events {
+		if e.kind == "bind" {
+			bound[e.key] = true
+		}
+	}
+	if len(bound) == 0 {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && bound[obj] && len(stack) > 0 {
+				if spanUseEscapes(info, obsPath, id, stack) {
+					*events = append(*events, spanEvent{kind: "escape", key: obj, pos: id.Pos()})
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// spanUseEscapes classifies one identifier use given its ancestor
+// stack (innermost last).
+func spanUseEscapes(info *types.Info, obsPath string, id *ast.Ident, stack []ast.Node) bool {
+	// Inside this body's own deferred statements the defer-End scan
+	// already looked, so a mention there (attribute setters before the
+	// deferred End) is not a handoff. Capture by a non-deferred
+	// function literal blesses: the literal is a separate analysis
+	// body, so its Ends are invisible here and the obligation moved
+	// with the value. The stack runs outermost-first, so whichever
+	// encloses the other decides.
+	for _, anc := range stack {
+		switch anc.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.FuncLit:
+			return true
+		}
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// Receiver of an obs.Span method — End/Child/Attr/Lane/... —
+		// is the intended use, not an escape.
+		if p.X == id && spanMethod(info, obsPath, p) != "" {
+			return false
+		}
+	case *ast.BinaryExpr:
+		// `if sp != nil { ... }` guards are part of the disabled-path
+		// idiom, not a handoff.
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			other := p.X
+			if other == id {
+				other = p.Y
+			}
+			if oid, ok := ast.Unparen(other).(*ast.Ident); ok && oid.Name == "nil" {
+				return false
+			}
+		}
+	case *ast.AssignStmt:
+		// Re-binding the same variable is a bind, not an escape.
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkSpanPairing reports binds that can leak past a return or the
+// function end without an End.
+func checkSpanPairing(pass *Pass, fb funcBody, events []spanEvent) {
+	for _, b := range events {
+		if b.kind != "bind" {
+			continue
+		}
+		blessed := false
+		for _, e := range events {
+			if (e.kind == "defer-end" || e.kind == "escape") && e.key == b.key {
+				blessed = true
+				break
+			}
+		}
+		if blessed {
+			continue
+		}
+		ended := func(upto token.Pos) bool {
+			for _, e := range events {
+				if e.kind == "end" && e.key == b.key && e.pos > b.pos && e.pos < upto {
+					return true
+				}
+			}
+			return false
+		}
+		reported := false
+		for _, e := range events {
+			if e.kind == "return" && e.pos > b.pos && !ended(e.pos) {
+				pass.Reportf(e.pos,
+					"return path may leak span %s started on line %d: call %s.End() before returning or defer it",
+					b.key.Name(), pass.Fset.Position(b.pos).Line, b.key.Name())
+				reported = true
+			}
+		}
+		if !reported && !ended(fb.body.End()) {
+			pass.Reportf(b.pos,
+				"span %s never reaches End() in %s: defer %s.End() or End it on every path",
+				b.key.Name(), fb.name, b.key.Name())
+		}
+	}
+}

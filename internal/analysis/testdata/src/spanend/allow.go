@@ -1,0 +1,13 @@
+package spanend
+
+import "moc/internal/obs"
+
+// StartPhase opens a span that deliberately stays open — it marks a
+// process-lifetime phase whose End the shutdown path owns — and the
+// doc-comment directive says so.
+//
+//moc:allow spanend fixture: the phase span is Ended by the shutdown hook by contract
+func StartPhase() {
+	sp := obs.Start("fixture", "StartPhase")
+	sp.Attr("phase", "steady-state")
+}

@@ -1,0 +1,50 @@
+// Package spanend holds golden fixtures for the span lifecycle
+// analyzer: leaked spans on early returns, drop-off-the-end spans, and
+// discarded span handles are true positives.
+package spanend
+
+import (
+	"errors"
+
+	"moc/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// LeakOnError forgets the End on the early-error path.
+func LeakOnError(fail bool) error {
+	sp := obs.Start("fixture", "LeakOnError")
+	if fail {
+		return errBoom // want:spanend
+	}
+	sp.End()
+	return nil
+}
+
+// NeverEnds falls off the end of the function with the span open.
+func NeverEnds() {
+	sp := obs.Start("fixture", "NeverEnds") // want:spanend
+	sp.Attr("k", "v")
+}
+
+// DiscardsHandle drops the started span on the floor.
+func DiscardsHandle() {
+	obs.Start("fixture", "DiscardsHandle") // want:spanend
+}
+
+// BlankBinding assigns the span to _, which can never End.
+func BlankBinding() {
+	_ = obs.Start("fixture", "BlankBinding") // want:spanend
+}
+
+// ChildLeaks Ends the parent but leaks the child on the error path.
+func ChildLeaks(fail bool) error {
+	sp := obs.Start("fixture", "ChildLeaks")
+	defer sp.End()
+	csp := sp.Child("step")
+	if fail {
+		return errBoom // want:spanend
+	}
+	csp.End()
+	return nil
+}

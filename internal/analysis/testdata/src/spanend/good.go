@@ -1,0 +1,85 @@
+package spanend
+
+import "moc/internal/obs"
+
+// DeferredEnd is the canonical shape: bind, defer End.
+func DeferredEnd() {
+	sp := obs.Start("fixture", "DeferredEnd").Attr("k", "v")
+	defer sp.End()
+	work()
+}
+
+// DeferredClosureEnd defers the End inside a closure — the histogram
+// observation idiom (only observe when tracing was on).
+func DeferredClosureEnd() {
+	sp := obs.Start("fixture", "DeferredClosureEnd")
+	defer func() {
+		if d := sp.End(); d > 0 {
+			work()
+		}
+	}()
+	work()
+}
+
+// EndOnEveryPath Ends before each return without a defer.
+func EndOnEveryPath(fail bool) error {
+	sp := obs.Start("fixture", "EndOnEveryPath")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// NilGuardedChild mirrors the worker-lane idiom: the child's lane is
+// set only when tracing is on (non-nil span), then deferred-End.
+func NilGuardedChild() {
+	sp := obs.Start("fixture", "NilGuardedChild")
+	defer sp.End()
+	wsp := sp.Child("worker")
+	if wsp != nil {
+		wsp.Lane("w0")
+	}
+	defer wsp.End()
+	work()
+}
+
+// HandsOff passes the span to a helper, which owns the End from there.
+func HandsOff() {
+	sp := obs.Start("fixture", "HandsOff")
+	endElsewhere(sp)
+}
+
+// ReturnsSpan hands the open span to its caller by contract.
+func ReturnsSpan() *obs.Span {
+	sp := obs.Start("fixture", "ReturnsSpan")
+	return sp
+}
+
+// CapturedByGoroutine moves the End obligation into the spawned
+// worker; the literal's own body is analyzed separately.
+func CapturedByGoroutine(done chan struct{}) {
+	sp := obs.Start("fixture", "CapturedByGoroutine")
+	go func() {
+		defer sp.End()
+		work()
+		close(done)
+	}()
+}
+
+// EndInExpression consumes End's duration in an assignment — still an
+// End on the path.
+func EndInExpression() int64 {
+	sp := obs.Start("fixture", "EndInExpression")
+	work()
+	d := sp.End()
+	return d
+}
+
+func endElsewhere(sp *obs.Span) {
+	defer sp.End()
+	work()
+}
+
+func work() {}

@@ -1,0 +1,161 @@
+package obs
+
+// Exporters for the trace ring: JSONL span dumps for ad-hoc analysis,
+// Chrome trace-event JSON for Perfetto/chrome://tracing timelines (one
+// track per component/worker lane, chaos windows as instant events),
+// and file-writing conveniences over both plus the Prometheus text
+// snapshot.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// jsonlRecord is the flat JSONL shape of one Record.
+type jsonlRecord struct {
+	ID        uint64            `json:"id"`
+	Parent    uint64            `json:"parent,omitempty"`
+	Kind      string            `json:"kind"`
+	Component string            `json:"component"`
+	Op        string            `json:"op"`
+	Track     string            `json:"track"`
+	StartNS   int64             `json:"start_ns"`
+	DurNS     int64             `json:"dur_ns,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+}
+
+func recordAttrs(r Record) map[string]string {
+	if r.NAttr == 0 {
+		return nil
+	}
+	m := make(map[string]string, r.NAttr)
+	for _, a := range r.Attrs[:r.NAttr] {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteSpansJSONL writes one JSON object per record, newline-
+// delimited, in ring order.
+func WriteSpansJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		kind := "span"
+		if r.Kind == KindInstant {
+			kind = "instant"
+		}
+		jr := jsonlRecord{
+			ID:        r.ID,
+			Parent:    r.Parent,
+			Kind:      kind,
+			Component: r.Component,
+			Op:        r.Op,
+			Track:     r.Track,
+			StartNS:   r.Start,
+			DurNS:     r.Dur,
+			Attrs:     recordAttrs(r),
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace-event ("trace event format") entry.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes records as a Chrome trace-event JSON array —
+// load it in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
+// distinct Record.Track becomes one named thread row; spans are
+// complete "X" events, instants are "i" events; timestamps are
+// microseconds since the trace epoch.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	tracks := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if !seen[r.Track] {
+			seen[r.Track] = true
+			tracks = append(tracks, r.Track)
+		}
+	}
+	sort.Strings(tracks)
+	tid := make(map[string]int, len(tracks))
+	events := make([]chromeEvent, 0, len(tracks)*2+len(recs))
+	for i, tr := range tracks {
+		tid[tr] = i + 1
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]string{"name": tr},
+		})
+		events = append(events, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]string{"sort_index": "0"},
+		})
+	}
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.Component + "." + r.Op,
+			Ts:   float64(r.Start) / 1e3,
+			Pid:  1,
+			Tid:  tid[r.Track],
+			Args: recordAttrs(r),
+		}
+		if r.Kind == KindInstant {
+			ev.Ph = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(r.Dur) / 1e3
+		}
+		events = append(events, ev)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(events); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DumpTrace writes the active tracer's snapshot as a Chrome trace file
+// at path. A no-op (empty array file) while disabled.
+func DumpTrace(path string) error {
+	return dumpTo(path, func(w io.Writer) error { return WriteChromeTrace(w, Snapshot()) })
+}
+
+// DumpSpans writes the active tracer's snapshot as JSONL at path.
+func DumpSpans(path string) error {
+	return dumpTo(path, func(w io.Writer) error { return WriteSpansJSONL(w, Snapshot()) })
+}
+
+// DumpMetrics writes the process-wide registry as Prometheus text at
+// path.
+func DumpMetrics(path string) error {
+	return dumpTo(path, func(w io.Writer) error { return Metrics().WriteProm(w) })
+}
+
+func dumpTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,352 @@
+package obs
+
+// The process-wide metrics registry: counters, gauges, and fixed-bucket
+// latency histograms under stable dotted names. Components create their
+// instruments at construction (get-or-create, so every store instance
+// over the process shares one series per name) and update them with
+// single atomic ops on the hot path. Per-instance stats structs are
+// re-exported through GaugeFunc — registered only while obs is enabled,
+// so benchmark-built throwaway stores do not pollute the registry —
+// and multiple funcs under one name sum, covering multi-instance
+// stacks.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (callers keep it non-negative; counters are monotonic).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets is the shared 1-2-5 decade ladder from 1 µs to
+// 100 s — wide enough for both wall latencies and cost-model
+// sim-seconds.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5,
+	1, 2, 5, 10, 20, 50, 100,
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters: bucket i
+// counts observations v with bounds[i-1] < v <= bounds[i], plus one
+// overflow bucket past the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	min    atomic.Uint64 // float64 bits; +Inf until first observation
+	max    atomic.Uint64 // float64 bits; -Inf until first observation
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a histogram's consistent-enough read: bucket counts,
+// total, sum, and observed extrema.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1; last is overflow
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Min:    math.Float64frombits(h.min.Load()),
+		Max:    math.Float64frombits(h.max.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1): it finds the bucket
+// holding the rank-⌈q·N⌉ observation, interpolates linearly assuming
+// that bucket's observations are evenly spaced across (lower, upper],
+// and clamps to the observed [Min, Max]. Observations sitting exactly
+// on bucket bounds are therefore recovered exactly; the overflow
+// bucket reports Max. NaN on an empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank <= seen+c {
+			if i == len(s.Bounds) {
+				return s.Max
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			v := lower + (s.Bounds[i]-lower)*float64(rank-seen)/float64(c)
+			return math.Min(math.Max(v, s.Min), s.Max)
+		}
+		seen += c
+	}
+	return s.Max
+}
+
+// Quantile is Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// Point is one named value in a registry snapshot. Counters and gauges
+// carry Value; histograms carry Hist (Value is the observation count).
+type Point struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram"
+	Value float64
+	Hist  *HistSnapshot
+}
+
+// Registry is a name-keyed set of instruments. The zero value is not
+// usable; use NewRegistry or the process-wide Metrics().
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string][]func() float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string][]func() float64),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Metrics returns the process-wide registry.
+func Metrics() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (later callers share the first
+// creation's buckets).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a read-on-snapshot gauge. Multiple funcs under
+// one name sum — each store instance re-exports its own stats and the
+// registry presents the fleet-wide total.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	r.funcs[name] = append(r.funcs[name], fn)
+	r.mu.Unlock()
+}
+
+// Reset drops every instrument and gauge func — test isolation only.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.hists = make(map[string]*Histogram)
+	r.funcs = make(map[string][]func() float64)
+	r.mu.Unlock()
+}
+
+// Snapshot reads every instrument, sorted by name. Gauge funcs are
+// called outside the registry lock (they typically take store locks).
+func (r *Registry) Snapshot() []Point {
+	r.mu.Lock()
+	points := make([]Point, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
+	for name, c := range r.counters {
+		points = append(points, Point{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	gaugeVals := make(map[string]float64, len(r.gauges)+len(r.funcs))
+	for name, g := range r.gauges {
+		gaugeVals[name] = g.Value()
+	}
+	type namedFuncs struct {
+		name string
+		fns  []func() float64
+	}
+	funcs := make([]namedFuncs, 0, len(r.funcs))
+	for name, fns := range r.funcs {
+		funcs = append(funcs, namedFuncs{name, append([]func() float64(nil), fns...)})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		points = append(points, Point{Name: name, Kind: "histogram", Value: float64(s.Count), Hist: &s})
+	}
+	r.mu.Unlock()
+
+	for _, nf := range funcs {
+		total := gaugeVals[nf.name]
+		for _, fn := range nf.fns {
+			total += fn()
+		}
+		gaugeVals[nf.name] = total
+	}
+	for name, v := range gaugeVals {
+		points = append(points, Point{Name: name, Kind: "gauge", Value: v})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
+	return points
+}
+
+// promName maps a dotted metric name to Prometheus exposition charset.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WriteProm writes the registry in Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// _bucket/_sum/_count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, p := range r.Snapshot() {
+		name := promName(p.Name)
+		switch p.Kind {
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum int64
+			for i, b := range p.Hist.Bounds {
+				cum += p.Hist.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum); err != nil {
+					return err
+				}
+			}
+			cum += p.Hist.Counts[len(p.Hist.Bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+				name, cum, name, p.Hist.Sum, name, p.Hist.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", name, p.Kind, name, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledSpanIsNilAndSafe(t *testing.T) {
+	Disable()
+	sp := Start("cas", "WriteRound")
+	if sp != nil {
+		t.Fatalf("Start while disabled = %v, want nil", sp)
+	}
+	// Every method must be a no-op on the nil span.
+	child := sp.Child("hash").Worker(3).Attr("k", "v").AttrInt("n", 7)
+	if child != nil {
+		t.Fatalf("nil-span chain = %v, want nil", child)
+	}
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil End = %d, want 0", d)
+	}
+	Instant("chaos", "degrade") // must not panic
+	if recs := Snapshot(); recs != nil {
+		t.Fatalf("Snapshot while disabled = %v, want nil", recs)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	Enable(64)
+	defer Disable()
+
+	root := Start("cas", "WriteRound").AttrInt("round", 3)
+	child := root.Child("hash").Worker(1).Attr("chunks", "32")
+	if d := child.End(); d < 0 {
+		t.Fatalf("child duration %d < 0", d)
+	}
+	Instant("chaos", "degrade", "target", "0")
+	if d := root.End(); d < 0 {
+		t.Fatalf("root duration %d < 0", d)
+	}
+
+	recs := Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	ch, inst, rt := recs[0], recs[1], recs[2]
+	if ch.Op != "hash" || ch.Track != "cas/w1" || ch.Parent != rt.ID {
+		t.Fatalf("child record %+v: want op=hash track=cas/w1 parent=%d", ch, rt.ID)
+	}
+	if ch.NAttr != 1 || ch.Attrs[0] != (Attr{"chunks", "32"}) {
+		t.Fatalf("child attrs %+v", ch.Attrs[:ch.NAttr])
+	}
+	if inst.Kind != KindInstant || inst.Op != "degrade" || inst.Dur != 0 {
+		t.Fatalf("instant record %+v", inst)
+	}
+	if rt.Op != "WriteRound" || rt.Kind != KindSpan || rt.Attrs[0] != (Attr{"round", "3"}) {
+		t.Fatalf("root record %+v", rt)
+	}
+	if rt.Start > ch.Start || rt.Start+rt.Dur < ch.Start+ch.Dur {
+		t.Fatalf("root [%d,%d) does not contain child [%d,%d)", rt.Start, rt.Dur, ch.Start, ch.Dur)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	Enable(4)
+	defer Disable()
+	for i := 0; i < 10; i++ {
+		Start("c", "op").AttrInt("i", int64(i)).End()
+	}
+	recs := Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want ring size 4", len(recs))
+	}
+	for i, r := range recs {
+		want := string(rune('6' + i))
+		if r.Attrs[0].Value != want {
+			t.Fatalf("record %d attr %v, want i=%s (newest 4 kept, oldest first)", i, r.Attrs[0], want)
+		}
+	}
+	if d := Dropped(); d != 6 {
+		t.Fatalf("Dropped = %d, want 6", d)
+	}
+}
+
+func TestHistogramQuantileExactSmallN(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3, 4, 5})
+	// One observation per bucket bound: quantiles are exact.
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.2, 1}, {0.4, 2}, {0.5, 3}, {0.6, 3}, {0.8, 4}, {0.95, 5}, {0.99, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileBoundaryValues(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	// Repeated observations exactly at one bound: every quantile is
+	// that bound (interpolation clamps to observed Min/Max).
+	h.Observe(2)
+	h.Observe(2)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%g) = %g, want 2", q, got)
+		}
+	}
+	// Overflow bucket reports the observed max.
+	h.Observe(99)
+	if got := h.Quantile(1); got != 99 {
+		t.Errorf("overflow Quantile(1) = %g, want 99", got)
+	}
+	s := h.Snapshot()
+	if s.Min != 2 || s.Max != 99 || s.Count != 3 || s.Sum != 103 {
+		t.Errorf("snapshot min/max/count/sum = %g/%g/%d/%g", s.Min, s.Max, s.Count, s.Sum)
+	}
+}
+
+func TestHistogramEmptyQuantileIsNaN(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty Quantile = %g, want NaN", got)
+	}
+}
+
+func TestRegistrySnapshotAndGaugeFuncSumming(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("remote.ops.put").Add(5)
+	r.Gauge("cache.bytes").Set(100)
+	r.GaugeFunc("cache.bytes", func() float64 { return 20 })
+	r.GaugeFunc("cache.bytes", func() float64 { return 3 })
+	r.Histogram("cas.persist.round.seconds", DefaultLatencyBuckets).Observe(0.002)
+
+	pts := r.Snapshot()
+	byName := make(map[string]Point, len(pts))
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if p := byName["remote.ops.put"]; p.Kind != "counter" || p.Value != 5 {
+		t.Errorf("counter point %+v", p)
+	}
+	if p := byName["cache.bytes"]; p.Kind != "gauge" || p.Value != 123 {
+		t.Errorf("gauge point %+v, want summed 123", p)
+	}
+	p := byName["cas.persist.round.seconds"]
+	if p.Kind != "histogram" || p.Hist == nil || p.Hist.Count != 1 {
+		t.Fatalf("histogram point %+v", p)
+	}
+	// Same name returns the same instrument.
+	if r.Counter("remote.ops.put") != r.Counter("remote.ops.put") {
+		t.Error("Counter not idempotent by name")
+	}
+	// Snapshot is name-sorted.
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Name >= pts[i].Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", pts[i-1].Name, pts[i].Name)
+		}
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("remote.ops.get").Add(7)
+	h := r.Histogram("lat.seconds", []float64{0.001, 0.01})
+	h.Observe(0.001)
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		"lat_seconds_bucket{le=\"0.001\"} 1",
+		"lat_seconds_bucket{le=\"0.01\"} 1",
+		"lat_seconds_bucket{le=\"+Inf\"} 2",
+		"lat_seconds_count 2",
+		"# TYPE remote_ops_get counter",
+		"remote_ops_get 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRegistryAndTracer(t *testing.T) {
+	// Hammer every concurrent surface at once; run with -race.
+	r := NewRegistry()
+	Enable(256)
+	defer Disable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			ga := r.Gauge("g")
+			h := r.Histogram("h", DefaultLatencyBuckets)
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i%10) * 1e-4)
+				sp := Start("t", "op").Worker(g).AttrInt("i", int64(i))
+				sp.Child("inner").End()
+				sp.End()
+				if i%100 == 0 {
+					r.GaugeFunc("fn", func() float64 { return 1 })
+					r.Snapshot()
+					Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h", nil).Snapshot().Count; got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+	if got := r.Gauge("g").Value(); got != 8*500 {
+		t.Fatalf("gauge = %g, want %d", got, 8*500)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	Enable(64)
+	defer Disable()
+	root := Start("cas", "WriteRound")
+	root.Child("hash").Worker(0).End()
+	Instant("chaos", "degrade", "target", "1")
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace.json is not a JSON array: %v", err)
+	}
+	var threads, spans, instants int
+	names := map[string]bool{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				threads++
+				names[ev["args"].(map[string]any)["name"].(string)] = true
+			}
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if threads != 3 || !names["cas"] || !names["cas/w0"] || !names["chaos"] {
+		t.Fatalf("tracks %v (%d), want cas, cas/w0, chaos", names, threads)
+	}
+	if spans != 2 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 2/1", spans, instants)
+	}
+}
+
+func TestSpansJSONLExport(t *testing.T) {
+	Enable(64)
+	defer Disable()
+	Start("c", "op").Attr("k", "v").End()
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("bad JSONL line %q: %v", line, err)
+	}
+	if rec["component"] != "c" || rec["op"] != "op" || rec["kind"] != "span" {
+		t.Fatalf("record %v", rec)
+	}
+	if rec["attrs"].(map[string]any)["k"] != "v" {
+		t.Fatalf("attrs %v", rec["attrs"])
+	}
+}

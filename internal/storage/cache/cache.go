@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"moc/internal/obs"
 	"moc/internal/storage"
 )
 
@@ -94,13 +95,17 @@ func New(inner storage.PersistStore, capacityBytes int64) (*Store, error) {
 	if capacityBytes <= 0 {
 		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacityBytes)
 	}
-	return &Store{
+	c := &Store{
 		inner:    inner,
 		capacity: capacityBytes,
 		ll:       list.New(),
 		index:    make(map[string]*list.Element),
 		flights:  make(map[string]*flight),
-	}, nil
+	}
+	if obs.Enabled() {
+		c.registerObs()
+	}
+	return c, nil
 }
 
 // Stats returns a copy of the counters plus current residency.

@@ -1,0 +1,22 @@
+package cache
+
+import "moc/internal/obs"
+
+// registerObs re-exports this cache's Stats under the stable cache.*
+// names. New calls it only while obs is enabled; multiple caches sum.
+func (c *Store) registerObs() {
+	m := obs.Metrics()
+	gauge := func(name string, read func(Stats) float64) {
+		m.GaugeFunc(name, func() float64 { return read(c.Stats()) })
+	}
+	gauge("cache.hits", func(st Stats) float64 { return float64(st.Hits) })
+	gauge("cache.misses", func(st Stats) float64 { return float64(st.Misses) })
+	gauge("cache.coalesced", func(st Stats) float64 { return float64(st.Coalesced) })
+	gauge("cache.bytes.hit", func(st Stats) float64 { return float64(st.HitBytes) })
+	gauge("cache.bytes.miss", func(st Stats) float64 { return float64(st.MissBytes) })
+	gauge("cache.insertions", func(st Stats) float64 { return float64(st.Insertions) })
+	gauge("cache.evictions", func(st Stats) float64 { return float64(st.Evictions) })
+	gauge("cache.entries", func(st Stats) float64 { return float64(st.Entries) })
+	gauge("cache.bytes.resident", func(st Stats) float64 { return float64(st.Bytes) })
+	gauge("cache.bytes.capacity", func(st Stats) float64 { return float64(st.Capacity) })
+}

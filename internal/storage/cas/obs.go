@@ -1,0 +1,34 @@
+package cas
+
+import "moc/internal/obs"
+
+// Stable registry names for the persist/restore pipeline latency
+// histograms (the README "Observability" table). They populate while
+// tracing is enabled — each observation is derived from the round
+// span's measured duration, so the disabled path never reads a clock.
+var (
+	obsPersistRound = obs.Metrics().Histogram("cas.persist.round.seconds", obs.DefaultLatencyBuckets)
+	obsRestoreRead  = obs.Metrics().Histogram("cas.restore.read.seconds", obs.DefaultLatencyBuckets)
+)
+
+// registerObs re-exports this store's cumulative Stats under the
+// stable cas.* names. Open calls it only while obs is enabled, so the
+// thousands of throwaway stores benchmarks build never accumulate
+// registry entries; when several live stores register, their values
+// sum to the process-wide total.
+func (s *Store) registerObs() {
+	m := obs.Metrics()
+	gauge := func(name string, read func(Stats) float64) {
+		m.GaugeFunc(name, func() float64 { return read(s.Stats()) })
+	}
+	gauge("cas.rounds_written", func(st Stats) float64 { return float64(st.RoundsWritten) })
+	gauge("cas.chunks.written", func(st Stats) float64 { return float64(st.ChunksWritten) })
+	gauge("cas.bytes.written", func(st Stats) float64 { return float64(st.BytesWritten) })
+	gauge("cas.chunks.deduped", func(st Stats) float64 { return float64(st.ChunksDeduped) })
+	gauge("cas.bytes.deduped", func(st Stats) float64 { return float64(st.BytesDeduped) })
+	gauge("cas.bytes.logical", func(st Stats) float64 { return float64(st.LogicalBytes) })
+	gauge("cas.chunks.hashed", func(st Stats) float64 { return float64(st.ChunksHashed) })
+	gauge("cas.modules.unchanged", func(st Stats) float64 { return float64(st.ModulesUnchanged) })
+	gauge("cas.bytes.unchanged", func(st Stats) float64 { return float64(st.BytesUnchanged) })
+	gauge("cas.dedup_ratio", func(st Stats) float64 { return st.DedupRatio() })
+}

@@ -10,11 +10,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"moc/internal/obs"
 	"moc/internal/storage"
 )
 
@@ -298,6 +300,9 @@ func Open(backend storage.PersistStore, opts Options) (*Store, error) {
 		}
 		s.manifests[m.Round] = append(s.manifests[m.Round], m)
 	}
+	if obs.Enabled() {
+		s.registerObs()
+	}
 	return s, nil
 }
 
@@ -481,6 +486,12 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	if round < 0 {
 		return nil, fmt.Errorf("cas: negative round %d", round)
 	}
+	sp := obs.Start("cas", "WriteRound").AttrInt("round", int64(round)).AttrInt("modules", int64(len(modules)))
+	defer func() {
+		if d := sp.End(); d > 0 {
+			obsPersistRound.Observe(obs.Seconds(d))
+		}
+	}()
 	// Multi-writer GC exclusion: hold the shared guard (when configured)
 	// for the whole round, so a Retain running through any store over
 	// this backend waits for the commit instead of sweeping chunks whose
@@ -552,11 +563,16 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 		// accepted. With a sharded backend the Workers budget is split
 		// across the per-shard queues (at least one worker each).
 		perShard := (s.opts.Workers + shardCount - 1) / shardCount
-		for _, ch := range putChs {
+		for qi, ch := range putChs {
 			for w := 0; w < perShard; w++ {
 				putWG.Add(1)
-				go func(putCh chan putTask) {
+				go func(putCh chan putTask, qi, w int) {
 					defer putWG.Done()
+					wsp := sp.Child("put")
+					if wsp != nil {
+						wsp.Lane("put-s" + strconv.Itoa(qi) + "-w" + strconv.Itoa(w))
+					}
+					defer wsp.End()
 					for t := range putCh {
 						if failed.Load() {
 							continue
@@ -579,15 +595,20 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 						putBytes += int64(len(t.data))
 						putMu.Unlock()
 					}
-				}(ch)
+				}(ch, qi, w)
 			}
 		}
 		// Hash stage: digest chunks, fill their manifest slots, and
 		// claim distinct new chunks for the put stage.
 		for w := 0; w < s.opts.HashWorkers; w++ {
 			hashWG.Add(1)
-			go func() {
+			go func(w int) {
 				defer hashWG.Done()
+				wsp := sp.Child("hash")
+				if wsp != nil {
+					wsp.Lane("hash-w" + strconv.Itoa(w))
+				}
+				defer wsp.End()
 				for t := range hashCh {
 					if failed.Load() {
 						continue
@@ -607,7 +628,7 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 						}
 					}
 				}
-			}()
+			}(w)
 		}
 	}
 
@@ -615,6 +636,7 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	// memo, split the rest, and stream their chunks into the pipeline.
 	var logical, refs, hashed, unchangedMods, unchangedBytes int64
 	memoHit := make([]bool, len(names))
+	fsp := sp.Child("feed")
 	for mi, name := range names {
 		blob := modules[name]
 		e := ModuleEntry{Module: name, Size: int64(len(blob))}
@@ -648,6 +670,7 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 			hashCh <- hashTask{chunks: chunks[off:end], slots: slots[off:end]}
 		}
 	}
+	fsp.End()
 	if pipelineStarted {
 		close(hashCh)
 		hashWG.Wait()
@@ -661,9 +684,12 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	}
 
 	// Commit point: the manifest write makes the round durable.
+	csp := sp.Child("commit")
 	if err := s.backend.Put(manifestKey(round, s.opts.Writer), EncodeManifest(m)); err != nil {
+		csp.End()
 		return nil, fmt.Errorf("cas: commit round %d: %w", round, err)
 	}
+	csp.End()
 
 	for _, h := range putHashes {
 		s.present.Add(h)
@@ -704,6 +730,7 @@ func (s *Store) WriteRound(round int, modules map[string][]byte) (*Manifest, err
 	s.stats.ModulesUnchanged += unchangedMods
 	s.stats.BytesUnchanged += unchangedBytes
 	s.mu.Unlock()
+	sp.AttrInt("chunks_written", written).AttrInt("bytes_put", putBytes)
 	return m, nil
 }
 
@@ -755,6 +782,12 @@ type fetchTask struct {
 // Chunk fetches fan out across Options.ReadWorkers, with verification
 // running on the fetch workers so it overlaps backend latency.
 func (s *Store) ReadModule(round int, module string) ([]byte, error) {
+	sp := obs.Start("cas", "ReadModule").AttrInt("round", int64(round)).Attr("module", module)
+	defer func() {
+		if d := sp.End(); d > 0 {
+			obsRestoreRead.Observe(obs.Seconds(d))
+		}
+	}()
 	s.mu.Lock()
 	var entry *ModuleEntry
 	for _, m := range s.manifests[round] {
@@ -766,7 +799,7 @@ func (s *Store) ReadModule(round int, module string) ([]byte, error) {
 	if entry == nil {
 		return nil, fmt.Errorf("%w: %s@%06d", ErrModuleNotFound, module, round)
 	}
-	out, err := s.entryTasks(round, []*ModuleEntry{entry})
+	out, err := s.entryTasks(sp, round, []*ModuleEntry{entry})
 	if err != nil {
 		return nil, err
 	}
@@ -781,6 +814,12 @@ func (s *Store) ReadModule(round int, module string) ([]byte, error) {
 // requested module absent from the round fails with ErrModuleNotFound;
 // duplicate names are read once.
 func (s *Store) ReadModules(round int, modules []string) (map[string][]byte, error) {
+	sp := obs.Start("cas", "ReadModules").AttrInt("round", int64(round)).AttrInt("modules", int64(len(modules)))
+	defer func() {
+		if d := sp.End(); d > 0 {
+			obsRestoreRead.Observe(obs.Seconds(d))
+		}
+	}()
 	want := make(map[string]bool, len(modules))
 	for _, m := range modules {
 		want[m] = true
@@ -810,7 +849,7 @@ func (s *Store) ReadModules(round int, modules []string) (map[string][]byte, err
 	for _, name := range order {
 		entries = append(entries, entryOf[name])
 	}
-	return s.entryTasks(round, entries)
+	return s.entryTasks(sp, round, entries)
 }
 
 // ReadRound reassembles every module committed for a round, across all
@@ -819,6 +858,12 @@ func (s *Store) ReadModules(round int, modules []string) (map[string][]byte, err
 // bounded ReadWorkers fan-out, so recovery of many small modules
 // parallelizes as well as recovery of one large one.
 func (s *Store) ReadRound(round int) (map[string][]byte, error) {
+	sp := obs.Start("cas", "ReadRound").AttrInt("round", int64(round))
+	defer func() {
+		if d := sp.End(); d > 0 {
+			obsRestoreRead.Observe(obs.Seconds(d))
+		}
+	}()
 	s.mu.Lock()
 	entryOf := make(map[string]*ModuleEntry)
 	order := make([]string, 0, 8)
@@ -842,7 +887,7 @@ func (s *Store) ReadRound(round int) (map[string][]byte, error) {
 	for _, name := range order {
 		entries = append(entries, entryOf[name])
 	}
-	return s.entryTasks(round, entries)
+	return s.entryTasks(sp, round, entries)
 }
 
 // entryTasks fetches, verifies, and reassembles the given module
@@ -850,7 +895,7 @@ func (s *Store) ReadRound(round int) (map[string][]byte, error) {
 // implementing storage.Viewer serve chunk bytes without a defensive
 // copy — verification only reads them, and the single write into the
 // output buffer is the reassembly copy itself.
-func (s *Store) entryTasks(round int, entries []*ModuleEntry) (map[string][]byte, error) {
+func (s *Store) entryTasks(sp *obs.Span, round int, entries []*ModuleEntry) (map[string][]byte, error) {
 	out := make(map[string][]byte, len(entries))
 	var tasks []fetchTask
 	for _, e := range entries {
@@ -897,7 +942,10 @@ func (s *Store) entryTasks(round int, entries []*ModuleEntry) (map[string][]byte
 	// Tiny reads go sequential: below a handful of chunks the worker
 	// spawn costs more than the overlap buys, and callers that recover
 	// many small modules (the agent) already parallelize above us.
+	sp.AttrInt("chunks", int64(len(tasks)))
 	if workers <= 1 || len(tasks) < minParallelFetchTasks {
+		fsp := sp.Child("fetch")
+		defer fsp.End()
 		for _, t := range tasks {
 			if err := fetch(t); err != nil {
 				return nil, err
@@ -913,6 +961,11 @@ func (s *Store) entryTasks(round int, entries []*ModuleEntry) (map[string][]byte
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wsp := sp.Child("fetch")
+			if wsp != nil {
+				wsp.Lane("fetch-w" + strconv.Itoa(w))
+			}
+			defer wsp.End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) || failed.Load() {

@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
+	"moc/internal/obs"
 	"moc/internal/storage/cas"
 )
 
@@ -75,9 +77,12 @@ func (r ScrubReport) Findings() int { return r.Missing + r.Corrupt }
 // proceed concurrently, Retain does not (a concurrent sweep would make
 // the audit report transient false findings).
 func (s *Service) Scrub() (ScrubReport, error) {
+	sp := obs.Start("fleet", "Scrub")
+	defer sp.End()
 	s.guard.RLock()
 	defer s.guard.RUnlock()
 	var rep ScrubReport
+	psp := sp.Child("probe")
 	if s.rep != nil {
 		health := s.rep.Probe()
 		rep.Backends = len(health)
@@ -101,6 +106,7 @@ func (s *Service) Scrub() (ScrubReport, error) {
 			n, err := s.rep.Sync()
 			if err != nil {
 				// The owed Sync stays owed; the next pass retries.
+				psp.End()
 				return rep, fmt.Errorf("fleet: scrub sync: %w", err)
 			}
 			rep.SyncCopies = n
@@ -111,18 +117,24 @@ func (s *Service) Scrub() (ScrubReport, error) {
 		}
 	} else if s.sh != nil {
 		if err := s.scrubShards(&rep); err != nil {
+			psp.End()
 			return rep, err
 		}
 	}
+	psp.End()
 
+	asp := sp.Child("audit")
 	audit, err := s.admin.Audit()
+	asp.End()
 	if err != nil {
 		return rep, fmt.Errorf("fleet: scrub audit: %w", err)
 	}
 	rep.Missing = len(audit.Missing)
 	rep.Orphans = len(audit.Orphans)
 
+	vsp := sp.Child("verify")
 	verified, corruptKeys, err := s.verifySweep()
+	vsp.End()
 	if err != nil {
 		return rep, err
 	}
@@ -173,6 +185,9 @@ func (s *Service) Scrub() (ScrubReport, error) {
 	// cadence (outside s.mu — the controller has its own lock).
 	if ctl != nil {
 		ctl.Observe(sig)
+		obs.Instant("fleet", "cadence",
+			"stretch", strconv.FormatFloat(ctl.Stretch(), 'g', -1, 64),
+			"backends_down", strconv.Itoa(sig.BackendsDown))
 	}
 	return rep, nil
 }

@@ -30,10 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"moc/internal/obs"
 	"moc/internal/simtime"
 	"moc/internal/storage"
 	"moc/internal/storage/cas"
@@ -292,6 +294,9 @@ func Open(backend storage.PersistStore, cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("fleet: job record %s claims id %q", k, j.ID)
 		}
 		s.jobs[j.ID] = &j
+	}
+	if obs.Enabled() {
+		s.registerObs()
 	}
 	return s, nil
 }
@@ -562,6 +567,11 @@ func (s *Service) acquire(id string, force bool) (*Session, error) {
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	op := "lease-acquire"
+	if force {
+		op = "lease-adopt"
+	}
+	obs.Instant("fleet", op, "job", id, "epoch", strconv.FormatInt(j.Epoch, 10))
 	return sess, nil
 }
 
@@ -659,6 +669,7 @@ func (s *Service) release(sess *Session) error {
 		return nil // already adopted; nothing to give back
 	}
 	j.LeaseExpiresUnixNano = s.cfg.Now().UnixNano()
+	obs.Instant("fleet", "lease-release", "job", sess.id)
 	return s.writeJob(j)
 }
 

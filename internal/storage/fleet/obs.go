@@ -1,0 +1,24 @@
+package fleet
+
+import "moc/internal/obs"
+
+// registerObs re-exports the fleet service's maintenance and cadence
+// state under the stable fleet.* names. Open calls it only while obs
+// is enabled.
+func (s *Service) registerObs() {
+	m := obs.Metrics()
+	m.GaugeFunc("fleet.jobs", func() float64 { return float64(len(s.Jobs())) })
+	m.GaugeFunc("fleet.cadence_stretch", func() float64 { return s.CadenceStretch() })
+	counter := func(name string, read func() int64) {
+		m.GaugeFunc(name, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(read())
+		})
+	}
+	counter("fleet.scrubs", func() int64 { return s.scrubs })
+	counter("fleet.heals", func() int64 { return s.heals })
+	counter("fleet.sync_copies", func() int64 { return s.syncCopies })
+	counter("fleet.scrub_findings", func() int64 { return s.findings })
+	counter("fleet.orphans", func() int64 { return s.orphans })
+}

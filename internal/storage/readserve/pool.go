@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"moc/internal/obs"
 	"moc/internal/storage/cas"
 )
 
@@ -42,7 +43,11 @@ func NewPool(store *cas.Store) (*Pool, error) {
 	if store == nil {
 		return nil, fmt.Errorf("readserve: nil store")
 	}
-	return &Pool{store: store}, nil
+	p := &Pool{store: store}
+	if obs.Enabled() {
+		p.registerObs()
+	}
+	return p, nil
 }
 
 // ReadRound restores every module of the round (cas.Store.ReadRound),
@@ -70,10 +75,15 @@ func (p *Pool) ReadModules(round int, modules []string) (map[string][]byte, erro
 func (p *Pool) Rounds() []int { return p.store.Rounds() }
 
 func (p *Pool) do(key string, fn func() (map[string][]byte, error)) (map[string][]byte, error) {
+	sp := obs.Start("readserve", "Restore").Attr("key", key)
 	p.restores.Add(1)
 	v, shared, err := p.g.Do(key, fn)
 	if shared {
 		p.coalesced.Add(1)
+		sp.Attr("coalesced", "true")
+	}
+	if d := sp.End(); d > 0 {
+		obsRestoreSeconds.Observe(obs.Seconds(d))
 	}
 	return v, err
 }

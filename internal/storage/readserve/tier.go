@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"moc/internal/obs"
 	"moc/internal/storage"
 	"moc/internal/storage/cache"
 )
@@ -131,6 +132,9 @@ func New(backend storage.PersistStore, cfg Config) (*Tier, error) {
 		return nil, err
 	}
 	t.l2 = l2
+	if obs.Enabled() {
+		t.registerObs()
+	}
 	return t, nil
 }
 

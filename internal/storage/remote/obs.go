@@ -1,0 +1,52 @@
+package remote
+
+import (
+	"strconv"
+
+	"moc/internal/obs"
+)
+
+// Per-op cost histograms in simulated seconds — the cost model's own
+// currency, so they populate whether or not tracing is enabled (no
+// clock read is involved).
+var (
+	obsPutSeconds = obs.Metrics().Histogram("remote.put.sim_seconds", obs.DefaultLatencyBuckets)
+	obsGetSeconds = obs.Metrics().Histogram("remote.get.sim_seconds", obs.DefaultLatencyBuckets)
+)
+
+// registerObs re-exports this store's Metrics under the stable
+// remote.* names. New calls it only while obs is enabled; multiple
+// stores sum.
+func (s *Store) registerObs() {
+	m := obs.Metrics()
+	gauge := func(name string, read func(Metrics) float64) {
+		m.GaugeFunc(name, func() float64 { return read(s.Metrics()) })
+	}
+	gauge("remote.ops.put", func(mt Metrics) float64 { return float64(mt.PutOps) })
+	gauge("remote.ops.get", func(mt Metrics) float64 { return float64(mt.GetOps) })
+	gauge("remote.ops.delete", func(mt Metrics) float64 { return float64(mt.DeleteOps) })
+	gauge("remote.ops.list", func(mt Metrics) float64 { return float64(mt.ListOps) })
+	gauge("remote.gets.cold", func(mt Metrics) float64 { return float64(mt.ColdGets) })
+	gauge("remote.gets.repeat", func(mt Metrics) float64 { return float64(mt.RepeatGets) })
+	gauge("remote.bytes.uploaded", func(mt Metrics) float64 { return float64(mt.BytesUploaded) })
+	gauge("remote.bytes.downloaded", func(mt Metrics) float64 { return float64(mt.BytesDownloaded) })
+	gauge("remote.multipart.puts", func(mt Metrics) float64 { return float64(mt.MultipartPuts) })
+	gauge("remote.multipart.parts", func(mt Metrics) float64 { return float64(mt.PartsUploaded) })
+	gauge("remote.multipart.aborted", func(mt Metrics) float64 { return float64(mt.AbortedUploads) })
+	gauge("remote.retries", func(mt Metrics) float64 { return float64(mt.Retries) })
+	gauge("remote.injected_failures", func(mt Metrics) float64 { return float64(mt.InjectedFailures) })
+	gauge("remote.degraded_ops", func(mt Metrics) float64 { return float64(mt.DegradedOps) })
+	gauge("remote.sim_seconds", func(mt Metrics) float64 { return mt.SimSeconds })
+}
+
+// noteDegrade / noteHeal annotate chaos fault windows on the trace
+// timeline — every Degrade/ClearDegrade transition (the chaos layer's
+// straggler windows arrive through exactly these calls) becomes an
+// instant event on the "remote" track.
+func noteDegrade(latencyMult, bandwidthMult float64) {
+	obs.Instant("remote", "degrade",
+		"latency_mult", strconv.FormatFloat(latencyMult, 'g', -1, 64),
+		"bandwidth_mult", strconv.FormatFloat(bandwidthMult, 'g', -1, 64))
+}
+
+func noteHeal() { obs.Instant("remote", "heal") }

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"moc/internal/obs"
 	"moc/internal/rng"
 	"moc/internal/simtime"
 	"moc/internal/storage"
@@ -212,6 +213,9 @@ func New(cfg Config) (*Store, error) {
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
+	if obs.Enabled() {
+		s.registerObs()
+	}
 	return s, nil
 }
 
@@ -262,6 +266,7 @@ func (s *Store) Degrade(latencyMult, bandwidthMult float64) error {
 	s.mu.Lock()
 	s.latMult, s.bwMult = latencyMult, bandwidthMult
 	s.mu.Unlock()
+	noteDegrade(latencyMult, bandwidthMult)
 	return nil
 }
 
@@ -270,6 +275,7 @@ func (s *Store) ClearDegrade() {
 	s.mu.Lock()
 	s.latMult, s.bwMult = 0, 0
 	s.mu.Unlock()
+	noteHeal()
 }
 
 // DegradeFactors reports the active multipliers (1, 1 when healthy) and
@@ -385,12 +391,13 @@ func (s *Store) put(key string, data []byte, owned bool) error {
 	if s.cfg.PartSize > 0 && int64(len(data)) >= s.cfg.PartSize {
 		return s.multipartPut(key, data, owned)
 	}
-	_, err := s.attempt(key, int64(len(data)), s.cfg.UploadBps, &s.metrics.BytesUploaded, func() error {
+	spent, err := s.attempt(key, int64(len(data)), s.cfg.UploadBps, &s.metrics.BytesUploaded, func() error {
 		return s.innerPut(key, data, owned)
 	})
 	if err != nil {
 		return fmt.Errorf("remote: put %s: %w", key, err)
 	}
+	obsPutSeconds.Observe(spent)
 	s.mu.Lock()
 	s.metrics.PutOps++
 	s.mu.Unlock()
@@ -481,7 +488,7 @@ func splitParts(data []byte, size int) [][]byte {
 // Get implements storage.PersistStore.
 func (s *Store) Get(key string) ([]byte, error) {
 	var blob []byte
-	_, err := s.attempt(key+"#get", 0, s.cfg.DownloadBps, nil, func() error {
+	spent, err := s.attempt(key+"#get", 0, s.cfg.DownloadBps, nil, func() error {
 		b, err := s.cfg.Inner.Get(key)
 		blob = b
 		return err
@@ -496,7 +503,9 @@ func (s *Store) Get(key string) ([]byte, error) {
 	// transfer now at the effective rate (attempt charged latency +
 	// overhead for a 0-byte payload).
 	_, bw, _ := s.DegradeFactors()
-	s.charge(float64(len(blob)) / (s.cfg.DownloadBps / bw))
+	transfer := float64(len(blob)) / (s.cfg.DownloadBps / bw)
+	s.charge(transfer)
+	obsGetSeconds.Observe(spent + transfer)
 	vol := int64(len(blob)) + s.cfg.RequestOverheadBytes
 	s.mu.Lock()
 	s.metrics.GetOps++

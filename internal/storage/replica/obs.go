@@ -1,0 +1,37 @@
+package replica
+
+import (
+	"strconv"
+
+	"moc/internal/obs"
+)
+
+// registerObs re-exports this replica set's health counters under the
+// stable replica.* names — including one latency-EWMA gauge per
+// backend, so a straggling replica is visible by name in a registry
+// snapshot. NewWithOptions calls it only while obs is enabled.
+func (r *Store) registerObs() {
+	m := obs.Metrics()
+	m.GaugeFunc("replica.backends", func() float64 { return float64(r.Backends()) })
+	m.GaugeFunc("replica.slow_skips", func() float64 { return float64(r.SlowSkips()) })
+	m.GaugeFunc("replica.repairs", func() float64 { return float64(r.Repairs()) })
+	m.GaugeFunc("replica.partitioned", func() float64 {
+		var n int
+		for _, p := range r.Partitioned() {
+			if p {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	for i := 0; i < r.Backends(); i++ {
+		i := i
+		m.GaugeFunc("replica.backend."+strconv.Itoa(i)+".latency_seconds", func() float64 {
+			lat := r.BackendLatencies()
+			if i >= len(lat) {
+				return 0
+			}
+			return lat[i]
+		})
+	}
+}

@@ -23,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"moc/internal/obs"
 	"moc/internal/simtime"
 	"moc/internal/storage"
 )
@@ -120,14 +122,18 @@ func NewWithOptions(opts Options, backends ...storage.PersistStore) (*Store, err
 	if err := opts.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Store{
+	r := &Store{
 		backends:    append([]storage.PersistStore(nil), backends...),
 		opts:        opts,
 		lastErr:     make([]error, len(backends)),
 		partitioned: make([]bool, len(backends)),
 		ewma:        make([]float64, len(backends)),
 		samples:     make([]int64, len(backends)),
-	}, nil
+	}
+	if obs.Enabled() {
+		r.registerObs()
+	}
+	return r, nil
 }
 
 // Backends returns the replica count.
@@ -161,6 +167,7 @@ func (r *Store) CutOff(i int) error {
 	r.partitioned[i] = true
 	r.lastErr[i] = ErrPartitioned
 	r.mu.Unlock()
+	obs.Instant("replica", "cutoff", "backend", strconv.Itoa(i))
 	return nil
 }
 
@@ -174,6 +181,7 @@ func (r *Store) Reconnect(i int) error {
 	r.mu.Lock()
 	r.partitioned[i] = false
 	r.mu.Unlock()
+	obs.Instant("replica", "reconnect", "backend", strconv.Itoa(i))
 	return nil
 }
 
@@ -513,6 +521,11 @@ func (r *Store) Keys(prefix string) ([]string, error) {
 // manifests travel with their chunks). Run the GC again after Sync to
 // re-collect; or avoid running it while a replica is down.
 func (r *Store) Sync() (copied int, err error) {
+	sp := obs.Start("replica", "Sync")
+	defer func() {
+		sp.AttrInt("copied", int64(copied))
+		sp.End()
+	}()
 	perBackend := make([]map[string]bool, len(r.backends))
 	union := map[string]bool{}
 	for i := range r.backends {

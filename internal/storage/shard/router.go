@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"moc/internal/obs"
 	"moc/internal/storage"
 )
 
@@ -91,6 +92,16 @@ func New(cfg Config) (*Router, error) {
 		r.entries = append(r.entries, entry{name: names[i], store: cfg.Stores[i]})
 	}
 	r.ringIdx = r.indexRing(ring)
+	if obs.Enabled() {
+		m := obs.Metrics()
+		m.GaugeFunc("shard.count", func() float64 { return float64(r.ShardCount()) })
+		m.GaugeFunc("shard.migrating", func() float64 {
+			if r.Migrating() {
+				return 1
+			}
+			return 0
+		})
+	}
 	return r, nil
 }
 
@@ -411,6 +422,7 @@ func (r *Router) AddShard(name string, store storage.PersistStore) error {
 	r.prev, r.prevIdx = r.ring, r.ringIdx
 	r.ring = newRing
 	r.ringIdx = r.indexRing(newRing)
+	obs.Instant("shard", "add", "shard", name)
 	return nil
 }
 
@@ -430,6 +442,7 @@ func (r *Router) RemoveShard(name string) error {
 	r.prev, r.prevIdx = r.ring, r.ringIdx
 	r.ring = newRing
 	r.ringIdx = r.indexRing(newRing)
+	obs.Instant("shard", "remove", "shard", name)
 	return nil
 }
 
@@ -482,6 +495,11 @@ func (r *Router) Rebalance() (RebalanceStats, error) {
 	}
 	v := r.view()
 	var st RebalanceStats
+	sp := obs.Start("shard", "Rebalance")
+	defer func() {
+		sp.AttrInt("keys_moved", int64(st.KeysMoved)).AttrInt("bytes_moved", st.BytesMoved)
+		sp.End()
+	}()
 	if v.prev == nil {
 		return st, nil
 	}

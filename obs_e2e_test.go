@@ -1,0 +1,155 @@
+package moc_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"moc"
+)
+
+// TestTraceProbeCoverageAndAnnotations drives the full persist/restore
+// stack under tracing and checks the acceptance bar: the exported
+// Chrome trace's probe spans account for ≥ 90% of the run's wall time,
+// and the fault window shows up as degrade/heal instant annotations.
+func TestTraceProbeCoverageAndAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	spanPath := filepath.Join(dir, "spans.jsonl")
+	rep, err := moc.RunTraceProbe(moc.TraceProbeConfig{
+		Rounds:    4,
+		TracePath: tracePath,
+		SpanPath:  spanPath,
+	})
+	if err != nil {
+		t.Fatalf("RunTraceProbe: %v", err)
+	}
+	if moc.ObsEnabled() {
+		t.Fatal("probe left tracing enabled")
+	}
+	if rep.Rounds != 4 {
+		t.Fatalf("Rounds = %d, want 4", rep.Rounds)
+	}
+	if rep.Spans == 0 {
+		t.Fatal("no spans captured")
+	}
+	if rep.Coverage < 0.9 {
+		t.Fatalf("span coverage %.3f (span %.6fs / wall %.6fs), want >= 0.9",
+			rep.Coverage, rep.SpanSeconds, rep.WallSeconds)
+	}
+	if rep.FaultWindows == 0 {
+		t.Fatal("no fault-window annotations captured")
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+		Tid  int            `json:"tid"`
+		Pid  int            `json:"pid"`
+		Dur  float64        `json:"dur"`
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace.json is not a valid trace-event array: %v", err)
+	}
+	var haveDegrade, haveHeal, haveProbe, havePersist, haveCAS bool
+	for _, ev := range events {
+		switch {
+		case ev.Ph == "i" && ev.Name == "remote.degrade":
+			haveDegrade = true
+		case ev.Ph == "i" && ev.Name == "remote.heal":
+			haveHeal = true
+		case ev.Ph == "X" && ev.Name == "probe.round":
+			haveProbe = true
+		case ev.Ph == "X" && ev.Name == "probe.persist":
+			havePersist = true
+		case ev.Ph == "X" && ev.Name == "cas.WriteRound":
+			haveCAS = true
+		}
+	}
+	if !haveDegrade || !haveHeal {
+		t.Fatalf("trace missing chaos annotations: degrade=%v heal=%v", haveDegrade, haveHeal)
+	}
+	if !haveProbe || !havePersist {
+		t.Fatalf("trace missing probe spans: round=%v persist=%v", haveProbe, havePersist)
+	}
+	if !haveCAS {
+		t.Fatal("trace missing cas WriteRound spans — store instrumentation not firing")
+	}
+
+	spans, err := os.ReadFile(spanPath)
+	if err != nil {
+		t.Fatalf("read spans: %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(spans)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("spans.jsonl line not valid JSON: %v (%q)", err, line)
+		}
+	}
+}
+
+// TestObsConfigOnSystem checks the Config.Obs wiring end to end: a
+// system built with tracing enabled exports a non-empty trace on Close
+// and its metrics surface under the stable dotted names.
+func TestObsConfigOnSystem(t *testing.T) {
+	defer moc.DisableObs()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "sys-trace.json")
+	store, err := moc.NewFSStore(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatalf("NewFSStore: %v", err)
+	}
+	sys, err := moc.NewSystem(moc.Config{
+		Layers: 1, Hidden: 8, Experts: 2, TopK: 1,
+		Interval: 2,
+		Obs:      moc.ObsConfig{Enable: true, ExportPath: tracePath},
+	}, store)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if !moc.ObsEnabled() {
+		t.Fatal("Config.Obs.Enable did not enable tracing")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.Step(); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not exported on Close: %v", err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("exported trace is not valid JSON")
+	}
+	if !strings.Contains(string(raw), "WriteRound") {
+		t.Fatal("exported trace has no WriteRound span")
+	}
+
+	points := moc.MetricsPoints()
+	names := make(map[string]bool, len(points))
+	for _, p := range points {
+		names[p.Name] = true
+	}
+	for _, want := range []string{
+		"cas.rounds_written", "cas.bytes.written", "cas.dedup_ratio",
+		"cas.persist.round.seconds.count", "cas.persist.round.seconds.p50",
+	} {
+		if !names[want] {
+			t.Fatalf("MetricsPoints missing %q (have %d points)", want, len(points))
+		}
+	}
+	if !strings.Contains(moc.MetricsText(), "cas_rounds_written") {
+		t.Fatal("MetricsText missing cas_rounds_written")
+	}
+}

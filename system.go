@@ -241,6 +241,13 @@ type Config struct {
 	// module reads to the same width, so peak backend concurrency
 	// during a full recovery approaches RecoverWorkers².
 	RecoverWorkers int
+
+	// --- observability ---
+
+	// Obs enables the unified tracing/metrics layer for this system's
+	// storage stack (see EnableObs). When Obs.ExportPath is set, Close
+	// writes a Chrome trace-event timeline there.
+	Obs ObsConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -337,6 +344,7 @@ type System struct {
 	kSnapshot     int
 	kPersist      int
 	closed        bool
+	obsExport     string
 }
 
 // NewSystem builds a System over the given persistent store. The training
@@ -373,6 +381,7 @@ func newSystemOn(cfg Config, store PersistStore, corpus *Corpus, sess *fleet.Ses
 		return nil, err
 	}
 	cfg.fillDefaults()
+	cfg.Obs.apply()
 	mc := model.TinyMoE(cfg.Layers, cfg.Hidden, cfg.Experts, cfg.TopK)
 	if cfg.Vocab > 0 {
 		mc.VocabSize = cfg.Vocab
@@ -443,6 +452,7 @@ func newSystemOn(cfg Config, store PersistStore, corpus *Corpus, sess *fleet.Ses
 		variant:   variant,
 		kSnapshot: cfg.KSnapshot,
 		kPersist:  cfg.KPersist,
+		obsExport: cfg.Obs.ExportPath,
 	}
 	if corpus != nil {
 		s.corpus = corpus.c
@@ -830,6 +840,11 @@ func (s *System) Close() error {
 	if s.sess != nil {
 		if rerr := s.sess.Release(); err == nil {
 			err = rerr
+		}
+	}
+	if s.obsExport != "" {
+		if werr := WriteTraceFile(s.obsExport); err == nil {
+			err = werr
 		}
 	}
 	return err
